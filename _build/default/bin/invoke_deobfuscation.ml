@@ -1,0 +1,272 @@
+(* invoke-deobfuscation — command-line front end.
+
+   Subcommands:
+     deobfuscate   recover a script (file or stdin), print or write result
+     score         print the obfuscation score and detected techniques
+     tokens        dump the token stream
+     ast           dump the AST
+     run           execute a script in the behaviour sandbox, print events
+     obfuscate     apply obfuscation techniques (for testing / corpora)
+     keyinfo       extract URLs / IPs / ps1 paths / powershell commands
+     compare       run every tool on a script and print each result *)
+
+open Cmdliner
+
+let read_input = function
+  | None | Some "-" -> In_channel.input_all In_channel.stdin
+  | Some path -> In_channel.with_open_bin path In_channel.input_all
+
+let write_output output = function
+  | None -> print_string output
+  | Some path -> Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc output)
+
+let input_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input script (defaults to stdin).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result to $(docv).")
+
+(* ---------- deobfuscate ---------- *)
+
+let deobfuscate_cmd =
+  let run input output no_tracing no_blocklist no_multilayer no_rename
+      no_reformat no_token_phase stats =
+    let src = read_input input in
+    let options =
+      {
+        Deobf.Engine.token_phase = not no_token_phase;
+        recovery =
+          { Deobf.Recover.default_options with
+            use_tracing = not no_tracing;
+            use_blocklist = not no_blocklist;
+            use_multilayer = not no_multilayer };
+        rename = not no_rename;
+        reformat = not no_reformat;
+        max_iterations = Deobf.Engine.default_options.Deobf.Engine.max_iterations;
+      }
+    in
+    let result = Deobf.Engine.run ~options src in
+    write_output result.Deobf.Engine.output output;
+    if stats then
+      Printf.eprintf
+        "pieces recovered: %d\nvariables substituted: %d\nlayers unwrapped: %d\npieces attempted: %d (blocked: %d)\nchanged: %b\n"
+        result.stats.Deobf.Recover.pieces_recovered
+        result.stats.Deobf.Recover.variables_substituted
+        result.stats.Deobf.Recover.layers_unwrapped
+        result.stats.Deobf.Recover.pieces_attempted
+        result.stats.Deobf.Recover.pieces_blocked result.Deobf.Engine.changed
+  in
+  let flag names doc = Arg.(value & flag & info names ~doc) in
+  Cmd.v
+    (Cmd.info "deobfuscate" ~doc:"Recover an obfuscated PowerShell script.")
+    Term.(
+      const run $ input_arg $ output_arg
+      $ flag [ "no-tracing" ] "Disable variable tracing (ablation)."
+      $ flag [ "no-blocklist" ] "Disable the command blocklist (ablation)."
+      $ flag [ "no-multilayer" ] "Disable Invoke-Expression unwrapping (ablation)."
+      $ flag [ "no-rename" ] "Keep randomised identifier names."
+      $ flag [ "no-reformat" ] "Keep original whitespace."
+      $ flag [ "no-token-phase" ] "Disable token-level (L1) recovery (ablation)."
+      $ flag [ "stats" ] "Print recovery statistics to stderr.")
+
+(* ---------- score ---------- *)
+
+let score_cmd =
+  let run input =
+    let src = read_input input in
+    let d = Deobf.Score.detect src in
+    Printf.printf "score: %d\n" (Deobf.Score.score_of_detection d);
+    let l1, l2, l3 = Deobf.Score.levels d in
+    Printf.printf "levels: %s%s%s\n"
+      (if l1 then "L1 " else "")
+      (if l2 then "L2 " else "")
+      (if l3 then "L3" else "");
+    List.iter (Printf.printf "technique: %s\n") (Deobf.Score.technique_names d)
+  in
+  Cmd.v
+    (Cmd.info "score" ~doc:"Quantify the obfuscation of a script (paper §IV-B2).")
+    Term.(const run $ input_arg)
+
+(* ---------- tokens ---------- *)
+
+let tokens_cmd =
+  let run input =
+    let src = read_input input in
+    match Pslex.Lexer.tokenize src with
+    | Error e ->
+        Printf.eprintf "lex error at %d: %s\n" e.Pslex.Lexer.position e.Pslex.Lexer.message;
+        exit 1
+    | Ok toks ->
+        List.iter
+          (fun t ->
+            Printf.printf "%-18s %-14s %S\n"
+              (Pslex.Token.kind_name t.Pslex.Token.kind)
+              (Format.asprintf "%a" Pscommon.Extent.pp t.Pslex.Token.extent)
+              t.Pslex.Token.content)
+          toks
+  in
+  Cmd.v (Cmd.info "tokens" ~doc:"Dump the token stream.") Term.(const run $ input_arg)
+
+(* ---------- ast ---------- *)
+
+let ast_cmd =
+  let run input =
+    let src = read_input input in
+    match Psparse.Parser.parse src with
+    | Error e ->
+        Printf.eprintf "parse error at %d: %s\n" e.Psparse.Parser.position e.Psparse.Parser.message;
+        exit 1
+    | Ok ast ->
+        let rec dump depth node =
+          let text = Psast.Ast.text src node in
+          let text =
+            if String.length text > 60 then String.sub text 0 57 ^ "..." else text
+          in
+          Printf.printf "%s%s %S\n" (String.make (2 * depth) ' ')
+            (Psast.Ast.kind_name node) text;
+          List.iter (dump (depth + 1)) (Psast.Ast.children node)
+        in
+        dump 0 ast
+  in
+  Cmd.v (Cmd.info "ast" ~doc:"Dump the abstract syntax tree.") Term.(const run $ input_arg)
+
+(* ---------- run (sandbox) ---------- *)
+
+let sandbox_cmd =
+  let run input =
+    let src = read_input input in
+    let report = Sandbox.run src in
+    List.iter
+      (fun ev -> Printf.printf "event: %s\n" (Pseval.Env.event_to_string ev))
+      report.Sandbox.events;
+    List.iter
+      (fun v -> Printf.printf "output: %s\n" (Psvalue.Value.to_string v))
+      report.Sandbox.output;
+    match report.Sandbox.error with
+    | Some e ->
+        Printf.printf "error: %s\n" e;
+        exit 2
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a script in the behaviour sandbox and print its events.")
+    Term.(const run $ input_arg)
+
+(* ---------- obfuscate ---------- *)
+
+let obfuscate_cmd =
+  let run input output technique seed layers =
+    let src = read_input input in
+    let rng = Pscommon.Rng.of_int seed in
+    let result =
+      match technique with
+      | Some name -> (
+          match Obfuscator.Technique.of_name name with
+          | Some t -> Obfuscator.Obfuscate.apply rng t src
+          | None ->
+              Printf.eprintf "unknown technique %s; available: %s\n" name
+                (String.concat ", "
+                   (List.map Obfuscator.Technique.name Obfuscator.Technique.all));
+              exit 1)
+      | None ->
+          if layers > 0 then Obfuscator.Obfuscate.multilayer rng layers src
+          else fst (Obfuscator.Obfuscate.wild_mix rng src)
+    in
+    write_output result output
+  in
+  Cmd.v
+    (Cmd.info "obfuscate"
+       ~doc:"Obfuscate a script (single technique, wild mix, or stacked layers).")
+    Term.(
+      const run $ input_arg $ output_arg
+      $ Arg.(value & opt (some string) None & info [ "t"; "technique" ] ~docv:"NAME"
+               ~doc:"Apply a single named technique.")
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
+      $ Arg.(value & opt int 0 & info [ "layers" ] ~docv:"N" ~doc:"Stack $(docv) L3 layers."))
+
+(* ---------- keyinfo ---------- *)
+
+let keyinfo_cmd =
+  let run input =
+    let src = read_input input in
+    let info = Keyinfo.extract src in
+    List.iter (Printf.printf "ps1: %s\n") info.Keyinfo.ps1_files;
+    List.iter (Printf.printf "powershell: %s\n") info.Keyinfo.powershell_commands;
+    List.iter (Printf.printf "url: %s\n") info.Keyinfo.urls;
+    List.iter (Printf.printf "ip: %s\n") info.Keyinfo.ips
+  in
+  Cmd.v
+    (Cmd.info "keyinfo" ~doc:"Extract key indicators (URLs, IPs, ps1 paths).")
+    Term.(const run $ input_arg)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let run input output =
+    let src = read_input input in
+    write_output (Deobf.Report.to_json (Deobf.Report.analyze src) ^ "\n") output
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Deobfuscate and emit a JSON analysis report (scores, stats, indicators).")
+    Term.(const run $ input_arg $ output_arg)
+
+(* ---------- format ---------- *)
+
+let format_cmd =
+  let run input output =
+    let src = read_input input in
+    match Psparse.Parser.parse src with
+    | Error e ->
+        Printf.eprintf "parse error at %d: %s\n" e.Psparse.Parser.position
+          e.Psparse.Parser.message;
+        exit 1
+    | Ok ast -> write_output (Psast.Printer.print ast) output
+  in
+  Cmd.v
+    (Cmd.info "format" ~doc:"Re-render a script in canonical form.")
+    Term.(const run $ input_arg $ output_arg)
+
+(* ---------- generate-corpus ---------- *)
+
+let corpus_cmd =
+  let run dir count seed =
+    let samples = Corpus.Generator.generate ~seed ~count in
+    let written = Corpus.Dataset.write ~dir samples in
+    Printf.printf "wrote %d samples (plus clean ground truth and manifest.json) to %s\n"
+      written dir
+  in
+  Cmd.v
+    (Cmd.info "generate-corpus"
+       ~doc:"Generate a wild-style corpus with ground truth to a directory.")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
+      $ Arg.(value & opt int 100 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of samples.")
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed."))
+
+(* ---------- compare ---------- *)
+
+let compare_cmd =
+  let run input =
+    let src = read_input input in
+    List.iter
+      (fun tool ->
+        let out = tool.Baselines.Tool.deobfuscate src in
+        Printf.printf "=== %s ===\n%s\n" tool.Baselines.Tool.name
+          (String.trim out.Baselines.Tool.result))
+      Baselines.All_tools.all
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run all five tools of the paper's comparison.")
+    Term.(const run $ input_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "invoke-deobfuscation" ~version:"1.0.0"
+       ~doc:"AST-based, semantics-preserving PowerShell deobfuscation (DSN 2022 reproduction).")
+    [ deobfuscate_cmd; score_cmd; tokens_cmd; ast_cmd; sandbox_cmd;
+      obfuscate_cmd; keyinfo_cmd; compare_cmd; corpus_cmd; format_cmd;
+      report_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/obfuscation_roundtrip.ml: Deobf List Obfuscator Printf Pscommon Sandbox String

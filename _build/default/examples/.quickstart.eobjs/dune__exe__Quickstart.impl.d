@@ -1,0 +1,1 @@
+examples/quickstart.ml: Deobf Keyinfo List Printf String

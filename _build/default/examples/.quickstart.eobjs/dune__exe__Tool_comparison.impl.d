@@ -1,0 +1,1 @@
+examples/tool_comparison.ml: Baselines List Printf Psparse Sandbox String

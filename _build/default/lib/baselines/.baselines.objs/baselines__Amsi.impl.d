@@ -1,0 +1,1 @@
+lib/baselines/amsi.ml: List Pseval Psvalue Tool

@@ -1,0 +1,1 @@
+lib/baselines/amsi.mli: Pseval Tool

@@ -1,0 +1,1 @@
+lib/baselines/li_etal.ml: Buffer Int List Printf Psast Pseval Psparse Psvalue String Tool

@@ -1,0 +1,1 @@
+lib/baselines/override.ml: List Pseval Psvalue String

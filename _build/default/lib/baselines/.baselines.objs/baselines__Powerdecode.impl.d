@@ -1,0 +1,1 @@
+lib/baselines/powerdecode.ml: Lazy Option Override Pscommon Regexen Strcase String Tool

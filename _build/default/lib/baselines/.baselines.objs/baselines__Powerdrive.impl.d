@@ -1,0 +1,1 @@
+lib/baselines/powerdrive.ml: Lazy Override Regexen String Tool

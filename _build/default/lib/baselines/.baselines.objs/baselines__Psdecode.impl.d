@@ -1,0 +1,1 @@
+lib/baselines/psdecode.ml: Lazy Override Regexen Tool

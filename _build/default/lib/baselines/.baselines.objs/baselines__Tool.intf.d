@@ -1,0 +1,1 @@
+lib/baselines/tool.mli: Pseval

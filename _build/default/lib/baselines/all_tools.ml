@@ -1,0 +1,16 @@
+(** The five tools of the paper's comparison, in its ordering. *)
+
+let invoke_deobfuscation =
+  {
+    Tool.name = "Invoke-Deobfuscation";
+    deobfuscate =
+      (fun script ->
+        let result = Deobf.Engine.run script in
+        Tool.plain result.Deobf.Engine.output);
+  }
+
+let baselines = [ Psdecode.tool; Powerdrive.tool; Powerdecode.tool; Li_etal.tool ]
+let all = baselines @ [ invoke_deobfuscation ]
+
+let by_name name =
+  List.find_opt (fun t -> Pscommon.Strcase.equal t.Tool.name name) all

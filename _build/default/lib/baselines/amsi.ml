@@ -1,0 +1,56 @@
+(** AMSI simulation (paper §V-B).
+
+    The Antimalware Scan Interface sees every script string that is
+    ultimately supplied to the scripting engine: whenever any spelling of
+    [Invoke-Expression] — or a [powershell -EncodedCommand] child — runs,
+    the decoded payload passes through AMSI.  Unlike the overriding-function
+    tools, the hook fires for {e obfuscated} spellings too, because it sits
+    below name resolution.
+
+    Its inherent limitation, which the paper uses to position
+    Invoke-Deobfuscation: obfuscated pieces that are {e never invoked}
+    ([('Amsi'+'Utils')] computed into a variable, string fragments passed to
+    APIs directly) are never seen, so AMSI output covers only the
+    invoke-reaching subset of the script. *)
+
+module Value = Psvalue.Value
+
+type capture = {
+  layers : string list;  (** every script string that reached the engine *)
+  events : Pseval.Env.event list;
+}
+
+(** Run a script recording what the engine gets to see.  The script itself
+    is the first layer; each IEX/child-powershell payload is appended. *)
+let scan ?(max_steps = 400_000) script =
+  let limits = { Pseval.Env.default_limits with Pseval.Env.max_steps } in
+  let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox ~limits () in
+  env.Pseval.Env.downloads_fail <- true;
+  let layers = ref [ script ] in
+  env.Pseval.Env.iex_hook <-
+    Some
+      (fun ~literal:_ payload ->
+        layers := payload :: !layers;
+        (* AMSI observes and lets execution continue *)
+        false);
+  (match Pseval.Interp.run_script env script with Ok _ | Error _ -> ());
+  { layers = List.rev !layers; events = Pseval.Env.events env }
+
+(** The deepest layer AMSI saw — what an analyst reads out of an AMSI
+    trace. *)
+let final_layer capture =
+  match List.rev capture.layers with
+  | deepest :: _ -> deepest
+  | [] -> ""
+
+let tool =
+  {
+    Tool.name = "AMSI";
+    deobfuscate =
+      (fun script ->
+        let capture = scan script in
+        {
+          Tool.result = final_layer capture;
+          simulated_seconds = Tool.simulated_cost capture.events;
+        });
+  }

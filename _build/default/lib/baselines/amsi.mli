@@ -1,0 +1,19 @@
+(** AMSI simulation (paper §V-B): observe every script string that reaches
+    the engine.  Unlike the overriding-function tools the hook fires below
+    name resolution, so obfuscated spellings are seen too — but code that is
+    never invoked is never seen, which is AMSI's inherent blind spot and the
+    ['Amsi'+'Utils'] bypass. *)
+
+type capture = {
+  layers : string list;  (** every script string the engine received;
+                             the input itself is the first *)
+  events : Pseval.Env.event list;
+}
+
+val scan : ?max_steps:int -> string -> capture
+
+val final_layer : capture -> string
+(** The deepest layer — what an analyst reads from an AMSI trace. *)
+
+val tool : Tool.t
+(** AMSI as a comparable "deobfuscator" for the §V-B experiment. *)

@@ -1,0 +1,56 @@
+(** Overriding-function simulation shared by the regex-based baselines.
+
+    PSDecode / PowerDrive / PowerDecode replace the {e literal} spellings of
+    [Invoke-Expression] / [IEX] with a function that prints its argument
+    instead of executing it, then run the script.  An obfuscated spelling
+    ([&('ie'+'x')], [.($pshome\[4\]+...)]) never matches the replacement, so
+    the real cmdlet runs and the layer is lost — the mechanism behind the
+    baselines' low multi-layer numbers (paper Table III). *)
+
+module Value = Psvalue.Value
+
+type run_outcome = {
+  captured : string list;  (** payloads the override saw, in order *)
+  events : Pseval.Env.event list;  (** side effects of full execution *)
+  failed : bool;  (** script crashed before finishing *)
+}
+
+(** Execute [script]; literal IEX payloads are captured and not executed.
+    Execution happens with full (sandboxed) side effects — these tools run
+    the sample for real. *)
+let run_with_override ?(max_steps = 400_000) script =
+  let limits = { Pseval.Env.default_limits with Pseval.Env.max_steps } in
+  let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox ~limits () in
+  (* the samples' C2 infrastructure is long dead when an analyst runs
+     these tools; executing a fetch fails after its timeout *)
+  env.Pseval.Env.downloads_fail <- true;
+  let captured = ref [] in
+  env.Pseval.Env.iex_hook <-
+    Some
+      (fun ~literal payload ->
+        if literal then begin
+          captured := payload :: !captured;
+          true
+        end
+        else false);
+  let failed =
+    match Pseval.Interp.run_script env script with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  { captured = List.rev !captured; events = Pseval.Env.events env; failed }
+
+(** Iterate override capture until no further layer appears.
+    Returns the final layer and how many layers were peeled. *)
+let peel_layers ?(max_layers = 10) script =
+  let rec go depth current acc_events =
+    if depth >= max_layers then (current, depth, acc_events)
+    else
+      let outcome = run_with_override current in
+      match outcome.captured with
+      | [] -> (current, depth, acc_events @ outcome.events)
+      | payloads ->
+          let next = String.concat "\n" payloads in
+          go (depth + 1) next (acc_events @ outcome.events)
+  in
+  go 0 script []

@@ -1,0 +1,17 @@
+(** Overriding-function simulation shared by the regex-based baselines:
+    literal [Invoke-Expression]/[IEX] spellings are intercepted and their
+    payloads captured; obfuscated spellings run for real (and, with the
+    feeds' C2 servers dead, usually crash). *)
+
+type run_outcome = {
+  captured : string list;  (** payloads the override saw, in order *)
+  events : Pseval.Env.event list;  (** side effects of full execution *)
+  failed : bool;  (** script crashed before finishing *)
+}
+
+val run_with_override : ?max_steps:int -> string -> run_outcome
+
+val peel_layers :
+  ?max_layers:int -> string -> string * int * Pseval.Env.event list
+(** Iterate capture until no further layer appears.  Returns the final
+    layer, the number of layers peeled, and all events. *)

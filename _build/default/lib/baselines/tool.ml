@@ -1,0 +1,31 @@
+(** Common interface for the compared deobfuscation tools. *)
+
+type output = {
+  result : string;  (** the tool's final deobfuscation layer *)
+  simulated_seconds : float;
+      (** extra run time the tool would spend executing unrelated commands
+          (sleeps, network timeouts) — the cause of Fig 6's fluctuation *)
+}
+
+type t = {
+  name : string;
+  deobfuscate : string -> output;
+}
+
+(* simulated cost of side effects a tool triggers by executing samples:
+   sleeps run for their duration; network touches wait on timeouts *)
+let simulated_cost events =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Pseval.Env.Sleep s -> acc +. s
+      | Pseval.Env.Http_get _ | Pseval.Env.Http_download _
+      | Pseval.Env.Dns_query _ | Pseval.Env.Tcp_connect _ ->
+          acc +. 2.0
+      | Pseval.Env.Process_start _ -> acc +. 0.5
+      | Pseval.Env.File_write _ | Pseval.Env.File_read _
+      | Pseval.Env.Registry_write _ ->
+          acc)
+    0.0 events
+
+let plain result = { result; simulated_seconds = 0.0 }

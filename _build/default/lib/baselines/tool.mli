@@ -1,0 +1,19 @@
+(** The common shape of the compared deobfuscation tools. *)
+
+type output = {
+  result : string;  (** the tool's final deobfuscation layer *)
+  simulated_seconds : float;
+      (** run time the tool would spend executing unrelated commands
+          (sleeps, dead-network timeouts) — Fig 6's fluctuation *)
+}
+
+type t = {
+  name : string;
+  deobfuscate : string -> output;
+}
+
+val simulated_cost : Pseval.Env.event list -> float
+(** Seconds of side-effect cost for a tool that executed the sample. *)
+
+val plain : string -> output
+(** Output with no simulated cost. *)

@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Buffer Char Filename Generator List Obfuscator Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Keyinfo List Obfuscator Pscommon Rng String Templates

@@ -1,0 +1,1 @@
+lib/corpus/preprocess.ml: Buffer Digest Hashtbl List Printf Pscommon Pslex Psparse Rng Strcase String

@@ -1,0 +1,1 @@
+lib/corpus/templates.ml: Char Encoding List Printf Pscommon Rng String

@@ -1,0 +1,6 @@
+(** Materialise a generated corpus on disk: [sample_NNNN.ps1],
+    [clean_NNNN.ps1] ground truth and a [manifest.json] with family and
+    technique labels. *)
+
+val write : dir:string -> Generator.sample list -> int
+(** Writes the samples; returns how many.  Creates [dir] if missing. *)

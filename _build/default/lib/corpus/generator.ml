@@ -1,0 +1,77 @@
+(** Wild-corpus generation.
+
+    Each sample couples a clean template instance with its obfuscated form
+    (per the paper's Table I level distribution) and remembers the applied
+    techniques — the ground truth the wild corpus never has, used by the
+    experiment harnesses for Fig 5's "manual deobfuscation" baseline. *)
+
+open Pscommon
+
+type sample = {
+  id : int;
+  family : string;  (** template name *)
+  clean : string;  (** pre-obfuscation script *)
+  obfuscated : string;
+  techniques : Obfuscator.Technique.t list;
+}
+
+let generate_sample rng id =
+  let family, clean = Templates.generate rng in
+  let obfuscated, techniques = Obfuscator.Obfuscate.wild_mix rng clean in
+  { id; family; clean; obfuscated; techniques }
+
+let generate ~seed ~count =
+  let rng = Rng.of_int seed in
+  List.init count (fun id -> generate_sample (Rng.split rng) id)
+
+(** Samples restricted to a byte-size window, like the paper's 100-sample
+    selection (97 B – 2 KB) for Fig 5 / Fig 6 / Table IV. *)
+let generate_sized ~seed ~count ~min_bytes ~max_bytes =
+  let rng = Rng.of_int seed in
+  let rec collect acc id attempts =
+    if List.length acc >= count || attempts > count * 50 then List.rev acc
+    else
+      let s = generate_sample (Rng.split rng) id in
+      let n = String.length s.obfuscated in
+      if n >= min_bytes && n <= max_bytes then
+        collect (s :: acc) (id + 1) (attempts + 1)
+      else collect acc id (attempts + 1)
+  in
+  collect [] 0 0
+
+(** Larger, heavily obfuscated samples for the mitigation experiment
+    (Table V selects the highest-scoring wild samples — multi-template
+    scripts with stacked layers and embedded binary payloads). *)
+let generate_hard ~seed ~count =
+  let rng = Rng.of_int seed in
+  List.init count (fun id ->
+      let sub = Rng.split rng in
+      let scripts =
+        List.init (Rng.int_in sub 2 5) (fun _ -> snd (Templates.generate sub))
+      in
+      let clean = String.concat "\n" scripts in
+      (* the heavily obfuscated wild samples come out of launcher-equipped
+         obfuscation frameworks, which never spell Invoke-Expression out *)
+      let obfuscated, techniques =
+        Obfuscator.Obfuscate.wild_mix ~launcher:`Obfuscated sub clean
+      in
+      { id; family = "hard-mix"; clean; obfuscated; techniques })
+
+(** Multi-layer samples: the clean script wrapped in [depth] stacked L3
+    layers (Table III uses 12 such samples). *)
+let generate_multilayer ~seed ~count ~min_depth ~max_depth =
+  let rng = Rng.of_int seed in
+  List.init count (fun id ->
+      let sub = Rng.split rng in
+      (* the unwrap experiment needs indicators to check for, so insist on
+         a template that carries at least one *)
+      let rec pick tries =
+        let family, clean = Templates.generate sub in
+        if Keyinfo.count (Keyinfo.extract clean) > 0 || tries = 0 then
+          (family, clean)
+        else pick (tries - 1)
+      in
+      let family, clean = pick 10 in
+      let depth = Rng.int_in sub min_depth max_depth in
+      let obfuscated = Obfuscator.Obfuscate.multilayer sub depth clean in
+      { id; family; clean; obfuscated; techniques = [] })

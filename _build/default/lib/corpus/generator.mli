@@ -1,0 +1,28 @@
+(** Wild-corpus generation: clean template instances paired with their
+    obfuscated forms, with ground truth the wild corpus never has. *)
+
+type sample = {
+  id : int;
+  family : string;  (** template name *)
+  clean : string;  (** pre-obfuscation script *)
+  obfuscated : string;
+  techniques : Obfuscator.Technique.t list;
+}
+
+val generate : seed:int -> count:int -> sample list
+(** Wild-style samples following the paper's Table I level distribution.
+    Deterministic in [seed]. *)
+
+val generate_sized :
+  seed:int -> count:int -> min_bytes:int -> max_bytes:int -> sample list
+(** Samples whose obfuscated form fits a byte window — the paper's
+    100-sample selection is 97 B–2 KB (§IV-C2). *)
+
+val generate_hard : seed:int -> count:int -> sample list
+(** Multi-template scripts with stacked layers, obfuscated launchers and
+    embedded binary payloads — the Table V "most obfuscated" workload. *)
+
+val generate_multilayer :
+  seed:int -> count:int -> min_depth:int -> max_depth:int -> sample list
+(** Scripts wrapped in stacked L3 layers (Table III); every clean script
+    carries at least one key indicator to check recovery against. *)

@@ -1,0 +1,118 @@
+(** Corpus preprocessing (paper §IV-B1).
+
+    The raw feeds mix PowerShell with e-mail, HTML and binary junk, plus
+    hash-distinct but structurally identical family variants.  The pipeline:
+    syntax validation → token-level filters (no tokens at all; only unknown
+    commands; command tokens with [=] / [%] characters; single-string-token
+    samples) → structural dedup (all string tokens replaced by a placeholder
+    before hashing, so samples differing only in URLs collapse). *)
+
+open Pscommon
+module T = Pslex.Token
+
+type rejection =
+  | Invalid_syntax
+  | No_tokens
+  | Unknown_commands
+  | Single_string
+  | Structural_duplicate
+
+let rejection_name = function
+  | Invalid_syntax -> "invalid-syntax"
+  | No_tokens -> "no-tokens"
+  | Unknown_commands -> "unknown-commands"
+  | Single_string -> "single-string"
+  | Structural_duplicate -> "structural-duplicate"
+
+let known_command name =
+  Pslex.Aliases.is_alias name
+  || Pslex.Aliases.canonical_case name <> None
+  || Strcase.contains ~needle:"-" name  (* verb-noun shape *)
+  || List.exists
+       (fun n -> Strcase.equal n name)
+       [ "powershell"; "powershell.exe"; "pwsh"; "cmd"; "cmd.exe"; "iex" ]
+
+let command_token_suspicious t =
+  String.contains t.T.content '=' || String.contains t.T.content '%'
+
+(* structure key: every string literal replaced by one placeholder *)
+let structure_key src =
+  match Pslex.Lexer.tokenize src with
+  | Error _ -> src
+  | Ok toks ->
+      let buf = Buffer.create (String.length src) in
+      List.iter
+        (fun t ->
+          if T.is_string t then Buffer.add_string buf "'S'"
+          else begin
+            Buffer.add_string buf (Strcase.lower t.T.text);
+            Buffer.add_char buf ' '
+          end)
+        toks;
+      Buffer.contents buf
+
+let check_sample src =
+  if not (Psparse.Parser.is_valid_syntax src) then Error Invalid_syntax
+  else
+    match Pslex.Lexer.tokenize src with
+    | Error _ -> Error Invalid_syntax
+    | Ok toks -> (
+        let meaningful =
+          List.filter
+            (fun t ->
+              match t.T.kind with
+              | T.New_line | T.Comment | T.Line_continuation -> false
+              | _ -> true)
+            toks
+        in
+        if meaningful = [] then Error No_tokens
+        else
+          let commands =
+            List.filter (fun t -> t.T.kind = T.Command) meaningful
+          in
+          if List.exists command_token_suspicious commands then
+            Error Unknown_commands
+          else if
+            commands <> []
+            && List.for_all (fun t -> not (known_command t.T.content)) commands
+          then Error Unknown_commands
+          else
+            match meaningful with
+            | [ single ] when T.is_string single -> Error Single_string
+            | _ -> Ok ())
+
+type outcome = {
+  kept : string list;
+  rejected : (string * rejection) list;
+}
+
+(** Run the full pipeline over raw samples, preserving order of kept
+    samples. *)
+let run samples =
+  let seen = Hashtbl.create 64 in
+  let kept = ref [] and rejected = ref [] in
+  List.iter
+    (fun src ->
+      match check_sample src with
+      | Error why -> rejected := (src, why) :: !rejected
+      | Ok () ->
+          let key = Digest.string (structure_key src) in
+          if Hashtbl.mem seen key then
+            rejected := (src, Structural_duplicate) :: !rejected
+          else begin
+            Hashtbl.replace seen key ();
+            kept := src :: !kept
+          end)
+    samples;
+  { kept = List.rev !kept; rejected = List.rev !rejected }
+
+(** Junk that the raw feeds contain; used to exercise the filters. *)
+let junk_samples rng =
+  let open Pscommon in
+  [
+    "<html><body><script>alert(1)</script></body></html>";
+    "Subject: invoice overdue\nFrom: a@b.com\n\nDear user, see attachment.";
+    Printf.sprintf "'%s'" (Rng.ident rng ~min_len:20 ~max_len:40);
+    "MZ\x90\x00\x03\x00\x00\x00\x04";
+    "SGVsbG8gV29ybGQ=";
+  ]

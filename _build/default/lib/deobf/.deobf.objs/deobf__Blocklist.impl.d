@@ -1,0 +1,1 @@
+lib/deobf/blocklist.ml: List Pscommon Pslex Strcase

@@ -1,0 +1,1 @@
+lib/deobf/engine.ml: Char List Psast Pscommon Pslex Psparse Recover Rename Score Simplify String Token_phase Tracer

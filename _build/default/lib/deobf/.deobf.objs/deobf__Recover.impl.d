@@ -1,0 +1,1 @@
+lib/deobf/recover.ml: Array Blocklist Encoding Extent List Patch Printf Psast Pscommon Pseval Psparse Psvalue Strcase String Tracer

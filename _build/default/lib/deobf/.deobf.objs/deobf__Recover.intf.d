@@ -1,0 +1,1 @@
+lib/deobf/recover.mli: Psast

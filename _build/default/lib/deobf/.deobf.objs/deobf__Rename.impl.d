@@ -1,0 +1,1 @@
+lib/deobf/rename.ml: Buffer Char Extent Hashtbl List Patch Printf Pscommon Pslex Psparse Strcase String Tracer

@@ -1,0 +1,1 @@
+lib/deobf/report.ml: Buffer Char Engine Keyinfo List Printf Recover Score String

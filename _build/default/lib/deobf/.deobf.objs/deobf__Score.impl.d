@@ -1,0 +1,1 @@
+lib/deobf/score.ml: Encoding Extent List Psast Pscommon Pslex Psparse Rename Strcase String Tracer

@@ -1,0 +1,1 @@
+lib/deobf/score.mli:

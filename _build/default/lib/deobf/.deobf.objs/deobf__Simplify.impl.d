@@ -1,0 +1,1 @@
+lib/deobf/simplify.ml: Psast Pscommon Psparse

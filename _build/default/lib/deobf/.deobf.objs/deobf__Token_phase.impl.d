@@ -1,0 +1,1 @@
+lib/deobf/token_phase.ml: List Patch Pscommon Pslex Psparse Strcase String

@@ -1,0 +1,1 @@
+lib/deobf/token_phase.mli:

@@ -1,0 +1,1 @@
+lib/deobf/tracer.ml: List Psast Pscommon Pseval Psvalue Strcase

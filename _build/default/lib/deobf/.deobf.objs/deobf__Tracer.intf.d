@@ -1,0 +1,1 @@
+lib/deobf/tracer.mli: Psast Pseval Psvalue

@@ -1,0 +1,178 @@
+(** Invoke-Deobfuscation — the full pipeline (paper Fig 2).
+
+    Phases: token parsing → variable tracing & recovery based on AST
+    (repeated to a fixpoint, unwrapping Invoke-Expression layers) → renaming
+    and reformatting.  Each phase's output is syntax-checked and the phase
+    is skipped when it breaks the script. *)
+
+type options = {
+  token_phase : bool;
+  recovery : recovery_options;
+  rename : bool;
+  reformat : bool;
+  max_iterations : int;  (** fixpoint bound for the recovery loop *)
+}
+
+and recovery_options = Recover.options = {
+  use_tracing : bool;
+  use_blocklist : bool;
+  use_multilayer : bool;
+  max_depth : int;
+  piece_step_budget : int;
+}
+
+let default_options =
+  { token_phase = true; recovery = Recover.default_options; rename = true;
+    reformat = true; max_iterations = 8 }
+
+type result = {
+  output : string;
+  stats : Recover.stats;
+  iterations : int;
+  changed : bool;  (** false when the tool returned the input unchanged *)
+}
+
+(* an IEX invocation whose payload is not a plain literal: the code it will
+   run at run time is invisible to renaming *)
+let residual_dynamic_iex src =
+  match Psparse.Parser.parse src with
+  | Error _ -> true
+  | Ok ast ->
+      let module A = Psast.Ast in
+      let is_iex_name s =
+        Pscommon.Strcase.equal s "iex"
+        || Pscommon.Strcase.equal s "invoke-expression"
+      in
+      let found = ref false in
+      A.iter_post_order
+        (fun n ->
+          match n.A.node with
+          | A.Command cmd -> (
+              let name_is_iex =
+                match cmd.A.cmd_elements with
+                | A.Elem_name { A.node = A.String_const (s, _); _ } :: _ ->
+                    is_iex_name s
+                | A.Elem_name
+                    { A.node =
+                        A.Paren_expr
+                          { A.node =
+                              A.Pipeline
+                                [ { A.node =
+                                      A.Command_expression
+                                        { A.node = A.String_const (s, _); _ };
+                                    _ } ];
+                            _ };
+                      _ }
+                  :: _ ->
+                    is_iex_name s
+                | _ -> false
+              in
+              if name_is_iex then
+                let risky_arg =
+                  List.exists
+                    (function
+                      | A.Elem_argument { A.node = A.String_const _; _ } ->
+                          false
+                      | A.Elem_argument a ->
+                          (* dynamic payloads built from local variables can
+                             name variables at run time; payloads with no
+                             local reads (e.g. downloads) cannot *)
+                          List.exists
+                            (fun v -> not (Tracer.is_automatic v))
+                            (Tracer.variables_read a)
+                      | _ -> false)
+                    cmd.A.cmd_elements
+                in
+                if risky_arg then found := true)
+          | _ -> ())
+        ast;
+      !found
+
+let rec deobfuscate_at ~opts ~stats ~depth src =
+  (* Phase 1: token parsing *)
+  let src1 = if opts.token_phase then Token_phase.run src else src in
+  (* Phase 2: recovery based on AST, iterated to a fixpoint *)
+  let deobfuscate ~depth payload =
+    (* recursive entry used by multi-layer unwrapping *)
+    deobfuscate_at ~opts ~stats ~depth payload
+  in
+  let rec fixpoint i current =
+    if i >= opts.max_iterations then (current, i)
+    else
+      let next =
+        Recover.run_pass ~opts:opts.recovery ~stats ~deobfuscate ~depth current
+      in
+      let next = if opts.token_phase then Token_phase.run next else next in
+      let next = Simplify.run next in
+      if String.equal next current then (current, i + 1) else fixpoint (i + 1) next
+  in
+  let recovered, _ = fixpoint 0 src1 in
+  recovered
+
+(** Deobfuscate a script.  Never raises: scripts that fail to lex or parse
+    are returned unchanged with [changed = false]. *)
+let run ?(options = default_options) src =
+  let stats = Recover.new_stats () in
+  if not (Psparse.Parser.is_valid_syntax src) then
+    { output = src; stats; iterations = 0; changed = false }
+  else begin
+    let recovered = deobfuscate_at ~opts:options ~stats ~depth:0 src in
+    (* Phase 3: rename and reformat.  Renaming is skipped when an encoded
+       payload survived recovery — its hidden code may define or reference
+       variables by their original names at run time, and renaming the
+       visible script would desynchronise the two. *)
+    let residual_encoded =
+      (* a) a powershell -e/-enc/-command invocation still present *)
+      (Pscommon.Strcase.contains ~needle:"-e" recovered
+      &&
+      match Pslex.Lexer.tokenize recovered with
+      | Error _ -> true
+      | Ok toks ->
+          List.exists
+            (fun t ->
+              t.Pslex.Token.kind = Pslex.Token.Command_parameter
+              && String.length t.Pslex.Token.content > 1
+              && Char.lowercase_ascii t.Pslex.Token.content.[1] = 'e')
+            toks)
+      (* b) an Invoke-Expression whose argument is still dynamic *)
+      || residual_dynamic_iex recovered
+    in
+    let renamed =
+      if options.rename && not residual_encoded then Rename.rename recovered
+      else recovered
+    in
+    let formatted = if options.reformat then Rename.reformat renamed else renamed in
+    let output =
+      if Psparse.Parser.is_valid_syntax formatted then formatted else recovered
+    in
+    { output; stats; iterations = options.max_iterations;
+      changed = not (String.equal output src) }
+  end
+
+(** Convenience: deobfuscate and report score reduction. *)
+let run_with_scores ?options src =
+  let before = Score.score src in
+  let result = run ?options src in
+  let after = Score.score result.output in
+  (result, before, after)
+
+type phase_output = { phase : string; text : string }
+
+(** The staged view of the pipeline (paper Fig 7): the script after token
+    parsing, after variable tracing and recovery, and after renaming and
+    reformatting. *)
+let run_phases ?(options = default_options) src =
+  if not (Psparse.Parser.is_valid_syntax src) then
+    [ { phase = "original"; text = src } ]
+  else begin
+    let stats = Recover.new_stats () in
+    let after_tokens = if options.token_phase then Token_phase.run src else src in
+    let recovered = deobfuscate_at ~opts:options ~stats ~depth:0 src in
+    let final = (run ~options src).output in
+    [
+      { phase = "original"; text = src };
+      { phase = "token parsing"; text = after_tokens };
+      { phase = "variable tracing and recovery"; text = recovered };
+      { phase = "renaming and reformatting"; text = final };
+    ]
+  end

@@ -1,0 +1,51 @@
+(** Invoke-Deobfuscation — the full pipeline (paper Fig 2).
+
+    {[
+      let result = Deobf.Engine.run obfuscated_script in
+      print_string result.output
+    ]}
+
+    Phases: token parsing → variable tracing & recovery based on AST
+    (iterated to a fixpoint, unwrapping [Invoke-Expression] layers) →
+    renaming and reformatting.  Each phase's output is syntax-checked and a
+    phase that breaks the script is skipped, so when the input parses the
+    output does too. *)
+
+type options = {
+  token_phase : bool;  (** L1 recovery from tokens (§III-A) *)
+  recovery : recovery_options;
+  rename : bool;  (** rename randomised identifiers to [var{n}] (§III-C) *)
+  reformat : bool;  (** normalise whitespace and indentation *)
+  max_iterations : int;  (** fixpoint bound for the recovery loop *)
+}
+
+and recovery_options = Recover.options = {
+  use_tracing : bool;
+  use_blocklist : bool;
+  use_multilayer : bool;
+  max_depth : int;
+  piece_step_budget : int;
+}
+
+val default_options : options
+
+type result = {
+  output : string;
+  stats : Recover.stats;
+  iterations : int;
+  changed : bool;  (** false when the tool returned the input unchanged *)
+}
+
+val run : ?options:options -> string -> result
+(** Deobfuscate a script.  Never raises; scripts that fail to lex or parse
+    are returned unchanged with [changed = false]. *)
+
+val run_with_scores : ?options:options -> string -> result * int * int
+(** [run_with_scores src] also returns the obfuscation score before and
+    after (paper §IV-B2). *)
+
+type phase_output = { phase : string; text : string }
+
+val run_phases : ?options:options -> string -> phase_output list
+(** The staged view of the pipeline (paper Fig 7): original, after token
+    parsing, after recovery, after renaming and reformatting. *)

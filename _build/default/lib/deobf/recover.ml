@@ -1,0 +1,505 @@
+(** Recovery based on AST (paper §III-B).
+
+    One pass over the parsed script, in source order:
+    {ol
+    {- multi-layer unwrapping: a statement that is an [Invoke-Expression] /
+       [powershell -EncodedCommand] invocation (in any obfuscated spelling)
+       is replaced by the recursively-deobfuscated payload;}
+    {- recoverable-piece execution: the {e outermost} recoverable node whose
+       execution yields a renderable value is replaced in place by the
+       rendered value; when the outer piece cannot be recovered the pass
+       descends into its children;}
+    {- variable tracing: assignments in straight-line code update the symbol
+       table, and variable usages with known simple values are replaced by
+       literals.}}
+
+    All replacements are collected as extent edits and applied at once; the
+    result is syntax-checked, and on any breakage the input is returned
+    unchanged. *)
+
+open Pscommon
+module A = Psast.Ast
+module Value = Psvalue.Value
+
+type options = {
+  use_tracing : bool;  (** ablation: Algorithm 1 on/off *)
+  use_blocklist : bool;  (** ablation: skip pieces naming blocked commands *)
+  use_multilayer : bool;  (** ablation: IEX / -EncodedCommand unwrapping *)
+  max_depth : int;  (** multi-layer recursion bound *)
+  piece_step_budget : int;  (** interpreter budget per invoked piece *)
+}
+
+let default_options =
+  { use_tracing = true; use_blocklist = true; use_multilayer = true;
+    max_depth = 16; piece_step_budget = 400_000 }
+
+type stats = {
+  mutable pieces_recovered : int;
+  mutable variables_substituted : int;
+  mutable layers_unwrapped : int;
+  mutable pieces_attempted : int;
+  mutable pieces_blocked : int;
+}
+
+let new_stats () =
+  { pieces_recovered = 0; variables_substituted = 0; layers_unwrapped = 0;
+    pieces_attempted = 0; pieces_blocked = 0 }
+
+type pass_state = {
+  opts : options;
+  stats : stats;
+  src : string;
+  table : Tracer.t;
+  mutable edits : Patch.edit list;
+  deobfuscate : depth:int -> string -> string;  (** full engine, for layers *)
+  depth : int;
+}
+
+let add_edit st extent replacement =
+  st.edits <- Patch.edit extent replacement :: st.edits
+
+(* ---------- invoking pieces ---------- *)
+
+let fresh_env ?(for_bytes = 0) st =
+  (* decoding loops visit every payload character several times, so the
+     budget scales with the piece being executed *)
+  let max_steps = st.opts.piece_step_budget + (40 * for_bytes) in
+  let limits = { Pseval.Env.default_limits with Pseval.Env.max_steps } in
+  let env = Pseval.Env.create ~mode:Pseval.Env.Recovery ~limits () in
+  if st.opts.use_tracing then Tracer.seed_env st.table env;
+  env
+
+(** Execute a piece of script text and return the resulting value. *)
+let invoke_piece st text =
+  st.stats.pieces_attempted <- st.stats.pieces_attempted + 1;
+  if st.opts.use_blocklist && Blocklist.mentions_blocked_command text then begin
+    st.stats.pieces_blocked <- st.stats.pieces_blocked + 1;
+    Error "blocklisted"
+  end
+  else
+    let env = fresh_env ~for_bytes:(String.length text) st in
+    Pseval.Interp.invoke_piece env text
+
+(* executing a piece that contains variables is pointless (and wrong) when
+   some of them are unknown — Algorithm 1 line 15 *)
+let has_unknown_variables st node =
+  if st.opts.use_tracing then Tracer.unknown_variables st.table node <> []
+  else Tracer.variables_read node <> []
+
+let renderable value =
+  match value with
+  | Value.Null | Value.Bool _ -> None
+  | Value.Arr a
+    when Array.exists
+           (function Value.Int _ | Value.Float _ -> true | _ -> false)
+           a ->
+      (* byte buffers (decoded binary payloads) have no faithful string
+         form; the paper keeps such pieces (§IV-C4) *)
+      None
+  | v -> Value.to_source_opt v
+
+(* ---------- recoverable nodes (paper §III-B1) ---------- *)
+
+let is_recoverable (node : A.t) =
+  match node.A.node with
+  | A.Pipeline _ | A.Unary_expr _ | A.Binary_expr _ | A.Convert_expr _
+  | A.Invoke_member _ | A.Sub_expr _ ->
+      true
+  | _ -> false
+
+(* pieces that are already in recovered form make no progress *)
+let trivially_recovered text =
+  match Psparse.Parser.parse text with
+  | Ok { A.node = A.Script_block { A.sb_statements = [ stmt ]; _ }; _ } -> (
+      match stmt.A.node with
+      | A.Pipeline [ { A.node = A.Command_expression e; _ } ] -> (
+          match e.A.node with
+          | A.String_const (_, (A.Single_quoted | A.Double_quoted))
+          | A.Number_const _ ->
+              true
+          | _ -> false)
+      | _ -> false)
+  | Ok _ | Error _ -> false
+
+(* ---------- Invoke-Expression identification (paper §III-B4) ---------- *)
+
+let iex_names = [ "iex"; "invoke-expression" ]
+
+let is_iex_name name =
+  List.exists (fun n -> Strcase.equal n name) iex_names
+
+(* evaluate a command-name expression with the traced context and check
+   whether it spells Invoke-Expression *)
+let resolves_to_iex st (name_expr : A.t) =
+  match name_expr.A.node with
+  | A.String_const (s, _) -> is_iex_name s
+  | _ -> (
+      if has_unknown_variables st name_expr then false
+      else
+        match invoke_piece st (A.text st.src name_expr) with
+        | Ok (Value.Str s) -> is_iex_name (String.trim s)
+        | Ok _ | Error _ -> false)
+
+let is_powershell_name name =
+  List.exists
+    (fun n -> Strcase.equal n name)
+    [ "powershell"; "powershell.exe"; "pwsh"; "pwsh.exe" ]
+
+(* -EncodedCommand parameter in any auto-completed spelling (paper: lowercase
+   then '-encodedcommand'.StartsWith($param)) *)
+let is_encoded_command_param p =
+  let p = Strcase.lower p in
+  let p = if p <> "" && p.[0] = '-' then String.sub p 1 (String.length p - 1) else p in
+  let p = if p <> "" && p.[String.length p - 1] = ':' then String.sub p 0 (String.length p - 1) else p in
+  String.length p > 0 && p.[0] = 'e' && Strcase.starts_with ~prefix:p "encodedcommand"
+
+let is_command_param p =
+  let p = Strcase.lower p in
+  let p = if p <> "" && p.[0] = '-' then String.sub p 1 (String.length p - 1) else p in
+  let p = if p <> "" && p.[String.length p - 1] = ':' then String.sub p 0 (String.length p - 1) else p in
+  String.length p > 0 && p.[0] = 'c' && Strcase.starts_with ~prefix:p "command"
+
+(* extract the single expression argument of a command *)
+let command_arguments (cmd : A.command) =
+  List.filter_map
+    (function A.Elem_argument a -> Some a | _ -> None)
+    cmd.A.cmd_elements
+
+let eval_payload st (arg : A.t) =
+  match arg.A.node with
+  | A.String_const (s, _) -> Some s  (* literal or bareword argument *)
+  | _ ->
+      if has_unknown_variables st arg then None
+      else
+        match invoke_piece st (A.text st.src arg) with
+        | Ok (Value.Str s) -> Some s
+        | Ok _ | Error _ -> None
+
+(* payload of a single command element when it is an IEX / powershell
+   invocation *)
+let payload_of_command st (cmd : A.command) ~piped_input =
+    match cmd.A.cmd_elements with
+    | A.Elem_name name_expr :: _ -> (
+        let is_iex =
+          match name_expr.A.node with
+          | A.String_const (s, A.Bare) -> is_iex_name s
+          | _ -> (
+              match cmd.A.cmd_invocation with
+              | A.Inv_call | A.Inv_dot -> resolves_to_iex st name_expr
+              | A.Inv_normal -> false)
+        in
+        if is_iex then
+          match (command_arguments cmd, piped_input) with
+          | [ arg ], None -> eval_payload st arg
+          | [], Some payload -> Some payload
+          | _ -> None
+        else
+          let is_ps =
+            match name_expr.A.node with
+            | A.String_const (s, A.Bare) -> is_powershell_name s
+            | _ -> false
+          in
+          if is_ps then begin
+            (* find -EncodedCommand / -Command and its value, which is
+               either colon-attached or the following argument *)
+            let decode_enc v =
+              match eval_payload st v with
+              | Some b64 -> (
+                  match Encoding.Base64.decode b64 with
+                  | Ok bytes -> Some (Encoding.Utf16.decode_lossy bytes)
+                  | Error _ -> None)
+              | None -> None
+            in
+            let rec find = function
+              | [] -> None
+              | A.Elem_parameter (p, Some v) :: _ when is_encoded_command_param p ->
+                  decode_enc v
+              | A.Elem_parameter (p, None) :: A.Elem_argument v :: _
+                when is_encoded_command_param p ->
+                  decode_enc v
+              | A.Elem_parameter (p, Some v) :: _ when is_command_param p ->
+                  eval_payload st v
+              | A.Elem_parameter (p, None) :: A.Elem_argument v :: _
+                when is_command_param p ->
+                  eval_payload st v
+              | _ :: rest -> find rest
+            in
+            find cmd.A.cmd_elements
+          end
+          else None)
+    | _ -> None
+
+(* A statement-level multi-layer unwrap opportunity: returns the decoded
+   payload script when the statement is an invocation of IEX/powershell. *)
+let multilayer_payload st (stmt : A.t) =
+  match stmt.A.node with
+  | A.Pipeline [ { A.node = A.Command cmd; _ } ] ->
+      payload_of_command st cmd ~piped_input:None
+  | A.Pipeline elems when List.length elems > 1 -> (
+      (* <expr or commands> | iex : last element is the invoker *)
+      match List.rev elems with
+      | { A.node = A.Command cmd; _ } :: prefix_rev -> (
+          match cmd.A.cmd_elements with
+          | [ A.Elem_name name_expr ] -> (
+              let is_iex =
+                match name_expr.A.node with
+                | A.String_const (s, A.Bare) -> is_iex_name s
+                | _ -> resolves_to_iex st name_expr
+              in
+              if not is_iex then None
+              else
+                let prefix = List.rev prefix_rev in
+                let prefix_text =
+                  let first = List.hd prefix and last = List.nth prefix (List.length prefix - 1) in
+                  Extent.text st.src (Extent.union first.A.extent last.A.extent)
+                in
+                let unknown =
+                  List.exists (fun e -> has_unknown_variables st e) prefix
+                in
+                if unknown then None
+                else
+                  match invoke_piece st prefix_text with
+                  | Ok (Value.Str s) -> Some s
+                  | Ok _ | Error _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* render a recursively-deobfuscated payload so it can replace a node in a
+   non-statement position: multi-statement payloads are wrapped in $( ) *)
+let inline_form recovered =
+  let trimmed = String.trim recovered in
+  let single_statement =
+    match Psparse.Parser.parse trimmed with
+    | Ok { A.node = A.Script_block { A.sb_statements = [ _ ]; _ }; _ } -> true
+    | Ok _ | Error _ -> false
+  in
+  if single_statement && not (String.contains trimmed '\n') then trimmed
+  else Printf.sprintf "$(%s)" trimmed
+
+(* ---------- the pass ---------- *)
+
+let rec recover_in_node st (node : A.t) =
+  if is_recoverable node && not (A.children node = []) then begin
+    let text = A.text st.src node in
+    let recovered =
+      if trivially_recovered text then None
+      else if has_unknown_variables st node then None
+      else
+        match invoke_piece st text with
+        | Ok value -> (
+            match renderable value with
+            | Some rendered
+              when rendered <> String.trim text
+                   (* replacing a piece with something longer is not
+                      recovery — it re-encodes the obfuscation *)
+                   && String.length rendered <= String.length text + 16 ->
+                Some rendered
+            | Some _ | None -> None)
+        | Error _ -> None
+    in
+    match recovered with
+    | Some rendered ->
+        st.stats.pieces_recovered <- st.stats.pieces_recovered + 1;
+        add_edit st node.A.extent rendered
+    | None -> descend st node
+  end
+  else descend st node
+
+and descend st node =
+  match node.A.node with
+  | A.Variable_expr v -> substitute_variable st node v
+  | A.Expandable_string (_, parts) ->
+      List.iter
+        (function
+          | A.Part_variable (v, extent) -> substitute_in_string st extent v
+          | A.Part_subexpr e -> recover_in_node st e
+          | A.Part_text _ -> ())
+        parts
+  | _ -> List.iter (recover_in_node st) (A.children node)
+
+and substitute_variable st node v =
+  if st.opts.use_tracing && not v.A.var_splat then
+    match Tracer.lookup st.table v.A.var_name with
+    | Some ((Value.Str _ | Value.Int _ | Value.Float _ | Value.Char _) as value) -> (
+        match Value.to_source_opt value with
+        | Some rendered ->
+            st.stats.variables_substituted <- st.stats.variables_substituted + 1;
+            add_edit st node.A.extent rendered
+        | None -> ())
+    | Some _ | None -> ()
+
+and substitute_in_string st extent v =
+  (* inside a double-quoted string: splice the raw value only when it cannot
+     change the string's parse *)
+  if st.opts.use_tracing then
+    match Tracer.lookup st.table v.A.var_name with
+    | Some (Value.Str s)
+      when String.for_all
+             (fun c ->
+               match c with
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | ' ' | '.' | ',' | ':'
+               | ';' | '/' | '\\' | '-' | '_' | '?' | '=' | '&' | '%' | '(' | ')' ->
+                   true
+               | _ -> false)
+             s ->
+        st.stats.variables_substituted <- st.stats.variables_substituted + 1;
+        add_edit st extent s
+    | Some (Value.Int n) -> add_edit st extent (string_of_int n)
+    | Some _ | None -> ()
+
+(* record/evict symbol-table entries for an assignment statement *)
+let trace_assignment st ~in_guard (stmt : A.t) =
+  match stmt.A.node with
+  | A.Assignment (op, lhs, rhs) -> (
+      let target =
+        match lhs.A.node with
+        | A.Variable_expr v when not (String.contains v.A.var_name ':') ->
+            Some v.A.var_name
+        | A.Convert_expr (_, { A.node = A.Variable_expr v; _ }) -> Some v.A.var_name
+        | _ -> None
+      in
+      match target with
+      | None -> ()
+      | Some name ->
+          if in_guard || not st.opts.use_tracing then Tracer.remove st.table name
+          else if Tracer.unknown_variables st.table rhs <> [] then
+            Tracer.remove st.table name
+          else if
+            st.opts.use_blocklist
+            && Blocklist.mentions_blocked_command (A.text st.src rhs)
+          then Tracer.remove st.table name
+          else begin
+            (* compute the assigned value by executing the whole assignment *)
+            let env = fresh_env ~for_bytes:(String.length (A.text st.src stmt)) st in
+            (match Tracer.lookup st.table name with
+            | Some v -> Pseval.Env.set_var env name v
+            | None -> ());
+            let text = A.text st.src stmt in
+            match Pseval.Interp.run_script env text with
+            | Ok _ -> (
+                ignore op;
+                match Pseval.Env.get_var env name with
+                | Some value -> Tracer.record st.table name value
+                | None -> Tracer.remove st.table name)
+            | Error _ -> Tracer.remove st.table name
+          end)
+  | _ -> ()
+
+let rec process_statement st ~in_guard (stmt : A.t) =
+  match stmt.A.node with
+  | A.Assignment (_, _, rhs) ->
+      (match
+         if st.opts.use_multilayer && st.depth < st.opts.max_depth then
+           multilayer_payload st rhs
+         else None
+       with
+      | Some payload ->
+          st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+          let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
+          add_edit st rhs.A.extent (inline_form recovered)
+      | None -> recover_in_node st rhs);
+      trace_assignment st ~in_guard stmt
+  | A.Pipeline elems -> (
+      match
+        if st.opts.use_multilayer && st.depth < st.opts.max_depth then
+          multilayer_payload st stmt
+        else None
+      with
+      | Some payload ->
+          st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+          let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
+          add_edit st stmt.A.extent recovered
+      | None ->
+          (* an IEX invocation that is one element of a longer pipe is
+             replaced element-wise: iex(<enc>) | out-null *)
+          let unwrapped_any = ref false in
+          if st.opts.use_multilayer && st.depth < st.opts.max_depth
+             && List.length elems > 1
+          then
+            List.iter
+              (fun elem ->
+                match elem.A.node with
+                | A.Command cmd -> (
+                    match payload_of_command st cmd ~piped_input:None with
+                    | Some payload ->
+                        st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+                        let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
+                        add_edit st elem.A.extent (inline_form recovered);
+                        unwrapped_any := true
+                    | None -> ())
+                | _ -> ())
+              elems;
+          if not !unwrapped_any then recover_in_node st stmt)
+  | A.If_stmt (clauses, else_branch) ->
+      List.iter
+        (fun (cond, body) ->
+          recover_in_node st cond;
+          process_block st ~in_guard:true body)
+        clauses;
+      (match else_branch with
+      | Some body -> process_block st ~in_guard:true body
+      | None -> ());
+      Tracer.evict_assigned st.table stmt
+  | A.While_stmt (cond, body) | A.Do_while_stmt (body, cond) | A.Do_until_stmt (body, cond) ->
+      recover_in_node st cond;
+      process_block st ~in_guard:true body;
+      Tracer.evict_assigned st.table stmt
+  | A.For_stmt (init, cond, step, body) ->
+      (match init with Some s -> process_statement st ~in_guard:true s | None -> ());
+      (match cond with Some c -> recover_in_node st c | None -> ());
+      (match step with Some s -> process_statement st ~in_guard:true s | None -> ());
+      process_block st ~in_guard:true body;
+      Tracer.evict_assigned st.table stmt
+  | A.Foreach_stmt (_, coll, body) ->
+      recover_in_node st coll;
+      process_block st ~in_guard:true body;
+      Tracer.evict_assigned st.table stmt
+  | A.Switch_stmt (value, cases, default) ->
+      recover_in_node st value;
+      List.iter (fun (_, body) -> process_block st ~in_guard:true body) cases;
+      (match default with Some b -> process_block st ~in_guard:true b | None -> ());
+      Tracer.evict_assigned st.table stmt
+  | A.Function_def (_, _, body) -> process_block st ~in_guard:true body
+  | A.Try_stmt (body, catches, finally) ->
+      process_block st ~in_guard:true body;
+      List.iter (fun (_, b) -> process_block st ~in_guard:true b) catches;
+      (match finally with Some b -> process_block st ~in_guard:true b | None -> ());
+      Tracer.evict_assigned st.table stmt
+  | A.Return_stmt (Some e) | A.Throw_stmt (Some e) | A.Exit_stmt (Some e) ->
+      recover_in_node st e
+  | A.Return_stmt None | A.Throw_stmt None | A.Exit_stmt None | A.Break_stmt
+  | A.Continue_stmt | A.Param_block _ | A.Trap_stmt _ ->
+      ()
+  | A.Named_block (_, body) ->
+      process_block st ~in_guard:true body;
+      Tracer.evict_assigned st.table stmt
+  | A.Statement_block stmts | A.Script_block { A.sb_statements = stmts; _ } ->
+      List.iter (process_statement st ~in_guard) stmts
+  | _ -> recover_in_node st stmt
+
+and process_block st ~in_guard (block : A.t) =
+  match block.A.node with
+  | A.Statement_block stmts | A.Script_block { A.sb_statements = stmts; _ } ->
+      List.iter (process_statement st ~in_guard) stmts
+  | _ -> process_statement st ~in_guard block
+
+(** One recovery pass.  [deobfuscate] is the full engine used to process
+    unwrapped layers recursively. *)
+let run_pass ~opts ~stats ~deobfuscate ~depth src =
+  match Psparse.Parser.parse src with
+  | Error _ -> src
+  | Ok ast -> (
+      let st =
+        { opts; stats; src; table = Tracer.create (); edits = []; deobfuscate; depth }
+      in
+      (match ast.A.node with
+      | A.Script_block sb ->
+          List.iter (process_statement st ~in_guard:false) sb.A.sb_statements
+      | _ -> process_statement st ~in_guard:false ast);
+      if st.edits = [] then src
+      else
+        match Patch.apply src st.edits with
+        | patched when Psparse.Parser.is_valid_syntax patched -> patched
+        | _ -> src
+        | exception Invalid_argument _ -> src)

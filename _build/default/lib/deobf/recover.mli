@@ -1,0 +1,40 @@
+(** Recovery based on AST (paper §III-B): one in-order pass that unwraps
+    [Invoke-Expression] layers, executes recoverable pieces against the
+    traced context, and substitutes known variable values — all as in-place
+    extent edits, syntax-checked as a whole. *)
+
+type options = {
+  use_tracing : bool;  (** ablation: Algorithm 1 on/off *)
+  use_blocklist : bool;  (** ablation: skip pieces naming blocked commands *)
+  use_multilayer : bool;  (** ablation: IEX / [-EncodedCommand] unwrapping *)
+  max_depth : int;  (** multi-layer recursion bound *)
+  piece_step_budget : int;  (** interpreter budget per invoked piece *)
+}
+
+val default_options : options
+
+type stats = {
+  mutable pieces_recovered : int;
+  mutable variables_substituted : int;
+  mutable layers_unwrapped : int;
+  mutable pieces_attempted : int;
+  mutable pieces_blocked : int;
+}
+
+val new_stats : unit -> stats
+
+val is_recoverable : Psast.Ast.t -> bool
+(** The paper's recoverable-node test (§III-B1): PipelineAst,
+    UnaryExpressionAst, BinaryExpressionAst, ConvertExpressionAst,
+    InvokeMemberExpressionAst, SubExpressionAst. *)
+
+val run_pass :
+  opts:options ->
+  stats:stats ->
+  deobfuscate:(depth:int -> string -> string) ->
+  depth:int ->
+  string ->
+  string
+(** One recovery pass over a script.  [deobfuscate] is the full engine,
+    called recursively on unwrapped layer payloads.  Returns the input
+    unchanged when it does not parse or when the edits would break it. *)

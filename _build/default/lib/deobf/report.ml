@@ -1,0 +1,89 @@
+(** Structured analysis reports.
+
+    One call bundles what an analyst pipeline consumes: the deobfuscated
+    script, recovery statistics, obfuscation scores before/after with the
+    detected techniques, and the key indicators of the result.  [to_json]
+    renders it without external dependencies. *)
+
+type t = {
+  output : string;
+  changed : bool;
+  score_before : int;
+  score_after : int;
+  techniques_before : string list;
+  techniques_after : string list;
+  pieces_recovered : int;
+  variables_substituted : int;
+  layers_unwrapped : int;
+  pieces_attempted : int;
+  pieces_blocked : int;
+  urls : string list;
+  ips : string list;
+  ps1_files : string list;
+  powershell_commands : string list;
+}
+
+let analyze ?options src =
+  let result = Engine.run ?options src in
+  let before = Score.detect src in
+  let after = Score.detect result.Engine.output in
+  let info = Keyinfo.extract result.Engine.output in
+  {
+    output = result.Engine.output;
+    changed = result.Engine.changed;
+    score_before = Score.score_of_detection before;
+    score_after = Score.score_of_detection after;
+    techniques_before = Score.technique_names before;
+    techniques_after = Score.technique_names after;
+    pieces_recovered = result.Engine.stats.Recover.pieces_recovered;
+    variables_substituted = result.Engine.stats.Recover.variables_substituted;
+    layers_unwrapped = result.Engine.stats.Recover.layers_unwrapped;
+    pieces_attempted = result.Engine.stats.Recover.pieces_attempted;
+    pieces_blocked = result.Engine.stats.Recover.pieces_blocked;
+    urls = info.Keyinfo.urls;
+    ips = info.Keyinfo.ips;
+    ps1_files = info.Keyinfo.ps1_files;
+    powershell_commands = info.Keyinfo.powershell_commands;
+  }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_list items = "[" ^ String.concat ", " (List.map json_string items) ^ "]"
+
+let to_json t =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"changed\": %b," t.changed;
+      Printf.sprintf "  \"score_before\": %d," t.score_before;
+      Printf.sprintf "  \"score_after\": %d," t.score_after;
+      Printf.sprintf "  \"techniques_before\": %s," (json_list t.techniques_before);
+      Printf.sprintf "  \"techniques_after\": %s," (json_list t.techniques_after);
+      Printf.sprintf "  \"pieces_recovered\": %d," t.pieces_recovered;
+      Printf.sprintf "  \"variables_substituted\": %d," t.variables_substituted;
+      Printf.sprintf "  \"layers_unwrapped\": %d," t.layers_unwrapped;
+      Printf.sprintf "  \"pieces_attempted\": %d," t.pieces_attempted;
+      Printf.sprintf "  \"pieces_blocked\": %d," t.pieces_blocked;
+      Printf.sprintf "  \"urls\": %s," (json_list t.urls);
+      Printf.sprintf "  \"ips\": %s," (json_list t.ips);
+      Printf.sprintf "  \"ps1_files\": %s," (json_list t.ps1_files);
+      Printf.sprintf "  \"powershell_commands\": %s," (json_list t.powershell_commands);
+      Printf.sprintf "  \"output\": %s" (json_string t.output);
+      "}";
+    ]

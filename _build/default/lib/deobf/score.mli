@@ -1,0 +1,40 @@
+(** Obfuscation identification and quantification (paper §IV-B2).
+
+    Each known technique is detected from token- and AST-level features; a
+    script's score sums the level of each detected technique (L1 = 1,
+    L2 = 2, L3 = 3), counting each technique once.  Backs Table I (wild
+    proportions), Table V (mitigation) and hard-sample selection. *)
+
+type detection = {
+  ticking : bool;
+  whitespacing : bool;
+  random_case : bool;
+  random_name : bool;
+  alias : bool;
+  concat : bool;
+  reorder : bool;
+  replace : bool;
+  reverse : bool;
+  enc_radix : bool;  (** binary / octal / ascii / hex char-code decoding *)
+  enc_base64 : bool;
+  enc_whitespace : bool;
+  enc_specialchar : bool;
+  enc_bxor : bool;
+  secure_string : bool;
+  compress : bool;
+}
+
+val none : detection
+
+val detect : string -> detection
+(** Detect every technique present in a script.  Scripts that fail to lex
+    or parse yield token-level detections only. *)
+
+val levels : detection -> bool * bool * bool
+(** (L1 present, L2 present, L3 present). *)
+
+val score_of_detection : detection -> int
+val score : string -> int
+
+val technique_names : detection -> string list
+(** Names of the detected techniques, for reports. *)

@@ -1,0 +1,58 @@
+(** Post-recovery cleanup: a parenthesised literal left behind by in-place
+    replacement — [('recovered')] where the obfuscated expression used to
+    be — reduces to the literal itself when the surrounding syntax allows
+    it. *)
+
+module A = Psast.Ast
+
+let literal_inside (paren_body : A.t) =
+  match paren_body.A.node with
+  | A.Pipeline [ { A.node = A.Command_expression inner; _ } ] -> (
+      match inner.A.node with
+      | A.String_const (_, (A.Single_quoted | A.Double_quoted)) ->
+          Some (`Str, inner)
+      | A.Number_const _ -> Some (`Num, inner)
+      | _ -> None)
+  | _ -> None
+
+let run src =
+  match Psparse.Parser.parse src with
+  | Error _ -> src
+  | Ok ast -> (
+      let edits = ref [] in
+      ignore
+        (A.fold_post_order_with_ancestors
+           (fun ancestors () node ->
+             match node.A.node with
+             | A.Paren_expr body -> (
+                 match literal_inside body with
+                 | Some (kind, inner) ->
+                     (* a number literal still needs its parens before
+                        member access or indexing: (5).ToString() *)
+                     let parent_needs_parens =
+                       match (kind, ancestors) with
+                       | `Num,
+                         ({ A.node =
+                              ( A.Member_access _ | A.Invoke_member _
+                              | A.Index_expr _ );
+                            _ }
+                          :: _) ->
+                           true
+                       (* keep parens in command position: `.('iex') …` is
+                          the recovered-launcher form the paper shows *)
+                       | _, ({ A.node = A.Command _; _ } :: _) -> true
+                       | _ -> false
+                     in
+                     if not parent_needs_parens then
+                       edits :=
+                         Pscommon.Patch.edit node.A.extent (A.text src inner)
+                         :: !edits
+                 | None -> ())
+             | _ -> ())
+           () ast);
+      if !edits = [] then src
+      else
+        match Pscommon.Patch.apply src !edits with
+        | patched when Psparse.Parser.is_valid_syntax patched -> patched
+        | _ -> src
+        | exception Invalid_argument _ -> src)

@@ -1,0 +1,14 @@
+(** Token parsing phase (paper §III-A): recovery of L1 obfuscation from
+    token attributes — ticking, aliases, random case, line continuations —
+    replaced strictly in place. *)
+
+val run : string -> string
+(** Returns the input unchanged when it does not lex, or when the patched
+    result would not parse (paper §IV-A). *)
+
+val canonical_member : string -> string
+(** Canonical spelling of a known member name ([replace] → [Replace]). *)
+
+val canonical_type : string -> string
+(** Canonical spelling of a known type name
+    ([text.encoding] → [Text.Encoding]). *)

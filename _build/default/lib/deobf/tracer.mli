@@ -1,0 +1,41 @@
+(** Variable tracing (paper Algorithm 1): a symbol table of variables whose
+    value is known from straight-line top-level assignments.  Variables
+    assigned inside loops or conditionals are never recorded; an assignment
+    whose right-hand side mentions an unknown variable evicts its target. *)
+
+type t
+
+val create : unit -> t
+
+val is_automatic : string -> bool
+(** Built-in variables ([$pshome], [$true], [$env:*], [$_], …) that are
+    always "known" without being traced. *)
+
+val record : t -> string -> Psvalue.Value.t -> unit
+val remove : t -> string -> unit
+val lookup : t -> string -> Psvalue.Value.t option
+
+val known : t -> string -> bool
+(** Traced or automatic. *)
+
+val bindings : t -> (string * Psvalue.Value.t) list
+
+val seed_env : t -> Pseval.Env.t -> unit
+(** Install every traced value into an evaluation environment — the context
+    that lets recovery execute pieces containing variables. *)
+
+val variables_read : Psast.Ast.t -> string list
+(** Every variable read in a subtree, including interpolations inside
+    expandable strings. *)
+
+val unknown_variables : t -> Psast.Ast.t -> string list
+(** Variables read in the subtree that are neither traced nor automatic
+    (Algorithm 1 line 15). *)
+
+val assigned_names : Psast.Ast.t -> string list
+(** Names assigned anywhere in a subtree: assignments, foreach loop
+    variables, [++]/[--]. *)
+
+val evict_assigned : t -> Psast.Ast.t -> unit
+(** Remove every name assigned inside the subtree — applied to loop and
+    conditional bodies after processing them. *)

@@ -1,0 +1,1 @@
+lib/encoding/base64.ml: Buffer Char Printf String

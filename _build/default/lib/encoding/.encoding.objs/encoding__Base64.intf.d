@@ -1,0 +1,1 @@
+lib/encoding/base64.mli:

@@ -1,0 +1,1 @@
+lib/encoding/bitstream.mli:

@@ -1,0 +1,1 @@
+lib/encoding/deflate.ml: Array Bitstream Char Huffman Inflate Lazy String

@@ -1,0 +1,1 @@
+lib/encoding/deflate.mli:

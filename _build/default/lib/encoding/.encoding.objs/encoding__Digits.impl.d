@@ -1,0 +1,1 @@
+lib/encoding/digits.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/encoding/huffman.ml: Array Bitstream Int List

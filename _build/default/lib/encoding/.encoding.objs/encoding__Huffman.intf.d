@@ -1,0 +1,1 @@
+lib/encoding/huffman.mli: Bitstream

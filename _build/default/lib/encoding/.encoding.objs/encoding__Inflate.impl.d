@@ -1,0 +1,1 @@
+lib/encoding/inflate.ml: Array Bitstream Buffer Char Huffman String

@@ -1,0 +1,1 @@
+lib/encoding/inflate.mli:

@@ -1,0 +1,1 @@
+lib/encoding/utf16.ml: Char String

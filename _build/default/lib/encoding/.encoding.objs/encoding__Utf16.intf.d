@@ -1,0 +1,1 @@
+lib/encoding/utf16.mli:

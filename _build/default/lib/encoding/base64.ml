@@ -1,0 +1,85 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let buf = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code s.[i] in
+  let rec loop i =
+    if i + 3 <= n then begin
+      let b = (byte i lsl 16) lor (byte (i + 1) lsl 8) lor byte (i + 2) in
+      Buffer.add_char buf alphabet.[(b lsr 18) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 12) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 6) land 63];
+      Buffer.add_char buf alphabet.[b land 63];
+      loop (i + 3)
+    end
+    else if i + 2 = n then begin
+      let b = (byte i lsl 16) lor (byte (i + 1) lsl 8) in
+      Buffer.add_char buf alphabet.[(b lsr 18) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 12) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 6) land 63];
+      Buffer.add_char buf '='
+    end
+    else if i + 1 = n then begin
+      let b = byte i lsl 16 in
+      Buffer.add_char buf alphabet.[(b lsr 18) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 12) land 63];
+      Buffer.add_string buf "=="
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let value_of_char c =
+  match c with
+  | 'A' .. 'Z' -> Some (Char.code c - Char.code 'A')
+  | 'a' .. 'z' -> Some (Char.code c - Char.code 'a' + 26)
+  | '0' .. '9' -> Some (Char.code c - Char.code '0' + 52)
+  | '+' -> Some 62
+  | '/' -> Some 63
+  | _ -> None
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let decode s =
+  let buf = Buffer.create (String.length s * 3 / 4) in
+  let acc = ref 0 and bits = ref 0 and seen_pad = ref false in
+  let error = ref None in
+  String.iter
+    (fun c ->
+      match !error with
+      | Some _ -> ()
+      | None ->
+          if is_space c then ()
+          else if c = '=' then seen_pad := true
+          else if !seen_pad then error := Some "base64: data after padding"
+          else
+            match value_of_char c with
+            | None -> error := Some (Printf.sprintf "base64: invalid character %C" c)
+            | Some v ->
+                acc := (!acc lsl 6) lor v;
+                bits := !bits + 6;
+                if !bits >= 8 then begin
+                  bits := !bits - 8;
+                  Buffer.add_char buf (Char.chr ((!acc lsr !bits) land 0xFF))
+                end)
+    s;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if !bits >= 6 then Error "base64: truncated final group"
+      else Ok (Buffer.contents buf)
+
+let decode_exn s =
+  match decode s with Ok v -> v | Error msg -> invalid_arg msg
+
+let is_plausible s =
+  let core =
+    match String.index_opt s '=' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  String.length s >= 16
+  && String.length s mod 4 = 0
+  && String.for_all (fun c -> value_of_char c <> None) core
+  && (match decode s with Ok _ -> true | Error _ -> false)

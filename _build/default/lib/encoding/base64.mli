@@ -1,0 +1,18 @@
+(** RFC 4648 base64, as used by [\[Convert\]::ToBase64String] /
+    [FromBase64String] and PowerShell's [-EncodedCommand]. *)
+
+val encode : string -> string
+(** Standard alphabet with [=] padding. *)
+
+val decode : string -> (string, string) result
+(** Decodes, ignoring ASCII whitespace, accepting missing padding.
+    [Error _] describes the first invalid character or a truncated
+    final group. *)
+
+val decode_exn : string -> string
+(** @raise Invalid_argument on invalid input. *)
+
+val is_plausible : string -> bool
+(** Heuristic used by obfuscation {e detection}: true when the string is at
+    least 16 chars of pure base64 alphabet with valid padding and decodes
+    successfully.  (Detection only; recovery always uses {!decode}.) *)

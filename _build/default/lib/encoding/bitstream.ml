@@ -1,0 +1,88 @@
+module Reader = struct
+  type t = { src : string; mutable pos : int; mutable acc : int; mutable nbits : int }
+
+  let create src = { src; pos = 0; acc = 0; nbits = 0 }
+
+  let refill t =
+    if t.pos >= String.length t.src then failwith "Bitstream.Reader: out of input";
+    t.acc <- t.acc lor (Char.code t.src.[t.pos] lsl t.nbits);
+    t.pos <- t.pos + 1;
+    t.nbits <- t.nbits + 8
+
+  let bits t n =
+    assert (n >= 0 && n <= 24);
+    while t.nbits < n do
+      refill t
+    done;
+    let v = t.acc land ((1 lsl n) - 1) in
+    t.acc <- t.acc lsr n;
+    t.nbits <- t.nbits - n;
+    v
+
+  let bit t = bits t 1
+
+  let align_byte t =
+    let drop = t.nbits mod 8 in
+    t.acc <- t.acc lsr drop;
+    t.nbits <- t.nbits - drop
+
+  let bytes t n =
+    align_byte t;
+    let from_acc = min n (t.nbits / 8) in
+    let buf = Buffer.create n in
+    for _ = 1 to from_acc do
+      Buffer.add_char buf (Char.chr (t.acc land 0xFF));
+      t.acc <- t.acc lsr 8;
+      t.nbits <- t.nbits - 8
+    done;
+    let remaining = n - from_acc in
+    if t.pos + remaining > String.length t.src then
+      failwith "Bitstream.Reader: out of input";
+    Buffer.add_substring buf t.src t.pos remaining;
+    t.pos <- t.pos + remaining;
+    Buffer.contents buf
+end
+
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+  let create () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+
+  let flush_full_bytes t =
+    while t.nbits >= 8 do
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xFF));
+      t.acc <- t.acc lsr 8;
+      t.nbits <- t.nbits - 8
+    done
+
+  let bits t ~value ~count =
+    t.acc <- t.acc lor ((value land ((1 lsl count) - 1)) lsl t.nbits);
+    t.nbits <- t.nbits + count;
+    flush_full_bytes t
+
+  let huffman t ~code ~length =
+    (* Reverse the code: RFC 1951 packs Huffman codes MSB-first into the
+       LSB-first stream. *)
+    let rev = ref 0 in
+    for i = 0 to length - 1 do
+      if code land (1 lsl i) <> 0 then rev := !rev lor (1 lsl (length - 1 - i))
+    done;
+    bits t ~value:!rev ~count:length
+
+  let align_byte t =
+    let pad = (8 - (t.nbits mod 8)) mod 8 in
+    if pad > 0 then bits t ~value:0 ~count:pad;
+    flush_full_bytes t
+
+  let byte t c =
+    assert (t.nbits = 0);
+    Buffer.add_char t.buf c
+
+  let contents t =
+    if t.nbits > 0 then begin
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xFF));
+      t.acc <- 0;
+      t.nbits <- 0
+    end;
+    Buffer.contents t.buf
+end

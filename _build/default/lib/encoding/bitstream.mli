@@ -1,0 +1,45 @@
+(** LSB-first bit streams, as required by RFC 1951 (DEFLATE).
+
+    Data elements other than Huffman codes are packed starting from the
+    least-significant bit of each byte; Huffman codes are packed
+    most-significant-bit first, which the dedicated accessors handle. *)
+
+module Reader : sig
+  type t
+
+  val create : string -> t
+
+  val bits : t -> int -> int
+  (** [bits t n] reads [n] bits LSB-first (0 <= n <= 24).
+      @raise Failure on exhausted input. *)
+
+  val align_byte : t -> unit
+  (** Skip to the next byte boundary. *)
+
+  val bytes : t -> int -> string
+  (** Read [n] raw bytes; requires byte alignment. *)
+
+  val bit : t -> int
+end
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val bits : t -> value:int -> count:int -> unit
+  (** Append [count] bits of [value], LSB-first. *)
+
+  val huffman : t -> code:int -> length:int -> unit
+  (** Append a Huffman code of [length] bits, MSB-first as RFC 1951
+      requires. *)
+
+  val align_byte : t -> unit
+  (** Pad with zero bits to a byte boundary. *)
+
+  val byte : t -> char -> unit
+  (** Append a raw byte; requires byte alignment. *)
+
+  val contents : t -> string
+  (** Final bytes; a trailing partial byte is zero-padded. *)
+end

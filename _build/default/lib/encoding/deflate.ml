@@ -1,0 +1,125 @@
+let window_size = 32768
+let min_match = 3
+let max_match = 258
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+
+let length_symbol len =
+  (* Inverse of Inflate.length_base: symbol 257..285 plus extra bits. *)
+  let base = Inflate.length_base and extra = Inflate.length_extra in
+  let rec find i =
+    if i + 1 >= Array.length base then i
+    else if len < base.(i + 1) then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (257 + i, len - base.(i), extra.(i))
+
+let distance_symbol dist =
+  let base = Inflate.dist_base and extra = Inflate.dist_extra in
+  let rec find i =
+    if i + 1 >= Array.length base then i
+    else if dist < base.(i + 1) then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (i, dist - base.(i), extra.(i))
+
+let fixed_lit_codes = lazy (Huffman.codes_of_lengths (Huffman.fixed_literal_lengths ()))
+let fixed_lit_lengths = lazy (Huffman.fixed_literal_lengths ())
+let fixed_dist_codes = lazy (Huffman.codes_of_lengths (Huffman.fixed_distance_lengths ()))
+
+let emit_literal w sym =
+  let codes = Lazy.force fixed_lit_codes and lens = Lazy.force fixed_lit_lengths in
+  Bitstream.Writer.huffman w ~code:codes.(sym) ~length:lens.(sym)
+
+let emit_match w ~len ~dist =
+  let lsym, lextra_val, lextra_bits = length_symbol len in
+  emit_literal w lsym;
+  if lextra_bits > 0 then Bitstream.Writer.bits w ~value:lextra_val ~count:lextra_bits;
+  let dsym, dextra_val, dextra_bits = distance_symbol dist in
+  let dcodes = Lazy.force fixed_dist_codes in
+  Bitstream.Writer.huffman w ~code:dcodes.(dsym) ~length:5;
+  if dextra_bits > 0 then Bitstream.Writer.bits w ~value:dextra_val ~count:dextra_bits
+
+let hash3 s i =
+  let a = Char.code s.[i] and b = Char.code s.[i + 1] and c = Char.code s.[i + 2] in
+  ((a lsl 10) lxor (b lsl 5) lxor c) land (hash_size - 1)
+
+let deflate s =
+  let n = String.length s in
+  let w = Bitstream.Writer.create () in
+  (* single final block, fixed Huffman *)
+  Bitstream.Writer.bits w ~value:1 ~count:1;
+  Bitstream.Writer.bits w ~value:1 ~count:2;
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let match_length_at i j =
+    let limit = min max_match (n - i) in
+    let rec loop k = if k < limit && s.[i + k] = s.[j + k] then loop (k + 1) else k in
+    loop 0
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash3 s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash3 s !i in
+      let candidate = ref head.(h) in
+      let tries = ref 64 in
+      while !candidate >= 0 && !tries > 0 do
+        if !i - !candidate <= window_size then begin
+          let len = match_length_at !i !candidate in
+          if len > !best_len then begin
+            best_len := len;
+            best_dist := !i - !candidate
+          end;
+          candidate := prev.(!candidate);
+          decr tries
+        end
+        else begin
+          candidate := -1
+        end
+      done
+    end;
+    if !best_len >= min_match then begin
+      emit_match w ~len:!best_len ~dist:!best_dist;
+      for k = !i to !i + !best_len - 1 do
+        insert k
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      emit_literal w (Char.code s.[!i]);
+      insert !i;
+      incr i
+    end
+  done;
+  emit_literal w 256;
+  Bitstream.Writer.contents w
+
+let deflate_stored s =
+  let n = String.length s in
+  let w = Bitstream.Writer.create () in
+  let max_block = 65535 in
+  let blocks = if n = 0 then 1 else (n + max_block - 1) / max_block in
+  for b = 0 to blocks - 1 do
+    let start = b * max_block in
+    let len = min max_block (n - start) in
+    let final = if b = blocks - 1 then 1 else 0 in
+    Bitstream.Writer.bits w ~value:final ~count:1;
+    Bitstream.Writer.bits w ~value:0 ~count:2;
+    Bitstream.Writer.align_byte w;
+    Bitstream.Writer.bits w ~value:len ~count:16;
+    Bitstream.Writer.bits w ~value:(len lxor 0xFFFF) ~count:16;
+    for k = start to start + len - 1 do
+      Bitstream.Writer.byte w s.[k]
+    done
+  done;
+  Bitstream.Writer.contents w

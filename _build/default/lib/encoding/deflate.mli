@@ -1,0 +1,12 @@
+(** RFC 1951 DEFLATE compression.
+
+    A greedy LZ77 matcher over a 32 KiB window with hash chains, emitted as
+    one fixed-Huffman block — the encoder side of DeflateStream obfuscation.
+    Output always round-trips through {!Inflate.inflate}. *)
+
+val deflate : string -> string
+(** Compress to a raw DEFLATE stream (no zlib/gzip wrapper). *)
+
+val deflate_stored : string -> string
+(** Compress as stored (uncompressed) blocks only; useful as a reference
+    encoder in tests. *)

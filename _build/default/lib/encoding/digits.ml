@@ -1,0 +1,50 @@
+type radix = Binary | Octal | Decimal | Hex
+
+let base = function Binary -> 2 | Octal -> 8 | Decimal -> 10 | Hex -> 16
+
+let digit_char v = if v < 10 then Char.chr (Char.code '0' + v) else Char.chr (Char.code 'a' + v - 10)
+
+let to_string radix n =
+  if n < 0 then invalid_arg "Digits.to_string: negative";
+  let b = base radix in
+  if n = 0 then "0"
+  else begin
+    let buf = Buffer.create 8 in
+    let rec loop n = if n > 0 then begin loop (n / b); Buffer.add_char buf (digit_char (n mod b)) end in
+    loop n;
+    Buffer.contents buf
+  end
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let of_string radix s =
+  let b = base radix in
+  if s = "" then None
+  else
+    String.fold_left
+      (fun acc c ->
+        match (acc, digit_value c) with
+        | Some n, Some v when v < b -> Some ((n * b) + v)
+        | _ -> None)
+      (Some 0) s
+
+let encode_codes radix s =
+  List.init (String.length s) (fun i -> to_string radix (Char.code s.[i]))
+
+let decode_codes radix codes =
+  let buf = Buffer.create (List.length codes) in
+  let rec loop = function
+    | [] -> Ok (Buffer.contents buf)
+    | c :: rest -> (
+        match of_string radix c with
+        | None -> Error (Printf.sprintf "digits: invalid code %S" c)
+        | Some v ->
+            Buffer.add_char buf (Char.chr (v land 0xFF));
+            loop rest)
+  in
+  loop codes

@@ -1,0 +1,22 @@
+(** Radix codecs for character-code obfuscation.
+
+    L3 encoding obfuscation renders each character of a payload as its code
+    point in binary, octal, decimal or hex ([\[char\]\[convert\]::ToInt32('1101000',2)]
+    style), so both the obfuscator and the detector need these. *)
+
+type radix = Binary | Octal | Decimal | Hex
+
+val base : radix -> int
+
+val to_string : radix -> int -> string
+(** Render a nonnegative code point, no prefix, lowercase hex. *)
+
+val of_string : radix -> string -> int option
+(** Parse; [None] on empty input or invalid digit.  Hex is caseless. *)
+
+val encode_codes : radix -> string -> string list
+(** Per-character code points of a byte string. *)
+
+val decode_codes : radix -> string list -> (string, string) result
+(** Inverse of {!encode_codes} for codes within 0–255 (wider code points are
+    truncated modulo 256, matching [\[char\]] casts of byte data). *)

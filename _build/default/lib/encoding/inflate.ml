@@ -1,0 +1,124 @@
+let max_output = 64 * 1024 * 1024
+
+let length_base =
+  [| 3; 4; 5; 6; 7; 8; 9; 10; 11; 13; 15; 17; 19; 23; 27; 31; 35; 43; 51; 59;
+     67; 83; 99; 115; 131; 163; 195; 227; 258 |]
+
+let length_extra =
+  [| 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 4; 4; 4; 4;
+     5; 5; 5; 5; 0 |]
+
+let dist_base =
+  [| 1; 2; 3; 4; 5; 7; 9; 13; 17; 25; 33; 49; 65; 97; 129; 193; 257; 385;
+     513; 769; 1025; 1537; 2049; 3073; 4097; 6145; 8193; 12289; 16385; 24577 |]
+
+let dist_extra =
+  [| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 6; 6; 7; 7; 8; 8; 9; 9; 10;
+     10; 11; 11; 12; 12; 13; 13 |]
+
+let code_length_order =
+  [| 16; 17; 18; 0; 8; 7; 9; 6; 10; 5; 11; 4; 12; 3; 13; 2; 14; 1; 15 |]
+
+exception Corrupt of string
+
+let decoder lengths what =
+  match Huffman.decoder_of_lengths lengths with
+  | Ok d -> d
+  | Error msg -> raise (Corrupt (what ^ ": " ^ msg))
+
+let inflate_block_data reader out lit_decoder dist_decoder =
+  let finished = ref false in
+  while not !finished do
+    let sym = Huffman.read_symbol lit_decoder reader in
+    if sym < 256 then begin
+      if Buffer.length out >= max_output then raise (Corrupt "output too large");
+      Buffer.add_char out (Char.chr sym)
+    end
+    else if sym = 256 then finished := true
+    else begin
+      let idx = sym - 257 in
+      if idx >= Array.length length_base then raise (Corrupt "bad length symbol");
+      let len = length_base.(idx) + Bitstream.Reader.bits reader length_extra.(idx) in
+      let dsym = Huffman.read_symbol dist_decoder reader in
+      if dsym >= Array.length dist_base then raise (Corrupt "bad distance symbol");
+      let dist = dist_base.(dsym) + Bitstream.Reader.bits reader dist_extra.(dsym) in
+      let start = Buffer.length out - dist in
+      if start < 0 then raise (Corrupt "distance too far back");
+      if Buffer.length out + len > max_output then raise (Corrupt "output too large");
+      for i = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + i))
+      done
+    end
+  done
+
+let read_dynamic_tables reader =
+  let hlit = Bitstream.Reader.bits reader 5 + 257 in
+  let hdist = Bitstream.Reader.bits reader 5 + 1 in
+  let hclen = Bitstream.Reader.bits reader 4 + 4 in
+  let cl_lengths = Array.make 19 0 in
+  for i = 0 to hclen - 1 do
+    cl_lengths.(code_length_order.(i)) <- Bitstream.Reader.bits reader 3
+  done;
+  let cl_decoder = decoder cl_lengths "code-length code" in
+  let lengths = Array.make (hlit + hdist) 0 in
+  let pos = ref 0 in
+  while !pos < hlit + hdist do
+    let sym = Huffman.read_symbol cl_decoder reader in
+    match sym with
+    | s when s < 16 ->
+        lengths.(!pos) <- s;
+        incr pos
+    | 16 ->
+        if !pos = 0 then raise (Corrupt "repeat with no previous length");
+        let prev = lengths.(!pos - 1) in
+        let count = 3 + Bitstream.Reader.bits reader 2 in
+        for _ = 1 to count do
+          if !pos >= Array.length lengths then raise (Corrupt "repeat overflow");
+          lengths.(!pos) <- prev;
+          incr pos
+        done
+    | 17 ->
+        let count = 3 + Bitstream.Reader.bits reader 3 in
+        if !pos + count > Array.length lengths then raise (Corrupt "repeat overflow");
+        pos := !pos + count
+    | 18 ->
+        let count = 11 + Bitstream.Reader.bits reader 7 in
+        if !pos + count > Array.length lengths then raise (Corrupt "repeat overflow");
+        pos := !pos + count
+    | _ -> raise (Corrupt "bad code-length symbol")
+  done;
+  let lit = Array.sub lengths 0 hlit in
+  let dist = Array.sub lengths hlit hdist in
+  (decoder lit "literal/length code", decoder dist "distance code")
+
+let inflate s =
+  let reader = Bitstream.Reader.create s in
+  let out = Buffer.create (String.length s * 3) in
+  try
+    let final = ref false in
+    while not !final do
+      final := Bitstream.Reader.bit reader = 1;
+      match Bitstream.Reader.bits reader 2 with
+      | 0 ->
+          Bitstream.Reader.align_byte reader;
+          let len = Bitstream.Reader.bits reader 16 in
+          let nlen = Bitstream.Reader.bits reader 16 in
+          if len lxor 0xFFFF <> nlen then raise (Corrupt "stored block LEN/NLEN mismatch");
+          if Buffer.length out + len > max_output then raise (Corrupt "output too large");
+          Buffer.add_string out (Bitstream.Reader.bytes reader len)
+      | 1 ->
+          let lit = decoder (Huffman.fixed_literal_lengths ()) "fixed literal code" in
+          let dist = decoder (Huffman.fixed_distance_lengths ()) "fixed distance code" in
+          inflate_block_data reader out lit dist
+      | 2 ->
+          let lit, dist = read_dynamic_tables reader in
+          inflate_block_data reader out lit dist
+      | _ -> raise (Corrupt "reserved block type")
+    done;
+    Ok (Buffer.contents out)
+  with
+  | Corrupt msg -> Error ("inflate: " ^ msg)
+  | Failure msg -> Error ("inflate: " ^ msg)
+
+let inflate_exn s =
+  match inflate s with Ok v -> v | Error msg -> invalid_arg msg

@@ -1,0 +1,25 @@
+(** RFC 1951 DEFLATE decompression.
+
+    Implements all three block types (stored, fixed Huffman, dynamic
+    Huffman), which is what [\[IO.Compression.DeflateStream\]] in
+    [Decompress] mode accepts — the decoder side of DeflateStream
+    obfuscation. *)
+
+val inflate : string -> (string, string) result
+(** Decompress a raw DEFLATE stream (no zlib/gzip wrapper, matching
+    .NET's [DeflateStream]).  [Error _] describes the corruption. *)
+
+val inflate_exn : string -> string
+(** @raise Invalid_argument on corrupt input. *)
+
+val max_output : int
+(** Output size cap (64 MiB) guarding against decompression bombs in
+    hostile scripts. *)
+
+(**/**)
+
+(* RFC 1951 §3.2.5 tables, shared with the compressor. *)
+val length_base : int array
+val length_extra : int array
+val dist_base : int array
+val dist_extra : int array

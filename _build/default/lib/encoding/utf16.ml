@@ -1,0 +1,26 @@
+let encode s =
+  String.init (2 * String.length s) (fun i ->
+      if i mod 2 = 0 then s.[i / 2] else '\000')
+
+let decode_units s n =
+  String.init n (fun i ->
+      let lo = Char.code s.[2 * i] and hi = Char.code s.[(2 * i) + 1] in
+      if hi = 0 then Char.chr lo else '?')
+
+let decode s =
+  let len = String.length s in
+  if len mod 2 <> 0 then Error "utf16: odd number of bytes"
+  else Ok (decode_units s (len / 2))
+
+let decode_lossy s = decode_units s (String.length s / 2)
+
+let looks_utf16 s =
+  let len = String.length s in
+  len >= 4 && len mod 2 = 0
+  &&
+  let units = len / 2 in
+  let zeros = ref 0 in
+  for i = 0 to units - 1 do
+    if s.[(2 * i) + 1] = '\000' then incr zeros
+  done;
+  float_of_int !zeros >= 0.8 *. float_of_int units

@@ -1,0 +1,20 @@
+(** UTF-16LE transcoding restricted to the Latin-1 range.
+
+    PowerShell's [-EncodedCommand] is base64 over UTF-16LE; malicious
+    payloads are overwhelmingly ASCII, so a Latin-1-range codec exercises the
+    same code path as [\[Text.Encoding\]::Unicode]. *)
+
+val encode : string -> string
+(** Each input byte becomes the little-endian 16-bit unit [byte, 0x00]. *)
+
+val decode : string -> (string, string) result
+(** Accepts an even-length string of 16-bit units; units above 0xFF are
+    replaced by ['?'] (same as a lossy [GetString] on non-Latin text).
+    [Error _] on odd length. *)
+
+val decode_lossy : string -> string
+(** Like {!decode}, but an odd trailing byte is dropped. *)
+
+val looks_utf16 : string -> bool
+(** Detection heuristic: even length, and at least 80% of the high bytes of
+    each unit are zero. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Corpus Deobf Keyinfo List Printf Sandbox Unix

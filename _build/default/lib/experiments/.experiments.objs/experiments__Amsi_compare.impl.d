@@ -1,0 +1,1 @@
+lib/experiments/amsi_compare.ml: Baselines Corpus Deobf Effectiveness Keyinfo List Printf Pscommon String

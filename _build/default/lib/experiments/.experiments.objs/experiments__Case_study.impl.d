@@ -1,0 +1,1 @@
+lib/experiments/case_study.ml: Baselines Deobf List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/effectiveness.ml: Baselines Corpus Float Keyinfo List Printf Unix

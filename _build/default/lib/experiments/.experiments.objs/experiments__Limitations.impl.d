@@ -1,0 +1,1 @@
+lib/experiments/limitations.ml: Deobf List Obfuscator Printf Pscommon Rng Sandbox Strcase

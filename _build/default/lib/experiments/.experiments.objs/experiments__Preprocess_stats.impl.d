@@ -1,0 +1,1 @@
+lib/experiments/preprocess_stats.ml: Corpus List Obfuscator Patch Printf Pscommon Pslex Rng String

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Corpus Deobf List Printf

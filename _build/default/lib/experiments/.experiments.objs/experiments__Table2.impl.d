@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Baselines Buffer Deobf Fun Hashtbl List Obfuscator Printf Pscommon Psparse Rng Strcase String

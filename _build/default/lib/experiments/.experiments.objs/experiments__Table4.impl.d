@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Baselines Corpus Effectiveness List Printf Sandbox

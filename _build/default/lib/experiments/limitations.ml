@@ -1,0 +1,73 @@
+(** §V-C — the paper's own limitations, reproduced.
+
+    Two documented failure modes:
+    {ul
+    {- {b loop decoders} (whitespace encoding): the decoded value is built
+       by a loop, and Algorithm 1 refuses to record loop-assigned
+       variables;}
+    {- {b function nesting}: the recovery algorithm lives in a function and
+       the obfuscated data reaches it through calls, so no single
+       recoverable piece contains both.}}
+
+    A reproduction that silently fixed these would be a different system;
+    this experiment asserts they fail the same way the paper says. *)
+
+open Pscommon
+
+type case = { name : string; script : string; payload_marker : string }
+
+let cases () =
+  let rng = Rng.of_int 4242 in
+  [
+    {
+      name = "whitespace-encoding (loop decoder)";
+      script =
+        Obfuscator.Obfuscate.apply rng Obfuscator.Technique.Enc_whitespace
+          "write-host hidden-payload-one";
+      payload_marker = "hidden-payload-one";
+    };
+    {
+      name = "function-nested decoder";
+      script =
+        "function decode($s) {\n\
+        \  $out = ''\n\
+        \  foreach ($c in $s.ToCharArray()) { $out += [char]([int]$c - 1) }\n\
+        \  $out\n\
+         }\n\
+         $enc = 'xsjuf.iptu!ijeefo.qbzmpbe.uxp'\n\
+         & ('ie'+'x') (decode $enc)";
+      payload_marker = "hidden-payload-two";
+    };
+    {
+      name = "straight-line control (recovers fine)";
+      script = "& ('ie'+'x') ('write-host hidden'+'-payload-three')";
+      payload_marker = "hidden-payload-three";
+    };
+  ]
+
+type row = { case : string; recovered : bool; behavior_preserved : bool }
+
+let run () =
+  List.map
+    (fun c ->
+      let out = (Deobf.Engine.run c.script).Deobf.Engine.output in
+      {
+        case = c.name;
+        recovered = Strcase.contains ~needle:c.payload_marker out;
+        behavior_preserved =
+          Sandbox.same_network_behavior (Sandbox.run c.script) (Sandbox.run out);
+      })
+    (cases ())
+
+let print rows =
+  Printf.printf "SS V-C: documented limitations\n";
+  Printf.printf "  %-38s %10s %20s\n" "Case" "recovered" "behaviour preserved";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-38s %10s %20s\n" r.case
+        (if r.recovered then "yes" else "no")
+        (if r.behavior_preserved then "yes" else "NO"))
+    rows;
+  Printf.printf
+    "  (paper: loop decoders and function nesting defeat tracing, but the \
+     output must still behave identically)\n"

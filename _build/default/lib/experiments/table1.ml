@@ -1,0 +1,44 @@
+(** Table I — proportion of obfuscation at different levels in the wild
+    corpus.
+
+    The paper measured 1,127,349 wild samples: L1 98.07%, L2 97.84%,
+    L3 96.08%.  We generate a wild-style corpus with those technique-mix
+    probabilities and measure the proportions the {e detector} reports —
+    so the experiment also validates the detector itself. *)
+
+type row = { level : string; samples : int; proportion : float }
+
+type result = { total : int; rows : row list }
+
+let run ?(seed = 42) ?(count = 2000) () =
+  let samples = Corpus.Generator.generate ~seed ~count in
+  let l1 = ref 0 and l2 = ref 0 and l3 = ref 0 in
+  List.iter
+    (fun s ->
+      let d = Deobf.Score.detect s.Corpus.Generator.obfuscated in
+      let has_l1, has_l2, has_l3 = Deobf.Score.levels d in
+      if has_l1 then incr l1;
+      if has_l2 then incr l2;
+      if has_l3 then incr l3)
+    samples;
+  let total = List.length samples in
+  let p n = 100.0 *. float_of_int n /. float_of_int total in
+  {
+    total;
+    rows =
+      [
+        { level = "L1"; samples = !l1; proportion = p !l1 };
+        { level = "L2"; samples = !l2; proportion = p !l2 };
+        { level = "L3"; samples = !l3; proportion = p !l3 };
+      ];
+  }
+
+let print result =
+  Printf.printf "Table I: proportion of obfuscation at different levels (n=%d)\n"
+    result.total;
+  Printf.printf "  %-6s %10s %12s   (paper: L1 98.07%%, L2 97.84%%, L3 96.08%%)\n"
+    "Level" "#Samples" "Proportion";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-6s %10d %11.2f%%\n" r.level r.samples r.proportion)
+    result.rows

@@ -1,0 +1,75 @@
+(** Table IV — behavioural consistency.
+
+    For the samples with network behaviour among the 100-sample set, run
+    original and deobfuscated scripts in the sandbox and compare network
+    event sets.  Results that return the input unchanged are not effective
+    deobfuscations (paper §IV-C3). *)
+
+type row = {
+  tool : string;
+  with_network : int;  (** deobfuscated outputs exhibiting network behaviour *)
+  effective : int;  (** changed output with identical network behaviour *)
+  proportion : float;
+}
+
+type result = { original_with_network : int; rows : row list }
+
+let run ?(tools = Baselines.All_tools.all) (set : Effectiveness.sample_set) =
+  let originals_with_network =
+    List.filter
+      (fun s ->
+        Sandbox.has_network_behavior (Sandbox.run s.Corpus.Generator.obfuscated))
+      set.Effectiveness.samples
+  in
+  let n = List.length originals_with_network in
+  let rows =
+    List.map
+      (fun tool ->
+        let outputs =
+          List.map
+            (fun s ->
+              (s, (tool.Baselines.Tool.deobfuscate s.Corpus.Generator.obfuscated).Baselines.Tool.result))
+            originals_with_network
+        in
+        let with_network =
+          List.length
+            (List.filter
+               (fun (_, out) -> Sandbox.has_network_behavior (Sandbox.run out))
+               outputs)
+        in
+        let effective =
+          List.length
+            (List.filter
+               (fun (s, out) ->
+                 Sandbox.effective ~original:s.Corpus.Generator.obfuscated
+                   ~deobfuscated:out)
+               outputs)
+        in
+        {
+          tool = tool.Baselines.Tool.name;
+          with_network;
+          effective;
+          proportion = 100.0 *. float_of_int effective /. float_of_int (max 1 n);
+        })
+      tools
+  in
+  { original_with_network = n; rows }
+
+let paper_numbers =
+  [ ("PSDecode", "8/32 (25%)"); ("PowerDrive", "8/32 (25%)");
+    ("PowerDecode", "12/32 (37.5%)"); ("Li et al.", "0/32 (0%)");
+    ("Invoke-Deobfuscation", "32/32 (100%)") ]
+
+let print result =
+  Printf.printf "Table IV: behavioural consistency (original samples with network: %d)\n"
+    result.original_with_network;
+  Printf.printf "  %-22s %13s %10s %12s %18s\n" "Tool" "#WithNetwork"
+    "#Effective" "Proportion" "(paper)";
+  List.iter
+    (fun r ->
+      let paper =
+        match List.assoc_opt r.tool paper_numbers with Some p -> p | None -> "-"
+      in
+      Printf.printf "  %-22s %13d %10d %11.1f%% %18s\n" r.tool r.with_network
+        r.effective r.proportion paper)
+    result.rows

@@ -1,0 +1,92 @@
+(** §III-B1 — generalisation to unknown techniques.
+
+    The paper claims that recoverable-node identification handles "not only
+    known obfuscation techniques but also related unknown ones", because any
+    value-producing decoder is executable regardless of which transformation
+    produced it.  This experiment obfuscates [write-host hello] with four
+    techniques that exist in {e no} tool's rule set — not even in our own
+    detector — and measures which tools recover it. *)
+
+open Pscommon
+
+let base = "write-host hello"
+
+let url_encode s =
+  String.concat ""
+    (List.init (String.length s) (fun i ->
+         match s.[i] with
+         | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9') as c -> String.make 1 c
+         | c -> Printf.sprintf "%%%02X" (Char.code c)))
+
+(* each generator yields a self-contained obfuscated script *)
+let techniques =
+  [
+    ( "url-encoding",
+      fun () ->
+        Printf.sprintf "& ('ie'+'x') ([uri]::UnescapeDataString('%s'))"
+          (url_encode base) );
+    ( "char-code-join",
+      fun () ->
+        let codes =
+          String.concat ","
+            (List.init (String.length base) (fun i ->
+                 string_of_int (Char.code base.[i])))
+        in
+        Printf.sprintf "& ('ie'+'x') ([string]::Join('', [char[]](%s)))" codes );
+    ( "insert-remove-chain",
+      fun () ->
+        (* junk injected at a known offset, removed by the decoder *)
+        let with_junk = String.sub base 0 5 ^ "XXQQZ" ^ String.sub base 5 (String.length base - 5) in
+        Printf.sprintf "& ('ie'+'x') ('%s'.Remove(5,5))" with_junk );
+    ( "substring-assembly",
+      fun () ->
+        let shuffled = "hello write-host" in
+        Printf.sprintf
+          "& ('ie'+'x') ('%s'.Substring(6,10) + ' ' + '%s'.Substring(0,5))"
+          shuffled shuffled );
+  ]
+
+type row = { technique : string; recovered_by : (string * bool) list }
+
+let recovered output =
+  Strcase.contains ~needle:"write-host hello" output
+  || Strcase.contains ~needle:"Write-Host hello" output
+
+let run ?(tools = Baselines.All_tools.all) () =
+  List.map
+    (fun (name, gen) ->
+      let script = gen () in
+      {
+        technique = name;
+        recovered_by =
+          List.map
+            (fun tool ->
+              let out =
+                (tool.Baselines.Tool.deobfuscate script).Baselines.Tool.result
+              in
+              (tool.Baselines.Tool.name,
+               recovered out
+               && not (String.equal (String.trim out) (String.trim script))))
+            tools;
+      })
+    techniques
+
+let print rows =
+  Printf.printf
+    "SS III-B1: generalisation to techniques absent from every rule set\n";
+  (match rows with
+  | first :: _ ->
+      Printf.printf "  %-22s" "Technique";
+      List.iter (fun (tool, _) -> Printf.printf " %-14s" tool) first.recovered_by;
+      Printf.printf "\n"
+  | [] -> ());
+  List.iter
+    (fun r ->
+      Printf.printf "  %-22s" r.technique;
+      List.iter
+        (fun (_, ok) -> Printf.printf " %-14s" (if ok then "recovered" else "x"))
+        r.recovered_by;
+      Printf.printf "\n")
+    rows;
+  Printf.printf
+    "  (the paper's claim: execution-based recovery needs no per-technique rules)\n"

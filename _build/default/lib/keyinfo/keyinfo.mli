@@ -1,0 +1,22 @@
+(** Key-information extraction (paper §IV-C2, Fig 5): the four indicator
+    types analysts need from a deobfuscated sample. *)
+
+type t = {
+  ps1_files : string list;
+  powershell_commands : string list;
+  urls : string list;
+  ips : string list;
+}
+
+val empty : t
+
+val extract : string -> t
+(** Deduplicated (caseless) indicators found in a script. *)
+
+val count : t -> int
+
+val intersection : ground_truth:t -> t -> t
+(** The indicators of [ground_truth] that also appear in the extraction —
+    how a tool's output is compared against manual deobfuscation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/obfuscator/l1.ml: Buffer Char Extent Hashtbl List Patch Pscommon Pslex Rng Strcase String

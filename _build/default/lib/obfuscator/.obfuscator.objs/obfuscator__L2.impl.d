@@ -1,0 +1,1 @@
+lib/obfuscator/l2.ml: Array Buffer List Patch Printf Pscommon Pslex Rng Strcase String Technique

@@ -1,0 +1,1 @@
+lib/obfuscator/l3.ml: Char Encoding L2 List Printf Pscommon Rng String Technique

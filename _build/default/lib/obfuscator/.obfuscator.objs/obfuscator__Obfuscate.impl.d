@@ -1,0 +1,1 @@
+lib/obfuscator/obfuscate.ml: L1 L2 L3 List Pscommon Psparse Rng String Technique

@@ -1,0 +1,1 @@
+lib/obfuscator/obfuscate.mli: Pscommon Technique

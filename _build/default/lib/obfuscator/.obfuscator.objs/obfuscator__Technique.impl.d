@@ -1,0 +1,1 @@
+lib/obfuscator/technique.ml: List String

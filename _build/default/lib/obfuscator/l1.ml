@@ -1,0 +1,180 @@
+(** L1 obfuscation: ticking, whitespacing, random case, random names,
+    aliases.  All operate on the token stream and rebuild the script with
+    in-place patches, so they never break syntax. *)
+
+open Pscommon
+module T = Pslex.Token
+
+let patch_tokens src edits = Patch.apply src edits
+
+let tokenize_or_self src f =
+  match Pslex.Lexer.tokenize src with
+  | Ok toks -> f toks
+  | Error _ -> src
+
+(* escape-sequence letters a backtick must not precede *)
+let unsafe_tick_follower c =
+  match Char.lowercase_ascii c with
+  | 'n' | 't' | 'r' | '0' | 'a' | 'b' | 'f' | 'v' | 'u' | 'e' -> true
+  | _ -> false
+
+let tick_word rng word =
+  if String.length word < 3 then word
+  else begin
+    let buf = Buffer.create (String.length word + 4) in
+    String.iteri
+      (fun i c ->
+        if
+          i > 0
+          && (not (unsafe_tick_follower c))
+          && c <> '`' && c <> '\''
+          && Rng.chance rng 0.3
+        then Buffer.add_char buf '`';
+        Buffer.add_char buf c)
+      word;
+    Buffer.contents buf
+  end
+
+let ticking rng src =
+  tokenize_or_self src (fun toks ->
+      let edits =
+        List.filter_map
+          (fun t ->
+            match t.T.kind with
+            | T.Command when not (String.contains t.T.text '`') ->
+                let ticked = tick_word rng t.T.text in
+                if ticked = t.T.text then None
+                else Some (Patch.edit t.T.extent ticked)
+            | _ -> None)
+          toks
+      in
+      patch_tokens src edits)
+
+let random_case_word rng word =
+  String.map
+    (fun c ->
+      if Rng.bool rng then Char.uppercase_ascii c else Char.lowercase_ascii c)
+    word
+
+let random_case rng src =
+  tokenize_or_self src (fun toks ->
+      let edits =
+        List.filter_map
+          (fun t ->
+            match t.T.kind with
+            | T.Command | T.Keyword | T.Member | T.Command_parameter
+            | T.Type_name | T.Variable ->
+                let flipped = random_case_word rng t.T.text in
+                if flipped = t.T.text then None
+                else Some (Patch.edit t.T.extent flipped)
+            | _ -> None)
+          toks
+      in
+      patch_tokens src edits)
+
+let whitespacing rng src =
+  tokenize_or_self src (fun toks ->
+      (* widen the gaps that already exist between tokens *)
+      let buf = Buffer.create (String.length src * 2) in
+      let pos = ref 0 in
+      List.iter
+        (fun t ->
+          let gap_start = !pos and gap_stop = t.T.extent.Extent.start in
+          if gap_stop > gap_start then begin
+            let gap = String.sub src gap_start (gap_stop - gap_start) in
+            Buffer.add_string buf gap;
+            if
+              String.for_all (fun c -> c = ' ' || c = '\t') gap
+              && String.length gap > 0 && Rng.chance rng 0.6
+            then Buffer.add_string buf (String.make (Rng.int_in rng 1 5) ' ')
+          end;
+          Buffer.add_string buf t.T.text;
+          (match t.T.kind with
+          | T.Statement_separator | T.Operator when Rng.chance rng 0.4 ->
+              Buffer.add_string buf (String.make (Rng.int_in rng 1 3) ' ')
+          | _ -> ());
+          pos := t.T.extent.Extent.stop)
+        toks;
+      Buffer.add_substring buf src !pos (String.length src - !pos);
+      Buffer.contents buf)
+
+let alias_sub rng src =
+  tokenize_or_self src (fun toks ->
+      let edits =
+        List.filter_map
+          (fun t ->
+            match t.T.kind with
+            | T.Command -> (
+                match Pslex.Aliases.canonical_case t.T.content with
+                | Some canonical -> (
+                    match Pslex.Aliases.aliases_of canonical with
+                    | [] -> None
+                    | aliases -> Some (Patch.edit t.T.extent (Rng.pick rng aliases)))
+                | None -> None)
+            | _ -> None)
+          toks
+      in
+      patch_tokens src edits)
+
+(* names that must never be renamed *)
+let reserved_variables =
+  List.fold_left
+    (fun acc v -> Strcase.Set.add v acc)
+    Strcase.Set.empty
+    [ "_"; "$"; "?"; "^"; "args"; "input"; "true"; "false"; "null"; "pshome";
+      "shellid"; "home"; "pid"; "pwd"; "error"; "matches"; "myinvocation";
+      "host"; "profile"; "psversiontable"; "executioncontext";
+      "verbosepreference"; "erroractionpreference"; "psculture"; "ofs" ]
+
+let renameable name =
+  (not (Strcase.Set.mem name reserved_variables))
+  && (not (String.contains name ':'))
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+       name
+
+let random_name rng src =
+  tokenize_or_self src (fun toks ->
+      (* collect variable names, assign random replacements consistently *)
+      let mapping = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          match t.T.kind with
+          | T.Variable when renameable t.T.content ->
+              let key = Strcase.lower t.T.content in
+              if not (Hashtbl.mem mapping key) then
+                Hashtbl.replace mapping key (Rng.ident rng ~min_len:5 ~max_len:10)
+          | _ -> ())
+        toks;
+      let edits =
+        List.filter_map
+          (fun t ->
+            match t.T.kind with
+            | T.Variable when renameable t.T.content -> (
+                match Hashtbl.find_opt mapping (Strcase.lower t.T.content) with
+                | Some fresh -> Some (Patch.edit t.T.extent ("$" ^ fresh))
+                | None -> None)
+            | T.String_double ->
+                (* rename interpolated variables inside double-quoted
+                   strings; whole identifiers only, or "$c2" renamed to
+                   "$ISyb5" would then match a later "$i" pass *)
+                let is_ident c =
+                  match c with
+                  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+                  | _ -> false
+                in
+                let text = ref t.T.text in
+                Hashtbl.iter
+                  (fun old fresh ->
+                    text :=
+                      Strcase.replace_word ~needle:("$" ^ old)
+                        ~replacement:("$" ^ fresh) ~is_word_char:is_ident !text)
+                  mapping;
+                if !text = t.T.text then None else Some (Patch.edit t.T.extent !text)
+            | _ -> None)
+          toks
+      in
+      patch_tokens src edits)

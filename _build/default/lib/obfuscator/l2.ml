@@ -1,0 +1,125 @@
+(** L2 obfuscation: string concatenating, reordering, replacing, reversing.
+
+    [string_expr] builds an expression that evaluates back to the given
+    string; [apply] rewrites eligible single-quoted literals of a whole
+    script with such expressions (parenthesised, so they stay valid in
+    argument position). *)
+
+open Pscommon
+module T = Pslex.Token
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+(* split s into n non-empty consecutive pieces *)
+let split_pieces rng s n =
+  let len = String.length s in
+  let n = max 1 (min n len) in
+  let cuts =
+    List.init (n - 1) (fun _ -> 1 + Rng.int rng (len - 1))
+    |> List.sort_uniq compare
+  in
+  let rec build start cuts =
+    match cuts with
+    | [] -> [ String.sub s start (len - start) ]
+    | c :: rest -> String.sub s start (c - start) :: build c rest
+  in
+  build 0 cuts
+
+let concat rng s =
+  let pieces = split_pieces rng s (Rng.int_in rng 2 5) in
+  "(" ^ String.concat "+" (List.map quote pieces) ^ ")"
+
+let reorder rng s =
+  let pieces = split_pieces rng s (Rng.int_in rng 2 5) in
+  let n = List.length pieces in
+  let order = Rng.shuffle rng (List.init n (fun i -> i)) in
+  (* order.(k) = original index stored at argument slot k; the format string
+     needs, at position i, the slot holding piece i *)
+  let slot_of_piece = Array.make n 0 in
+  List.iteri (fun slot piece_idx -> slot_of_piece.(piece_idx) <- slot) order;
+  let fmt =
+    String.concat ""
+      (List.init n (fun i -> Printf.sprintf "{%d}" slot_of_piece.(i)))
+  in
+  let args =
+    List.map (fun piece_idx -> quote (List.nth pieces piece_idx)) order
+  in
+  Printf.sprintf "(\"%s\" -f %s)" fmt (String.concat "," args)
+
+let marker rng s =
+  (* a short token that does not occur in s *)
+  let rec try_one () =
+    let m = String.init (Rng.int_in rng 2 3) (fun _ -> Rng.lowercase_letter rng) in
+    if Strcase.contains ~needle:m s then try_one () else m
+  in
+  try_one ()
+
+let replace rng s =
+  if String.length s < 2 then quote s
+  else begin
+    (* pick a substring to hide behind a marker; the marker must occur in
+       the marked string exactly once and exactly where it was inserted, or
+       .Replace would reconstruct the wrong text (adjacent characters can
+       form an earlier overlapping occurrence: 'o' + marker "oo" = "ooo") *)
+    let start = Rng.int rng (String.length s - 1) in
+    let len = Rng.int_in rng 1 (min 4 (String.length s - start)) in
+    let piece = String.sub s start len in
+    let rec attempt tries =
+      if tries = 0 then concat rng s  (* fall back to concatenation *)
+      else begin
+        let m = marker rng s in
+        let with_marker =
+          String.sub s 0 start ^ m
+          ^ String.sub s (start + len) (String.length s - start - len)
+        in
+        let first = Strcase.index_opt ~needle:m with_marker in
+        let second = Strcase.index_opt ~from:(start + 1) ~needle:m with_marker in
+        if first = Some start && second = None then
+          Printf.sprintf "(%s.Replace(%s,%s))" (quote with_marker) (quote m)
+            (quote piece)
+        else attempt (tries - 1)
+      end
+    in
+    attempt 8
+  end
+
+let reverse _rng s =
+  let n = String.length s in
+  let reversed = String.init n (fun i -> s.[n - 1 - i]) in
+  Printf.sprintf "(-join (%s[-1..-%d]))" (quote reversed) n
+
+let string_expr rng technique s =
+  match technique with
+  | Technique.Str_concat -> concat rng s
+  | Technique.Str_reorder -> reorder rng s
+  | Technique.Str_replace -> replace rng s
+  | Technique.Str_reverse -> reverse rng s
+  | t -> invalid_arg ("L2.string_expr: not an L2 technique: " ^ Technique.name t)
+
+(* Rewrite eligible string literals of a whole script. *)
+let apply rng technique src =
+  match Pslex.Lexer.tokenize src with
+  | Error _ -> src
+  | Ok toks ->
+      let eligible t =
+        t.T.kind = T.String_single
+        && String.length t.T.content >= 4
+        && (not (String.contains t.T.content '\n'))
+        && not (String.contains t.T.content '\'')
+      in
+      let edits =
+        List.filter_map
+          (fun t ->
+            if eligible t && Rng.chance rng 0.8 then
+              Some (Patch.edit t.T.extent (string_expr rng technique t.T.content))
+            else None)
+          toks
+      in
+      Patch.apply src edits

@@ -1,0 +1,186 @@
+(** L3 obfuscation: encodings that hide character-level information.
+
+    Each wrapper turns a whole script into an encoded payload plus inline
+    decoder, invoked through one of the [Invoke-Expression] spellings the
+    paper lists (§III-B4): [iex], [| iex], [&('iex')],
+    [.($pshome\[4\]+$pshome\[30\]+'x')], or [powershell -EncodedCommand]. *)
+
+open Pscommon
+
+let quote = L2.quote
+
+(* an Invoke-Expression spelling applied to an expression string.
+   [`Literal] spellings name the cmdlet outright; [`Obfuscated] ones hide it
+   behind the call operator and recovered strings, which is what defeats the
+   override-based baselines. *)
+let invoke_wrap ?(launcher = `Random) rng expr =
+  let pick_literal () =
+    match Rng.int rng 4 with
+    | 0 -> Printf.sprintf "Invoke-Expression %s" expr
+    | 1 -> Printf.sprintf "iex %s" expr
+    | 2 -> Printf.sprintf "%s | iex" expr
+    | _ -> Printf.sprintf "%s | Invoke-Expression" expr
+  in
+  let pick_obfuscated () =
+    match Rng.int rng 3 with
+    | 0 -> Printf.sprintf "& ('ie'+'x') %s" expr
+    | 1 -> Printf.sprintf ".($pshome[4]+$pshome[30]+'x') %s" expr
+    | _ -> Printf.sprintf "& ($env:comspec[4,24,25] -join '') %s" expr
+  in
+  match launcher with
+  | `Literal -> pick_literal ()
+  | `Obfuscated -> pick_obfuscated ()
+  | `Random -> if Rng.chance rng 0.35 then pick_literal () else pick_obfuscated ()
+
+let pick_sep rng = Rng.pick rng [ ","; "-"; "~"; ":" ]
+
+(* The encoded payload either stays inline as a quoted literal, or — like
+   the paper's case study — is split across variables assigned beforehand.
+   Variable indirection is what defeats context-free direct execution. *)
+let payload_slot ?(indirect = false) rng payload =
+  if not indirect then ("", quote payload)
+  else begin
+    let pieces = L2.split_pieces rng payload (Rng.int_in rng 2 3) in
+    let names = List.map (fun _ -> Rng.ident rng ~min_len:4 ~max_len:8) pieces in
+    let preamble =
+      String.concat ""
+        (List.map2
+           (fun n p -> Printf.sprintf "$%s = %s\n" n (quote p))
+           names pieces)
+    in
+    let expr = "(" ^ String.concat " + " (List.map (fun n -> "$" ^ n) names) ^ ")" in
+    (preamble, expr)
+  end
+
+let radix_codes radix sep script =
+  String.concat sep (Encoding.Digits.encode_codes radix script)
+
+let encode_radix ?launcher ?indirect rng radix script =
+  let sep = pick_sep rng in
+  let codes = radix_codes radix sep script in
+  let conv =
+    match radix with
+    | Encoding.Digits.Decimal -> "[char][int]$_"
+    | Encoding.Digits.Hex -> "[char][convert]::ToInt32($_,16)"
+    | Encoding.Digits.Octal -> "[char][convert]::ToInt32($_,8)"
+    | Encoding.Digits.Binary -> "[char][convert]::ToInt32($_,2)"
+  in
+  let preamble, payload = payload_slot ?indirect rng codes in
+  preamble
+  ^ invoke_wrap ?launcher rng
+      (Printf.sprintf "((%s -split '%s' | ForEach-Object { %s }) -join '')"
+         payload sep conv)
+
+let encode_bxor ?launcher ?indirect rng script =
+  let key = Rng.int_in rng 1 255 in
+  let sep = pick_sep rng in
+  let codes =
+    String.concat sep
+      (List.init (String.length script) (fun i ->
+           string_of_int (Char.code script.[i] lxor key)))
+  in
+  let preamble, payload = payload_slot ?indirect rng codes in
+  let expr =
+    Printf.sprintf
+      "((%s -split '%s' | ForEach-Object { [char]($_ -bxor %s) }) -join '')"
+      payload sep
+      (quote (Printf.sprintf "0x%02X" key))
+  in
+  preamble ^ invoke_wrap ?launcher rng expr
+
+let encode_base64 ?launcher ?indirect rng script =
+  if Rng.chance rng 0.35 && indirect <> Some true then
+    (* child-powershell form with an auto-completed parameter spelling *)
+    let flag = Rng.pick rng [ "-e"; "-en"; "-enc"; "-eNc"; "-EncodedCommand"; "-eNCODEDcOMMANd" ] in
+    Printf.sprintf "powershell %s %s" flag
+      (Encoding.Base64.encode (Encoding.Utf16.encode script))
+  else
+    let enc, b64 =
+      if Rng.bool rng then ("Unicode", Encoding.Base64.encode (Encoding.Utf16.encode script))
+      else ("ASCII", Encoding.Base64.encode script)
+    in
+    let preamble, payload = payload_slot ?indirect rng b64 in
+    preamble
+    ^ invoke_wrap ?launcher rng
+        (Printf.sprintf "([Text.Encoding]::%s.GetString([Convert]::FromBase64String(%s)))"
+           enc payload)
+
+let encode_securestring ?launcher ?indirect rng script =
+  let blob =
+    "76492d1116743f0423413b16050a5345" ^ "|"
+    ^ Encoding.Base64.encode (Encoding.Utf16.encode script)
+  in
+  let key = Rng.pick rng [ "(0..31)"; "(1..16)"; "(2..33)" ] in
+  let preamble, payload = payload_slot ?indirect rng blob in
+  preamble
+  ^ invoke_wrap ?launcher rng
+      (Printf.sprintf
+         "([Runtime.InteropServices.Marshal]::PtrToStringAuto([Runtime.InteropServices.Marshal]::SecureStringToBSTR((ConvertTo-SecureString -String %s -Key %s))))"
+         payload key)
+
+let encode_deflate ?launcher ?indirect rng script =
+  let b64 = Encoding.Base64.encode (Encoding.Deflate.deflate script) in
+  let preamble, payload = payload_slot ?indirect rng b64 in
+  preamble
+  ^ invoke_wrap ?launcher rng
+      (Printf.sprintf
+         "((New-Object IO.StreamReader((New-Object IO.Compression.DeflateStream([IO.MemoryStream][Convert]::FromBase64String(%s),[IO.Compression.CompressionMode]::Decompress)),[Text.Encoding]::ASCII)).ReadToEnd())"
+         payload)
+
+(* Whitespace encoding hides each character as a run of spaces whose length
+   is the code point minus an offset, decoded by a loop.  The paper's tool
+   cannot recover this (variable assigned inside a loop, §V-C) — keeping
+   that failure mode reproducible requires generating the loop form. *)
+let encode_whitespace rng script =
+  (* run length = code point, so control characters (newlines) survive *)
+  let runs =
+    String.concat "\t"
+      (List.init (String.length script) (fun i ->
+           String.make (Char.code script.[i]) ' '))
+  in
+  let acc = Rng.ident rng ~min_len:4 ~max_len:8 in
+  let item = Rng.ident rng ~min_len:3 ~max_len:6 in
+  Printf.sprintf
+    "$%s = '';foreach ($%s in (%s -split \"`t\")) { $%s += [char]($%s.Length) };.($pshome[4]+$pshome[30]+'x') $%s"
+    acc item (quote runs) acc item acc
+
+(* Special-character obfuscation: payload pieces live in braced variables
+   whose names are made of punctuation. *)
+let encode_specialchar ?launcher rng script =
+  let special_chars = [ '!'; '@'; '#'; '%'; '^'; '&'; '*'; '-'; '+'; '='; '.'; '/' ] in
+  let fresh_name used =
+    let rec go () =
+      let n = String.init (Rng.int_in rng 2 4) (fun _ -> Rng.pick rng special_chars) in
+      if List.mem n !used then go ()
+      else begin
+        used := n :: !used;
+        n
+      end
+    in
+    go ()
+  in
+  let pieces = L2.split_pieces rng script (Rng.int_in rng 2 4) in
+  let used = ref [] in
+  let names = List.map (fun _ -> fresh_name used) pieces in
+  let assignments =
+    List.map2
+      (fun name piece -> Printf.sprintf "${%s} = %s" name (quote piece))
+      names pieces
+  in
+  let concat_expr = String.concat "+" (List.map (fun n -> Printf.sprintf "${%s}" n) names) in
+  String.concat ";" assignments ^ ";"
+  ^ invoke_wrap ?launcher rng (Printf.sprintf "(%s)" concat_expr)
+
+let apply ?launcher ?indirect rng technique script =
+  match technique with
+  | Technique.Enc_binary -> encode_radix ?launcher ?indirect rng Encoding.Digits.Binary script
+  | Technique.Enc_octal -> encode_radix ?launcher ?indirect rng Encoding.Digits.Octal script
+  | Technique.Enc_ascii -> encode_radix ?launcher ?indirect rng Encoding.Digits.Decimal script
+  | Technique.Enc_hex -> encode_radix ?launcher ?indirect rng Encoding.Digits.Hex script
+  | Technique.Enc_base64 -> encode_base64 ?launcher ?indirect rng script
+  | Technique.Enc_whitespace -> encode_whitespace rng script
+  | Technique.Enc_specialchar -> encode_specialchar ?launcher rng script
+  | Technique.Enc_bxor -> encode_bxor ?launcher ?indirect rng script
+  | Technique.Secure_string_enc -> encode_securestring ?launcher ?indirect rng script
+  | Technique.Deflate_compress -> encode_deflate ?launcher ?indirect rng script
+  | t -> invalid_arg ("L3.apply: not an L3 technique: " ^ Technique.name t)

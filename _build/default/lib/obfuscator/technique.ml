@@ -1,0 +1,70 @@
+(** The obfuscation-technique taxonomy of the paper (Table II).
+
+    Levels follow §II-B: L1 only affects text/readability, L2 changes lexical
+    features and AST shape but keeps character-level information, L3 also
+    hides character-level information. *)
+
+type t =
+  (* L1 — randomization & alias *)
+  | Ticking
+  | Whitespacing
+  | Random_case
+  | Random_name
+  | Alias_sub
+  (* L2 — string-related *)
+  | Str_concat
+  | Str_reorder
+  | Str_replace
+  | Str_reverse
+  (* L3 — encodings and wrappers *)
+  | Enc_binary
+  | Enc_octal
+  | Enc_ascii
+  | Enc_hex
+  | Enc_base64
+  | Enc_whitespace
+  | Enc_specialchar
+  | Enc_bxor
+  | Secure_string_enc
+  | Deflate_compress
+
+let all =
+  [ Ticking; Whitespacing; Random_case; Random_name; Alias_sub; Str_concat;
+    Str_reorder; Str_replace; Str_reverse; Enc_binary; Enc_octal; Enc_ascii;
+    Enc_hex; Enc_base64; Enc_whitespace; Enc_specialchar; Enc_bxor;
+    Secure_string_enc; Deflate_compress ]
+
+let level = function
+  | Ticking | Whitespacing | Random_case | Random_name | Alias_sub -> 1
+  | Str_concat | Str_reorder | Str_replace | Str_reverse -> 2
+  | Enc_binary | Enc_octal | Enc_ascii | Enc_hex | Enc_base64 | Enc_whitespace
+  | Enc_specialchar | Enc_bxor | Secure_string_enc | Deflate_compress ->
+      3
+
+let name = function
+  | Ticking -> "ticking"
+  | Whitespacing -> "whitespacing"
+  | Random_case -> "random-case"
+  | Random_name -> "random-name"
+  | Alias_sub -> "alias"
+  | Str_concat -> "concatenate"
+  | Str_reorder -> "reorder"
+  | Str_replace -> "replace"
+  | Str_reverse -> "reverse"
+  | Enc_binary -> "encode-binary"
+  | Enc_octal -> "encode-octal"
+  | Enc_ascii -> "encode-ascii"
+  | Enc_hex -> "encode-hex"
+  | Enc_base64 -> "encode-base64"
+  | Enc_whitespace -> "encode-whitespace"
+  | Enc_specialchar -> "encode-specialchar"
+  | Enc_bxor -> "encode-bxor"
+  | Secure_string_enc -> "securestring"
+  | Deflate_compress -> "compress-deflate"
+
+let of_name s =
+  List.find_opt (fun t -> String.equal (name t) s) all
+
+let l1 = List.filter (fun t -> level t = 1) all
+let l2 = List.filter (fun t -> level t = 2) all
+let l3 = List.filter (fun t -> level t = 3) all

@@ -1,0 +1,44 @@
+(** The obfuscation-technique taxonomy of the paper (Table II).
+
+    Levels follow §II-B: L1 only affects text/readability, L2 changes
+    lexical features and AST shape but keeps character-level information,
+    L3 also hides character-level information. *)
+
+type t =
+  (* L1 — randomization & alias *)
+  | Ticking
+  | Whitespacing
+  | Random_case
+  | Random_name
+  | Alias_sub
+  (* L2 — string-related *)
+  | Str_concat
+  | Str_reorder
+  | Str_replace
+  | Str_reverse
+  (* L3 — encodings and wrappers *)
+  | Enc_binary
+  | Enc_octal
+  | Enc_ascii
+  | Enc_hex
+  | Enc_base64
+  | Enc_whitespace
+  | Enc_specialchar
+  | Enc_bxor
+  | Secure_string_enc
+  | Deflate_compress
+
+val all : t list
+(** In the paper's Table II row order. *)
+
+val level : t -> int
+(** 1, 2 or 3. *)
+
+val name : t -> string
+(** Stable kebab-case name ("encode-bxor", "concatenate", …). *)
+
+val of_name : string -> t option
+
+val l1 : t list
+val l2 : t list
+val l3 : t list

@@ -1,0 +1,1 @@
+lib/psast/ast.ml: Extent List Pscommon

@@ -1,0 +1,1 @@
+lib/psast/ast.mli: Extent Pscommon

@@ -1,0 +1,1 @@
+lib/psast/printer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/pscommon/extent.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/pscommon/extent.mli: Format

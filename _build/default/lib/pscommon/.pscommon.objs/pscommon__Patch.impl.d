@@ -1,0 +1,1 @@
+lib/pscommon/patch.ml: Buffer Extent List String

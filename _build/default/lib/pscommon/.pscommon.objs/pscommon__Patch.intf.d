@@ -1,0 +1,1 @@
+lib/pscommon/patch.mli: Extent

@@ -1,0 +1,1 @@
+lib/pscommon/rng.ml: Array Char Float Int64 List String

@@ -1,0 +1,1 @@
+lib/pscommon/rng.mli:

@@ -1,0 +1,1 @@
+lib/pscommon/strcase.ml: Buffer Char Map Set String

@@ -1,0 +1,1 @@
+lib/pscommon/strcase.mli: Map Set

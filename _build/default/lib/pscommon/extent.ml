@@ -1,0 +1,34 @@
+type t = { start : int; stop : int }
+
+let make ~start ~stop =
+  if start < 0 then invalid_arg "Extent.make: negative start";
+  if stop < start then invalid_arg "Extent.make: stop < start";
+  { start; stop }
+
+let empty_at pos = make ~start:pos ~stop:pos
+let length e = e.stop - e.start
+let is_empty e = e.stop = e.start
+let contains outer inner = outer.start <= inner.start && inner.stop <= outer.stop
+
+let overlaps a b =
+  let lo = max a.start b.start and hi = min a.stop b.stop in
+  lo < hi
+
+let before a b = a.stop <= b.start
+
+let union a b =
+  { start = min a.start b.start; stop = max a.stop b.stop }
+
+let text src e =
+  if e.stop > String.length src then invalid_arg "Extent.text: out of range";
+  String.sub src e.start (length e)
+
+let shift e delta = make ~start:(e.start + delta) ~stop:(e.stop + delta)
+
+let compare a b =
+  match Int.compare a.start b.start with
+  | 0 -> Int.compare a.stop b.stop
+  | c -> c
+
+let equal a b = a.start = b.start && a.stop = b.stop
+let pp fmt e = Format.fprintf fmt "[%d,%d)" e.start e.stop

@@ -1,0 +1,50 @@
+(** Source extents: half-open byte ranges [start, stop) into a script text.
+
+    Every token and AST node carries an extent so that deobfuscation can
+    replace obfuscated pieces {e in place} — the property the paper relies on
+    for semantics preservation. *)
+
+type t = {
+  start : int;  (** inclusive byte offset of the first character *)
+  stop : int;  (** exclusive byte offset one past the last character *)
+}
+
+val make : start:int -> stop:int -> t
+(** [make ~start ~stop] is the extent [\[start, stop)].
+    @raise Invalid_argument if [stop < start] or [start < 0]. *)
+
+val empty_at : int -> t
+(** [empty_at pos] is the zero-width extent at [pos]. *)
+
+val length : t -> int
+(** Number of bytes covered. *)
+
+val is_empty : t -> bool
+
+val contains : t -> t -> bool
+(** [contains outer inner] is true when [inner] lies entirely within
+    [outer].  An extent contains itself. *)
+
+val overlaps : t -> t -> bool
+(** True when the two extents share at least one byte. *)
+
+val before : t -> t -> bool
+(** [before a b] is true when [a] ends at or before the start of [b]. *)
+
+val union : t -> t -> t
+(** Smallest extent covering both arguments. *)
+
+val text : string -> t -> string
+(** [text src e] is the substring of [src] covered by [e].
+    @raise Invalid_argument if [e] does not fit in [src]. *)
+
+val shift : t -> int -> t
+(** [shift e delta] translates both endpoints by [delta]. *)
+
+val compare : t -> t -> int
+(** Order by start offset, then by stop offset. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [\[start,stop)]. *)

@@ -1,0 +1,43 @@
+type edit = { extent : Extent.t; replacement : string }
+
+let edit extent replacement = { extent; replacement }
+
+let sort_edits edits =
+  List.sort (fun a b -> Extent.compare a.extent b.extent) edits
+
+(* Drop edits strictly nested inside an earlier (outer) edit; raise on partial
+   overlap.  Input must be sorted by extent. *)
+let resolve_nesting ~allow_nested edits =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | e :: rest -> (
+        match acc with
+        | prev :: _ when Extent.contains prev.extent e.extent ->
+            if allow_nested then loop acc rest
+            else invalid_arg "Patch.apply: nested edits"
+        | prev :: _ when Extent.overlaps prev.extent e.extent ->
+            invalid_arg "Patch.apply: partially overlapping edits"
+        | _ -> loop (e :: acc) rest)
+  in
+  loop [] edits
+
+let apply_resolved src edits =
+  let buf = Buffer.create (String.length src) in
+  let pos =
+    List.fold_left
+      (fun pos e ->
+        if e.extent.Extent.stop > String.length src then
+          invalid_arg "Patch.apply: extent outside source";
+        Buffer.add_substring buf src pos (e.extent.Extent.start - pos);
+        Buffer.add_string buf e.replacement;
+        e.extent.Extent.stop)
+      0 edits
+  in
+  Buffer.add_substring buf src pos (String.length src - pos);
+  Buffer.contents buf
+
+let apply src edits =
+  apply_resolved src (resolve_nesting ~allow_nested:true (sort_edits edits))
+
+let apply_exn_on_nested src edits =
+  apply_resolved src (resolve_nesting ~allow_nested:false (sort_edits edits))

@@ -1,0 +1,24 @@
+(** In-place text patching.
+
+    The reconstruction phase of the deobfuscator collects [(extent,
+    replacement)] edits against the original script and applies them all at
+    once.  Applying from the end of the text backwards keeps earlier extents
+    valid, which is what lets replacement happen strictly {e in place}. *)
+
+type edit = { extent : Extent.t; replacement : string }
+
+val edit : Extent.t -> string -> edit
+
+val apply : string -> edit list -> string
+(** [apply src edits] replaces every extent with its replacement.  Edits may
+    be given in any order; they are sorted by start offset.  Overlapping
+    edits are resolved by keeping the {e outermost} edit and dropping edits
+    nested inside it (an outer recovery already covers its children); edits
+    that partially overlap raise.
+
+    @raise Invalid_argument on partially overlapping edits or extents outside
+    [src]. *)
+
+val apply_exn_on_nested : string -> edit list -> string
+(** Like {!apply} but raises on any overlap, including full nesting.  Used by
+    tests to assert that a recovery pass never produces conflicting edits. *)

@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  create (mix64 seed)
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let chance t p = float t 1.0 < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. Float.max 0.0 w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: no positive weight";
+  let target = float t total in
+  let rec walk acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty list"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest ->
+        let acc = acc +. Float.max 0.0 w in
+        if target < acc then x else walk acc rest
+  in
+  walk 0.0 choices
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample t k xs =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take (min k (List.length xs)) (shuffle t xs)
+
+let lowercase_letter t = Char.chr (Char.code 'a' + int t 26)
+
+let letter t =
+  let c = lowercase_letter t in
+  if bool t then Char.uppercase_ascii c else c
+
+let alnum t =
+  if chance t 0.2 then Char.chr (Char.code '0' + int t 10) else letter t
+
+let ident t ~min_len ~max_len =
+  let len = int_in t min_len max_len in
+  String.init len (fun i -> if i = 0 then letter t else alnum t)

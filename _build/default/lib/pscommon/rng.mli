@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Corpus generation and the obfuscator must be reproducible: the same seed
+    always yields the same corpus, so experiment tables are stable across
+    runs and machines. *)
+
+type t
+
+val create : int64 -> t
+(** Fresh generator from a seed. *)
+
+val of_int : int -> t
+
+val split : t -> t
+(** Derive an independent generator; the parent advances. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+val float : t -> float -> float
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on empty list. *)
+
+val pick_weighted : t -> (float * 'a) list -> 'a
+(** Choice proportional to weight. @raise Invalid_argument if all weights
+    are nonpositive or the list is empty. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] elements without replacement,
+    preserving no particular order. *)
+
+val lowercase_letter : t -> char
+val letter : t -> char
+val alnum : t -> char
+
+val ident : t -> min_len:int -> max_len:int -> string
+(** Random identifier: a letter followed by alphanumerics. *)

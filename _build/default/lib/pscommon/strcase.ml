@@ -1,0 +1,80 @@
+let lower = String.lowercase_ascii
+let upper = String.uppercase_ascii
+let equal a b = String.equal (lower a) (lower b)
+let compare a b = String.compare (lower a) (lower b)
+
+let starts_with ~prefix s =
+  String.length prefix <= String.length s
+  && equal prefix (String.sub s 0 (String.length prefix))
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  lx <= ls && equal suffix (String.sub s (ls - lx) lx)
+
+let index_opt ?(from = 0) ~needle s =
+  let ls = String.length s and ln = String.length needle in
+  if ln = 0 then None
+  else
+    let needle = lower needle in
+    let matches_at i =
+      let rec check j =
+        j = ln
+        || Char.lowercase_ascii s.[i + j] = needle.[j] && check (j + 1)
+      in
+      check 0
+    in
+    let rec scan i =
+      if i + ln > ls then None else if matches_at i then Some i else scan (i + 1)
+    in
+    scan (max 0 from)
+
+let contains ~needle s =
+  String.length needle = 0 || index_opt ~needle s <> None
+
+let replace_word ~needle ~replacement ~is_word_char s =
+  if String.length needle = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let rec loop pos =
+      match index_opt ~from:pos ~needle s with
+      | None -> Buffer.add_substring buf s pos (String.length s - pos)
+      | Some i ->
+          let stop = i + String.length needle in
+          if stop < String.length s && is_word_char s.[stop] then begin
+            (* partial identifier: not a whole-word occurrence *)
+            Buffer.add_substring buf s pos (stop - pos);
+            loop stop
+          end
+          else begin
+            Buffer.add_substring buf s pos (i - pos);
+            Buffer.add_string buf replacement;
+            loop stop
+          end
+    in
+    loop 0;
+    Buffer.contents buf
+  end
+
+let replace_all ~needle ~replacement s =
+  if String.length needle = 0 then s
+  else
+    let buf = Buffer.create (String.length s) in
+    let rec loop pos =
+      match index_opt ~from:pos ~needle s with
+      | None -> Buffer.add_substring buf s pos (String.length s - pos)
+      | Some i ->
+          Buffer.add_substring buf s pos (i - pos);
+          Buffer.add_string buf replacement;
+          loop (i + String.length needle)
+    in
+    loop 0;
+    Buffer.contents buf
+
+module Key = struct
+  type t = string
+
+  let compare = compare
+end
+
+module Map = Map.Make (Key)
+module Set = Set.Make (Key)

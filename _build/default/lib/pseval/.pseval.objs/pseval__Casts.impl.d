@@ -1,0 +1,1 @@
+lib/pseval/casts.ml: Array List Printf Psast Pscommon Psparse Psvalue String Value

@@ -1,0 +1,1 @@
+lib/pseval/env.ml: Hashtbl List Printf Psast Pscommon Psvalue Strcase String

@@ -1,0 +1,1 @@
+lib/pseval/env.mli: Hashtbl Psast Psvalue

@@ -1,0 +1,1 @@
+lib/pseval/interp.ml: Array Buffer Casts Encoding Env Format_op Fun List Members Ops Printf Psast Pscommon Pslex Psparse Psvalue Regexen Statics String Value

@@ -1,0 +1,1 @@
+lib/pseval/interp.mli: Env Psast Psvalue

@@ -1,0 +1,1 @@
+lib/pseval/members.ml: Array Buffer Char Encoding Env Format_op List Ops Printf Pscommon Psvalue String Value

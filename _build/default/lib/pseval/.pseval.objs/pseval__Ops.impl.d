@@ -1,0 +1,1 @@
+lib/pseval/ops.ml: Array Buffer Float List Printf Psast Pscommon Psvalue Regexen String Value

@@ -1,0 +1,1 @@
+lib/pseval/statics.ml: Array Buffer Casts Char Encoding Float Format_op List Printf Pscommon Psvalue String Value

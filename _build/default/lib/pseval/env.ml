@@ -1,0 +1,240 @@
+(** Evaluation environment: variable scopes, effect events, limits.
+
+    Two modes share one interpreter:
+    {ul
+    {- [Recovery] — used by the deobfuscator's Invoke-based recovery.  Any
+       side effect (network, file, process, registry, sleep) raises
+       {!Blocked}; the deobfuscator then keeps the obfuscated piece, exactly
+       as the paper's blocklist does.}
+    {- [Sandbox] — used for behavioural-consistency experiments.  Side
+       effects are recorded as events and return synthetic results, like the
+       TianQiong sandbox the paper uses.}} *)
+
+open Pscommon
+
+type mode = Recovery | Sandbox
+
+type event =
+  | Dns_query of string
+  | Tcp_connect of string * int
+  | Http_get of string  (** DownloadString / Invoke-WebRequest *)
+  | Http_download of string * string  (** url, destination path *)
+  | File_write of string
+  | File_read of string
+  | Process_start of string
+  | Registry_write of string
+  | Sleep of float
+
+let event_to_string = function
+  | Dns_query h -> Printf.sprintf "dns:%s" h
+  | Tcp_connect (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+  | Http_get u -> Printf.sprintf "http-get:%s" u
+  | Http_download (u, p) -> Printf.sprintf "http-download:%s->%s" u p
+  | File_write p -> Printf.sprintf "file-write:%s" p
+  | File_read p -> Printf.sprintf "file-read:%s" p
+  | Process_start c -> Printf.sprintf "process:%s" c
+  | Registry_write k -> Printf.sprintf "registry:%s" k
+  | Sleep s -> Printf.sprintf "sleep:%g" s
+
+exception Blocked of string
+(** Raised in [Recovery] mode when execution would produce a side effect. *)
+
+exception Eval_error of string
+exception Limit_exceeded of string
+
+type limits = {
+  max_steps : int;
+  max_invoke_depth : int;  (** nested Invoke-Expression layers *)
+  max_collection : int;  (** range / array size cap *)
+  max_string : int;
+}
+
+let default_limits =
+  { max_steps = 2_000_000; max_invoke_depth = 32; max_collection = 1_000_000;
+    max_string = 32 * 1024 * 1024 }
+
+type scope = { table : (string, Psvalue.Value.t) Hashtbl.t }
+
+type fn = { fn_params : string list; fn_body : Psast.Ast.t }
+
+type t = {
+  mutable scopes : scope list;  (** innermost first; last is global *)
+  functions : (string, fn) Hashtbl.t;  (** keys lowercased *)
+  env_vars : (string, string) Hashtbl.t;  (** simulated $env: drive *)
+  mode : mode;
+  limits : limits;
+  mutable steps : int;
+  mutable invoke_depth : int;
+  mutable events : event list;  (** reverse order *)
+  mutable output_sink : Psvalue.Value.t list;  (** Write-Host capture, reverse *)
+  mutable downloads_fail : bool;
+      (** wild samples' C2 servers are dead: when set, network fetches
+          record their event and then raise, like a timed-out WebClient.
+          Tools that execute samples for real run in this mode. *)
+  mutable iex_hook : (literal:bool -> string -> bool) option;
+      (** overriding-function simulation: called with each string handed to
+          Invoke-Expression.  [literal] is true when the command was spelled
+          out (an override installed by text replacement only fires then).
+          Returning [true] consumes the payload — execution is skipped, as
+          an override that prints instead of executing would. *)
+}
+
+let new_scope () = { table = Hashtbl.create 16 }
+
+(* Simulated Windows environment, enough for the $env / $pshome index tricks
+   obfuscators rely on ($pshome[4]+$pshome[30]+'x' = 'iex', comspec[4,24,25]
+   = 'iex', …). *)
+let default_env_vars () =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t (Strcase.lower k) v)
+    [
+      ("comspec", "C:\\WINDOWS\\system32\\cmd.exe");
+      ("windir", "C:\\WINDOWS");
+      ("systemroot", "C:\\WINDOWS");
+      ("temp", "C:\\Users\\user\\AppData\\Local\\Temp");
+      ("tmp", "C:\\Users\\user\\AppData\\Local\\Temp");
+      ("public", "C:\\Users\\Public");
+      ("userprofile", "C:\\Users\\user");
+      ("username", "user");
+      ("computername", "DESKTOP-USER");
+      ("programdata", "C:\\ProgramData");
+      ("appdata", "C:\\Users\\user\\AppData\\Roaming");
+      ("localappdata", "C:\\Users\\user\\AppData\\Local");
+      ("psmodulepath", "C:\\Users\\user\\Documents\\WindowsPowerShell\\Modules");
+      ("path", "C:\\WINDOWS\\system32;C:\\WINDOWS");
+      ("processor_architecture", "AMD64");
+    ];
+  t
+
+let automatic_variables =
+  [
+    ("true", Psvalue.Value.Bool true);
+    ("false", Psvalue.Value.Bool false);
+    ("null", Psvalue.Value.Null);
+    ("pshome", Psvalue.Value.Str "C:\\Windows\\System32\\WindowsPowerShell\\v1.0");
+    ("shellid", Psvalue.Value.Str "Microsoft.PowerShell");
+    ("home", Psvalue.Value.Str "C:\\Users\\user");
+    ("pid", Psvalue.Value.Int 4242);
+    ("pwd", Psvalue.Value.Str "C:\\Users\\user");
+    ("verbosepreference", Psvalue.Value.Str "SilentlyContinue");
+    ("erroractionpreference", Psvalue.Value.Str "Continue");
+    ("psversiontable", Psvalue.Value.Hash [ (Psvalue.Value.Str "PSVersion", Psvalue.Value.Str "5.1.19041") ]);
+    ("psculture", Psvalue.Value.Str "en-US");
+    ("psuiculture", Psvalue.Value.Str "en-US");
+  ]
+
+let create ?(mode = Recovery) ?(limits = default_limits) () =
+  let global = new_scope () in
+  List.iter (fun (k, v) -> Hashtbl.replace global.table k v) automatic_variables;
+  {
+    scopes = [ global ];
+    functions = Hashtbl.create 8;
+    env_vars = default_env_vars ();
+    mode;
+    limits;
+    steps = 0;
+    invoke_depth = 0;
+    events = [];
+    output_sink = [];
+    downloads_fail = false;
+    iex_hook = None;
+  }
+
+let tick env =
+  env.steps <- env.steps + 1;
+  if env.steps > env.limits.max_steps then
+    raise (Limit_exceeded "step budget exhausted")
+
+let record env ev =
+  match env.mode with
+  | Sandbox -> env.events <- ev :: env.events
+  | Recovery -> raise (Blocked (event_to_string ev))
+
+let events env = List.rev env.events
+
+(* ---------- variables ---------- *)
+
+let split_drive name =
+  match String.index_opt name ':' with
+  | Some i ->
+      Some (Strcase.lower (String.sub name 0 i),
+            String.sub name (i + 1) (String.length name - i - 1))
+  | None -> None
+
+let rec lookup_in scopes key =
+  match scopes with
+  | [] -> None
+  | s :: rest -> (
+      match Hashtbl.find_opt s.table key with
+      | Some v -> Some v
+      | None -> lookup_in rest key)
+
+let get_var env name =
+  match split_drive name with
+  | Some ("env", rest) -> (
+      match Hashtbl.find_opt env.env_vars (Strcase.lower rest) with
+      | Some s -> Some (Psvalue.Value.Str s)
+      | None -> Some Psvalue.Value.Null)
+  | Some (("global" | "script" | "local" | "private" | "variable"), rest) ->
+      lookup_in env.scopes (Strcase.lower rest)
+  | Some (_, _) -> None
+  | None -> lookup_in env.scopes (Strcase.lower name)
+
+let set_var env name value =
+  match split_drive name with
+  | Some ("env", rest) ->
+      Hashtbl.replace env.env_vars (Strcase.lower rest)
+        (Psvalue.Value.to_string value)
+  | Some (("global" | "script"), rest) -> (
+      match List.rev env.scopes with
+      | global :: _ -> Hashtbl.replace global.table (Strcase.lower rest) value
+      | [] -> assert false)
+  | Some (("local" | "private" | "variable"), rest) -> (
+      match env.scopes with
+      | s :: _ -> Hashtbl.replace s.table (Strcase.lower rest) value
+      | [] -> assert false)
+  | Some (_, _) | None -> (
+      let key = Strcase.lower name in
+      (* PowerShell assignment updates an existing visible variable, or
+         creates it in the current scope *)
+      let rec find_scope = function
+        | [] -> None
+        | s :: rest ->
+            if Hashtbl.mem s.table key then Some s else find_scope rest
+      in
+      match find_scope env.scopes with
+      | Some s -> Hashtbl.replace s.table key value
+      | None -> (
+          match env.scopes with
+          | s :: _ -> Hashtbl.replace s.table key value
+          | [] -> assert false))
+
+let push_scope env = env.scopes <- new_scope () :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | _ :: (_ :: _ as rest) -> env.scopes <- rest
+  | _ -> ()
+
+let with_scope env f =
+  push_scope env;
+  match f () with
+  | result ->
+      pop_scope env;
+      result
+  | exception e ->
+      pop_scope env;
+      raise e
+
+(* ---------- functions ---------- *)
+
+let define_function env name fn =
+  Hashtbl.replace env.functions (Strcase.lower name) fn
+
+let find_function env name = Hashtbl.find_opt env.functions (Strcase.lower name)
+
+(* ---------- output sink (Write-Host etc.) ---------- *)
+
+let sink env v = env.output_sink <- v :: env.output_sink
+let sunk_output env = List.rev env.output_sink

@@ -1,0 +1,98 @@
+(** Evaluation environment: variable scopes, effect events, limits.
+
+    Two modes share one interpreter:
+    {ul
+    {- [Recovery] — used by the deobfuscator's Invoke-based recovery.  Any
+       side effect raises {!Blocked}; the deobfuscator then keeps the
+       obfuscated piece, exactly as the paper's blocklist does.}
+    {- [Sandbox] — used for behavioural-consistency experiments.  Side
+       effects are recorded as events and return synthetic results, like
+       the TianQiong sandbox the paper uses.}} *)
+
+type mode = Recovery | Sandbox
+
+type event =
+  | Dns_query of string
+  | Tcp_connect of string * int
+  | Http_get of string
+  | Http_download of string * string  (** url, destination path *)
+  | File_write of string
+  | File_read of string
+  | Process_start of string
+  | Registry_write of string
+  | Sleep of float
+
+val event_to_string : event -> string
+
+exception Blocked of string
+(** Raised in [Recovery] mode when execution would produce a side effect. *)
+
+exception Eval_error of string
+exception Limit_exceeded of string
+
+type limits = {
+  max_steps : int;
+  max_invoke_depth : int;  (** nested Invoke-Expression layers *)
+  max_collection : int;  (** range / array size cap *)
+  max_string : int;
+}
+
+val default_limits : limits
+
+type fn = { fn_params : string list; fn_body : Psast.Ast.t }
+
+type t = {
+  mutable scopes : scope list;
+  functions : (string, fn) Hashtbl.t;
+  env_vars : (string, string) Hashtbl.t;  (** simulated [$env:] drive *)
+  mode : mode;
+  limits : limits;
+  mutable steps : int;
+  mutable invoke_depth : int;
+  mutable events : event list;
+  mutable output_sink : Psvalue.Value.t list;  (** Write-Host capture *)
+  mutable downloads_fail : bool;
+      (** dead-C2 simulation: network fetches record their event, then
+          raise — how executing tools experience wild samples *)
+  mutable iex_hook : (literal:bool -> string -> bool) option;
+      (** overriding-function simulation; [literal] is true when the
+          command was spelled out.  Returning [true] consumes the payload
+          (skips execution), like an override that prints instead of
+          executing. *)
+}
+
+and scope = { table : (string, Psvalue.Value.t) Hashtbl.t }
+
+val automatic_variables : (string * Psvalue.Value.t) list
+(** The built-in variables an empty session provides ([$pshome], [$true],
+    [$pid], …) — including the values obfuscators index into. *)
+
+val create : ?mode:mode -> ?limits:limits -> unit -> t
+
+val tick : t -> unit
+(** Account one evaluation step.  @raise Limit_exceeded over budget. *)
+
+val record : t -> event -> unit
+(** Record a side effect ([Sandbox]) or @raise Blocked ([Recovery]). *)
+
+val events : t -> event list
+(** Events in occurrence order. *)
+
+val get_var : t -> string -> Psvalue.Value.t option
+(** Scope-chain lookup; [$env:*] reads the simulated environment;
+    drive-qualified names resolve their scope. *)
+
+val set_var : t -> string -> Psvalue.Value.t -> unit
+(** Update where visible, else create in the current scope. *)
+
+val push_scope : t -> unit
+val pop_scope : t -> unit
+val with_scope : t -> (unit -> 'a) -> 'a
+
+val define_function : t -> string -> fn -> unit
+val find_function : t -> string -> fn option
+
+val sink : t -> Psvalue.Value.t -> unit
+(** Host output (Write-Host). *)
+
+val sunk_output : t -> Psvalue.Value.t list

@@ -1,0 +1,315 @@
+(** Operator semantics.
+
+    PowerShell converts the right operand to the left operand's type, which
+    is what makes ['a' + 1 = "a1"] but [1 + 'a'] an error — obfuscation
+    recovery depends on getting these coercions right. *)
+
+open Psvalue
+module A = Psast.Ast
+
+exception Op_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Op_error s)) fmt
+
+let wildcard_to_regex pattern =
+  let buf = Buffer.create (String.length pattern + 8) in
+  Buffer.add_char buf '^';
+  String.iter
+    (fun c ->
+      match c with
+      | '*' -> Buffer.add_string buf ".*"
+      | '?' -> Buffer.add_char buf '.'
+      | '\\' | '^' | '$' | '.' | '|' | '+' | '(' | ')' | '[' | ']' | '{' | '}' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    pattern;
+  Buffer.add_char buf '$';
+  Buffer.contents buf
+
+let compile_regex ?(case_sensitive = false) pattern =
+  match Regexen.Regex.compile_opt ~case_insensitive:(not case_sensitive) pattern with
+  | Ok r -> r
+  | Error msg -> fail "invalid regex %S: %s" pattern msg
+
+(* ---------- add / arithmetic ---------- *)
+
+let rec add a b =
+  match a with
+  | Value.Str s -> Value.Str (s ^ Value.to_string b)
+  | Value.Char c -> Value.Str (String.make 1 c ^ Value.to_string b)
+  | Value.Int n -> (
+      match b with
+      | Value.Float _ -> Value.Float (float_of_int n +. Value.to_float b)
+      | _ -> Value.Int (n + Value.to_int b))
+  | Value.Float f -> Value.Float (f +. Value.to_float b)
+  | Value.Arr xs -> Value.Arr (Array.append xs (Array.of_list (Value.to_list b)))
+  | Value.Hash pairs -> (
+      match b with
+      | Value.Hash more -> Value.Hash (pairs @ more)
+      | _ -> fail "cannot add %s to a hashtable" (Value.type_name b))
+  | Value.Null -> (
+      match b with Value.Null -> Value.Null | _ -> add (neutral_for b) b)
+  | Value.Bool _ | Value.Script_block _ | Value.Secure_string _ | Value.Obj _ ->
+      fail "operator '+' not supported on %s" (Value.type_name a)
+
+and neutral_for = function
+  | Value.Str _ | Value.Char _ -> Value.Str ""
+  | Value.Int _ -> Value.Int 0
+  | Value.Float _ -> Value.Float 0.0
+  | Value.Arr _ -> Value.Arr [||]
+  | v -> v
+
+let multiply a b =
+  match a with
+  | Value.Str s ->
+      let n = Value.to_int b in
+      if n < 0 then fail "negative string multiplier"
+      else if n * String.length s > 32 * 1024 * 1024 then fail "string too large"
+      else
+        Value.Str (String.concat "" (List.init n (fun _ -> s)))
+  | Value.Int n -> (
+      match b with
+      | Value.Float _ -> Value.Float (float_of_int n *. Value.to_float b)
+      | _ -> Value.Int (n * Value.to_int b))
+  | Value.Float f -> Value.Float (f *. Value.to_float b)
+  | Value.Arr xs ->
+      let n = Value.to_int b in
+      if n < 0 || n * Array.length xs > 1_000_000 then fail "array too large"
+      else Value.Arr (Array.concat (List.init n (fun _ -> xs)))
+  | _ -> fail "operator '*' not supported on %s" (Value.type_name a)
+
+let arith_int_like a = match a with Value.Float _ -> false | _ -> true
+
+let subtract a b =
+  if arith_int_like a && arith_int_like b then Value.Int (Value.to_int a - Value.to_int b)
+  else Value.Float (Value.to_float a -. Value.to_float b)
+
+let divide a b =
+  let fa = Value.to_float a and fb = Value.to_float b in
+  if fb = 0.0 then fail "division by zero"
+  else
+    let q = fa /. fb in
+    if arith_int_like a && arith_int_like b && Float.is_integer q then
+      Value.Int (int_of_float q)
+    else Value.Float q
+
+let modulo a b =
+  let ib = Value.to_int b in
+  if ib = 0 then fail "division by zero" else Value.Int (Value.to_int a mod ib)
+
+(* ---------- comparison with array-filter semantics ---------- *)
+
+let scalar_compare_op op ~case_sensitive a b =
+  let c = Value.compare_loose ~case_sensitive a b in
+  match op with
+  | A.Gt -> c > 0
+  | A.Ge -> c >= 0
+  | A.Lt -> c < 0
+  | A.Le -> c <= 0
+  | _ -> assert false
+
+let range env_cap a b =
+  let lo = Value.to_int a and hi = Value.to_int b in
+  let len = abs (hi - lo) + 1 in
+  if len > env_cap then fail "range too large (%d elements)" len
+  else if lo <= hi then Value.Arr (Array.init len (fun i -> Value.Int (lo + i)))
+  else Value.Arr (Array.init len (fun i -> Value.Int (lo - i)))
+
+let like_match ~case_sensitive subject pattern =
+  let r = compile_regex ~case_sensitive (wildcard_to_regex pattern) in
+  Regexen.Regex.is_match r subject
+
+(* Comparison operators filter when LHS is an array (PowerShell semantics):
+   @(1,2,3) -eq 2  →  @(2). *)
+let comparison op sensitivity a b =
+  let case_sensitive = sensitivity = Some true in
+  let test x =
+    match op with
+    | A.Eq -> Value.equal_loose ~case_sensitive x b
+    | A.Ne -> not (Value.equal_loose ~case_sensitive x b)
+    | A.Gt | A.Ge | A.Lt | A.Le -> scalar_compare_op op ~case_sensitive x b
+    | A.Like -> like_match ~case_sensitive (Value.to_string x) (Value.to_string b)
+    | A.Notlike ->
+        not (like_match ~case_sensitive (Value.to_string x) (Value.to_string b))
+    | A.Match ->
+        Regexen.Regex.is_match
+          (compile_regex ~case_sensitive (Value.to_string b))
+          (Value.to_string x)
+    | A.Notmatch ->
+        not
+          (Regexen.Regex.is_match
+             (compile_regex ~case_sensitive (Value.to_string b))
+             (Value.to_string x))
+    | _ -> assert false
+  in
+  match a with
+  | Value.Arr xs ->
+      Value.Arr (Array.of_list (List.filter test (Array.to_list xs)))
+  | _ -> Value.Bool (test a)
+
+let replace_op sensitivity a b =
+  let case_sensitive = sensitivity = Some true in
+  let pattern, replacement =
+    match b with
+    | Value.Arr [| p; r |] -> (Value.to_string p, Value.to_string r)
+    | Value.Arr [| p |] -> (Value.to_string p, "")
+    | v -> (Value.to_string v, "")
+  in
+  let r = compile_regex ~case_sensitive pattern in
+  let apply s = Regexen.Regex.replace r ~template:replacement s in
+  match a with
+  | Value.Arr xs -> Value.Arr (Array.map (fun x -> Value.Str (apply (Value.to_string x))) xs)
+  | v -> Value.Str (apply (Value.to_string v))
+
+let split_op sensitivity a b =
+  let case_sensitive = sensitivity = Some true in
+  (* '-split pattern,count' limits the number of pieces *)
+  let pattern, max_count =
+    match b with
+    | Value.Arr (arr : Value.t array) when Array.length arr >= 2 ->
+        (Value.to_string arr.(0), Some (Value.to_int arr.(1)))
+    | Value.Arr arr when Array.length arr > 0 -> (Value.to_string arr.(0), None)
+    | v -> (Value.to_string v, None)
+  in
+  let r = compile_regex ~case_sensitive pattern in
+  (* applied to an array, -split splits each element and flattens — chained
+     splits ('x' -split 'a' -split 'b') rely on this *)
+  let subjects =
+    match a with
+    | Value.Arr xs -> List.map Value.to_string (Array.to_list xs)
+    | v -> [ Value.to_string v ]
+  in
+  let split_one subject =
+    let parts = Regexen.Regex.split r subject in
+    match max_count with
+    | Some n when n > 0 && List.length parts > n ->
+        (* keep n pieces: the last one swallows the remaining separators *)
+        let rec take i = function
+          | [] -> ([], [])
+          | x :: rest ->
+              if i = 1 then ([], x :: rest)
+              else
+                let first, leftover = take (i - 1) rest in
+                (x :: first, leftover)
+        in
+        let first, leftover = take n parts in
+        (* re-split the original to recover the tail verbatim is regex-hard;
+           join leftovers with the literal pattern when it has no
+           metacharacters, else with empty string *)
+        let sep =
+          if String.for_all (fun c -> match c with
+              | 'a'..'z' | 'A'..'Z' | '0'..'9' | ' ' | ',' | '~' | ':' | ';'
+              | '-' | '_' -> true
+              | _ -> false) pattern
+          then pattern
+          else ""
+        in
+        first @ [ String.concat sep leftover ]
+    | _ -> parts
+  in
+  Value.Arr
+    (Array.of_list
+       (List.concat_map
+          (fun subject -> List.map (fun s -> Value.Str s) (split_one subject))
+          subjects))
+
+let unary_split a =
+  (* unary -split: split on runs of whitespace, dropping empties *)
+  let subject = Value.to_string a in
+  let parts =
+    String.split_on_char ' ' subject
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.concat_map (String.split_on_char '\r')
+    |> List.filter (fun s -> s <> "")
+  in
+  Value.Arr (Array.of_list (List.map (fun s -> Value.Str s) parts))
+
+let join_op a b =
+  let sep = Value.to_string b in
+  let parts = List.map Value.to_string (Value.to_list a) in
+  Value.Str (String.concat sep parts)
+
+let unary_join a = join_op a (Value.Str "")
+
+let contains_op ?(case_sensitive = false) ~negate a b =
+  let hit =
+    List.exists (fun x -> Value.equal_loose ~case_sensitive x b) (Value.to_list a)
+  in
+  Value.Bool (if negate then not hit else hit)
+
+let in_op ?(case_sensitive = false) ~negate a b =
+  let hit =
+    List.exists (fun x -> Value.equal_loose ~case_sensitive x a) (Value.to_list b)
+  in
+  Value.Bool (if negate then not hit else hit)
+
+let type_matches type_name v =
+  let tn = Pscommon.Strcase.lower type_name in
+  let actual = Pscommon.Strcase.lower (Value.type_name v) in
+  let aliases =
+    match tn with
+    | "int" | "int32" -> [ "system.int32" ]
+    | "long" | "int64" -> [ "system.int64" ]
+    | "string" -> [ "system.string" ]
+    | "char" -> [ "system.char" ]
+    | "bool" | "boolean" -> [ "system.boolean" ]
+    | "double" | "float" -> [ "system.double" ]
+    | "array" | "object[]" -> [ "system.object[]" ]
+    | "hashtable" -> [ "system.collections.hashtable" ]
+    | "scriptblock" -> [ "system.management.automation.scriptblock" ]
+    | "securestring" -> [ "system.security.securestring" ]
+    | t -> [ t; "system." ^ t ]
+  in
+  List.mem actual aliases
+
+let bitwise op a b =
+  let x = Value.to_int a and y = Value.to_int b in
+  match op with
+  | A.Band -> Value.Int (x land y)
+  | A.Bor -> Value.Int (x lor y)
+  | A.Bxor -> Value.Int (x lxor y)
+  | A.Shl -> Value.Int (x lsl (y land 63))
+  | A.Shr -> Value.Int (x asr (y land 63))
+  | _ -> assert false
+
+let logical op a b =
+  let x = Value.to_bool a and y = Value.to_bool b in
+  match op with
+  | A.And_op -> Value.Bool (x && y)
+  | A.Or_op -> Value.Bool (x || y)
+  | A.Xor_op -> Value.Bool (x <> y)
+  | _ -> assert false
+
+(* ---------- indexing ---------- *)
+
+let index_string s i =
+  let n = String.length s in
+  let i = if i < 0 then n + i else i in
+  if i < 0 || i >= n then Value.Null else Value.Char s.[i]
+
+let index_array xs i =
+  let n = Array.length xs in
+  let i = if i < 0 then n + i else i in
+  if i < 0 || i >= n then Value.Null else xs.(i)
+
+let index_value container index =
+  let scalar_index v i =
+    match v with
+    | Value.Str s -> index_string s i
+    | Value.Arr xs -> index_array xs i
+    | Value.Null -> Value.Null
+    | _ -> fail "cannot index %s" (Value.type_name v)
+  in
+  match (container, index) with
+  | Value.Hash pairs, key -> (
+      match
+        List.find_opt (fun (k, _) -> Value.equal_loose k key) pairs
+      with
+      | Some (_, v) -> v
+      | None -> Value.Null)
+  | v, Value.Arr indices ->
+      (* slice: collect each index; string slices yield char arrays *)
+      Value.Arr (Array.map (fun ix -> scalar_index v (Value.to_int ix)) indices)
+  | v, ix -> scalar_index v (Value.to_int ix)

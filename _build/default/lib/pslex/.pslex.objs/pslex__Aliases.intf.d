@@ -1,0 +1,1 @@
+lib/pslex/aliases.mli:

@@ -1,0 +1,1 @@
+lib/pslex/lexer.ml: Buffer Extent List Printf Pscommon Strcase String Token

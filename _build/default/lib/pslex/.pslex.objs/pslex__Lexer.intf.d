@@ -1,0 +1,1 @@
+lib/pslex/lexer.mli: Token

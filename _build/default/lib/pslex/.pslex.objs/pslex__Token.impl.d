@@ -1,0 +1,1 @@
+lib/pslex/token.ml: Format Pscommon

@@ -1,0 +1,1 @@
+lib/pslex/token.mli: Format Pscommon

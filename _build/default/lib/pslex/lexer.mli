@@ -1,0 +1,28 @@
+(** Mode-aware PowerShell tokenizer.
+
+    PowerShell lexing is context-sensitive: a bareword is a command name at
+    the start of a pipeline element, an argument inside one, and (mostly) an
+    error in expression position; [-word] is a parameter in argument position
+    but an operator ([-f], [-join], …) in expression position; [\[...\]] is a
+    type literal where an operand is expected and an index after a value.
+    The lexer tracks exactly that state, like the real PSParser. *)
+
+type error = { message : string; position : int }
+
+val tokenize : string -> (Token.t list, error) result
+(** Token stream in source order.  Whitespace is skipped (token extents
+    preserve positions); comments, newlines and line continuations are
+    tokens. *)
+
+val tokenize_exn : string -> Token.t list
+(** @raise Failure on lexical errors. *)
+
+val is_keyword : string -> bool
+(** Caseless PowerShell statement-keyword test. *)
+
+val keyword_canonical : string -> string option
+(** Canonical (lowercase) spelling of a keyword. *)
+
+val dash_operators : string list
+(** The [-word] operator names ([f], [eq], [join], …), lowercase, without
+    the dash. *)

@@ -1,0 +1,1 @@
+lib/psparse/parser.ml: Array Buffer Extent Float List Option Printf Psast Pscommon Pslex Strcase String

@@ -1,0 +1,1 @@
+lib/psparse/parser.mli: Psast

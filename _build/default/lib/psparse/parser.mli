@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the PowerShell subset.
+
+    Produces {!Psast.Ast.t} trees whose extents index the {e original}
+    source, so every node's text can be replaced in place.  Operator
+    precedence follows about_Operator_Precedence; newline handling follows
+    PowerShell (a newline terminates a statement except right after an
+    operator, pipe, comma or opening group). *)
+
+type error = { message : string; position : int }
+
+val parse : string -> (Psast.Ast.t, error) result
+(** Parse a whole script into a [Script_block] node. *)
+
+val parse_exn : string -> Psast.Ast.t
+(** @raise Failure on lexical or syntax errors. *)
+
+val parse_fragment : src:string -> offset:int -> string -> (Psast.Ast.t, error) result
+(** Parse [fragment], shifting every extent by [offset] so they index
+    [src].  Used for the bodies of expandable strings. *)
+
+val is_valid_syntax : string -> bool
+(** True when the script both lexes and parses.  The deobfuscator checks
+    this after every phase and reverts a phase that broke the script
+    (paper §IV-A). *)

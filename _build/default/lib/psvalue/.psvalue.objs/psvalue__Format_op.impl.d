@@ -1,0 +1,1 @@
+lib/psvalue/format_op.ml: Buffer Char List Printf String Value

@@ -1,0 +1,1 @@
+lib/psvalue/format_op.mli: Value

@@ -1,0 +1,1 @@
+lib/psvalue/value.ml: Array Buffer Char Float Format List Option Printf Psast Pscommon Strcase String

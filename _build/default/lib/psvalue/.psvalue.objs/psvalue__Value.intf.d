@@ -1,0 +1,1 @@
+lib/psvalue/value.mli: Format Psast

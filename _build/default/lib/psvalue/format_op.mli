@@ -1,0 +1,14 @@
+(** The [-f] format operator (.NET composite formatting).
+
+    Covers what obfuscation uses: [{index}], [{index,alignment}],
+    [{index:format}] with [D]/[X]/[N] numeric formats, and [{{]/[}}]
+    escapes.  String reordering ("{2}{0}{1}" -f …) is the paper's canonical
+    L2 technique. *)
+
+exception Format_error of string
+
+val format : string -> Value.t list -> string
+(** @raise Format_error on out-of-range indices or unclosed items. *)
+
+val apply_numeric_format : string -> Value.t -> string
+(** One format specifier ([X2], [D3], [N1]) applied to a value. *)

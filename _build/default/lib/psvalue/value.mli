@@ -1,0 +1,117 @@
+(** PowerShell runtime values.
+
+    The interpreter only ever executes {e recoverable pieces} — code whose
+    result should be a string, number or simple collection — so the value
+    model covers PowerShell's primitives, arrays, hashtables, script blocks
+    and the handful of .NET object kinds that obfuscation recovery code
+    touches (streams, encodings, WebClient). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Char of char
+  | Arr of t array  (** mutable on purpose: [\[array\]::Reverse] mutates *)
+  | Hash of (t * t) list
+  | Script_block of sb
+  | Secure_string of string
+      (** simulation keeps the plaintext; [Marshal::PtrToStringAuto] round
+          trips recover it *)
+  | Obj of ps_object
+
+and sb = { sb_ast : Psast.Ast.script_block; sb_text : string }
+
+and ps_object = { otype : string; okind : object_kind }
+
+and object_kind =
+  | Web_client
+  | Memory_stream of stream_state
+  | Deflate_stream of stream_state  (** holds already-inflated data *)
+  | Gzip_stream of stream_state
+  | Stream_reader of stream_state
+  | Encoding_obj of encoding_name
+  | Bstr of string  (** result of [SecureStringToBSTR] *)
+  | Generic  (** only its type name is known — [ToString] yields it *)
+
+and stream_state = { mutable data : string; mutable pos : int }
+
+and encoding_name = Enc_unicode | Enc_utf8 | Enc_ascii | Enc_default | Enc_utf32
+
+exception Conversion_error of string
+
+(** {1 Collections} *)
+
+val of_list : t list -> t
+(** [\[\]] is [Null], a singleton is its element, anything longer an
+    array — how pipeline output collapses to a single value. *)
+
+val to_list : t -> t list
+(** Inverse-ish: [Null] enumerates to nothing, arrays to their elements,
+    scalars to themselves. *)
+
+(** {1 Conversions (PowerShell semantics)} *)
+
+val type_name : t -> string
+(** .NET-style type name, e.g. ["System.Int32"]. *)
+
+val encoding_type_name : encoding_name -> string
+
+val to_string : t -> string
+(** PowerShell stringification: [Null] is [""], booleans are
+    ["True"]/["False"], arrays join with spaces, objects print their type
+    name. *)
+
+val float_to_string : float -> string
+(** Culture-invariant, integral floats without a decimal point. *)
+
+val to_int : t -> int
+(** Parses hex strings (["0x4B"]), trims whitespace, takes char code
+    points.  @raise Conversion_error when there is no numeric reading. *)
+
+val to_float : t -> float
+val to_bool : t -> bool
+(** PowerShell truthiness: empty string/array and zero are false; a
+    singleton array delegates to its element. *)
+
+val to_char : t -> char
+(** Code points and single-character strings.  @raise Conversion_error. *)
+
+(** {1 Byte strings} *)
+
+val bytes_to_value : string -> t
+(** A byte string as an [Int] array — the shape
+    [\[Convert\]::FromBase64String] returns. *)
+
+val value_to_bytes : t -> string
+(** Strings pass through; arrays must hold bytes/chars.
+    @raise Conversion_error. *)
+
+val chars_to_value : string -> t
+(** A string as a [Char] array ([\[char\[\]\]] cast). *)
+
+(** {1 Comparison} *)
+
+val equal_loose : ?case_sensitive:bool -> t -> t -> bool
+(** [-eq] semantics: the left operand's type drives coercion; strings
+    compare caselessly unless [case_sensitive]. *)
+
+val compare_loose : ?case_sensitive:bool -> t -> t -> int
+(** Ordering for [-lt]/[-gt]; numeric left operands coerce the right.
+    @raise Conversion_error on unorderable values. *)
+
+(** {1 Source rendering (recovery results)} *)
+
+val quote_single : string -> string
+(** Single-quoted PowerShell literal with [''] escaping. *)
+
+val to_source_opt : t -> string option
+(** Render a recovery result back into script text: strings single-quoted,
+    numbers bare, string arrays as literals.  [None] when the value has no
+    faithful source form (objects, hashtables, control characters) — the
+    paper keeps the obfuscated piece in that case (§III-B2). *)
+
+val is_stringlike : t -> bool
+
+val pp : Format.formatter -> t -> unit

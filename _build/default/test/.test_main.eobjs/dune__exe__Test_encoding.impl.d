@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Char Encoding Gen List Printf QCheck QCheck_alcotest String

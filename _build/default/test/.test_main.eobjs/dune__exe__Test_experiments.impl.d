@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Baselines Deobf Experiments Lazy List Obfuscator String

@@ -1,0 +1,1 @@
+test/test_obfuscator.ml: Alcotest Corpus List Obfuscator Pscommon Pseval Psparse Psvalue QCheck QCheck_alcotest Rng Sandbox Strcase

@@ -1,0 +1,1 @@
+test/test_paper_listings.ml: Alcotest Array Char Deobf List Printf Pscommon Pseval Psvalue Sandbox Strcase String

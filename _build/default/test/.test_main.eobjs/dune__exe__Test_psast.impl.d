@@ -1,0 +1,1 @@
+test/test_psast.ml: Alcotest Corpus Deobf List Obfuscator Option Psast Pscommon Psparse QCheck QCheck_alcotest Sandbox

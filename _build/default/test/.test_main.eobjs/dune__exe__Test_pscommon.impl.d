@@ -1,0 +1,1 @@
+test/test_pscommon.ml: Alcotest Extent Gen List Patch Pscommon QCheck QCheck_alcotest Rng Strcase String

@@ -1,0 +1,1 @@
+test/test_pseval.ml: Alcotest Encoding Format List Printf Pseval Psvalue String

@@ -1,0 +1,1 @@
+test/test_pslex.ml: Alcotest List Pscommon Pslex QCheck QCheck_alcotest

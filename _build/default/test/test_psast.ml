@@ -1,0 +1,157 @@
+(* Tests for the AST library: traversal orders, children, ancestors. *)
+
+module A = Psast.Ast
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+let parse = Psparse.Parser.parse_exn
+
+let test_children_complete () =
+  (* every node's extent contains all its children's extents, and every
+     character of a child belongs to the parent's slice *)
+  let src = "if ($a) { 'x' + 'y' } else { foreach ($i in 1..3) { $i } }" in
+  let ast = parse src in
+  A.iter_post_order
+    (fun node ->
+      List.iter
+        (fun child ->
+          check_b "child within parent" true
+            (Pscommon.Extent.contains node.A.extent child.A.extent))
+        (A.children node))
+    ast
+
+let test_post_order_children_first () =
+  let src = "('a'+'b')" in
+  let ast = parse src in
+  let order = ref [] in
+  A.iter_post_order (fun n -> order := A.kind_name n :: !order) ast;
+  let order = List.rev !order in
+  let idx k =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if x = k then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  check_b "constants before binary" true
+    (idx "StringConstantExpressionAst" < idx "BinaryExpressionAst");
+  check_b "binary before paren" true
+    (idx "BinaryExpressionAst" < idx "ParenExpressionAst");
+  check_s "root last" "ScriptBlockAst" (List.nth order (List.length order - 1))
+
+let test_pre_order_root_first () =
+  let ast = parse "'x'" in
+  let first = ref None in
+  ignore
+    (A.fold_pre_order
+       (fun () n -> if !first = None then first := Some (A.kind_name n))
+       () ast);
+  check_s "root first" "ScriptBlockAst" (Option.get !first)
+
+let test_count_nodes () =
+  check_b "monotone with nesting" true
+    (A.count_nodes (parse "(('a'))") > A.count_nodes (parse "'a'"))
+
+let test_ancestors () =
+  let src = "$x = ('a'+'b')" in
+  let ast = parse src in
+  let seen = ref None in
+  ignore
+    (A.fold_post_order_with_ancestors
+       (fun ancestors () n ->
+         match n.A.node with
+         | A.Binary_expr _ ->
+             seen := Some (List.map A.kind_name ancestors)
+         | _ -> ())
+       () ast);
+  match !seen with
+  | Some (parent :: rest) ->
+      check_s "immediate parent" "CommandExpressionAst" parent;
+      check_b "paren in chain" true (List.mem "ParenExpressionAst" rest);
+      check_b "assignment in chain" true (List.mem "AssignmentStatementAst" rest)
+  | _ -> Alcotest.fail "binary not found"
+
+let test_command_name () =
+  let ast = parse "write-host hello" in
+  let name = ref None in
+  A.iter_post_order
+    (fun n ->
+      match n.A.node with
+      | A.Command cmd -> name := A.command_name cmd
+      | _ -> ())
+    ast;
+  Alcotest.(check (option string)) "name" (Some "write-host") !name
+
+let test_kind_names_match_paper_taxonomy () =
+  (* the recoverable-node kinds of paper §III-B1 must carry their official
+     names, because the whole methodology is phrased in terms of them *)
+  List.iter
+    (fun (src, kind) ->
+      let found = ref false in
+      A.iter_post_order
+        (fun n -> if A.kind_name n = kind then found := true)
+        (parse src);
+      check_b kind true !found)
+    [ ("a | b", "PipelineAst"); ("-join $x", "UnaryExpressionAst");
+      ("1 + 2", "BinaryExpressionAst"); ("[char]65", "ConvertExpressionAst");
+      ("$s.Replace('a','b')", "InvokeMemberExpressionAst");
+      ("$(1)", "SubExpressionAst") ]
+
+let test_recoverable_nodes_detected () =
+  List.iter
+    (fun src ->
+      let ast = parse src in
+      let any = ref false in
+      A.iter_post_order
+        (fun n -> if Deobf.Recover.is_recoverable n then any := true)
+        ast;
+      check_b (src ^ " has recoverable node") true !any)
+    [ "'a'+'b'"; "[char]104"; "$s.ToUpper()"; "$(1+1)"; "-join $a" ]
+
+let test_printer_roundtrips () =
+  List.iter
+    (fun src ->
+      let printed = Psast.Printer.print (parse src) in
+      check_b (src ^ " prints to valid syntax") true
+        (Psparse.Parser.is_valid_syntax printed))
+    [ "write-host hello"; "$x = ('a'+'b').Replace('a','c')";
+      "if ($a) { 1 } elseif ($b) { 2 } else { 3 }";
+      "foreach ($i in 1..3) { $i * 2 }";
+      "function f($a, $b) { return $a + $b }";
+      "try { throw 'x' } catch { 'c' } finally { 'f' }";
+      "switch (2) { 1 { 'one' } default { 'd' } }";
+      "& ('ie'+'x') 'write-host 1'"; "@{a = 1; b = 'two'}";
+      "$env:comspec[4,24,25] -join ''";
+      "[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String($x))";
+      "powershell -enc abc -NoProfile"; "1,2,3 | % { $_ }";
+      "do { $i++ } while ($i -lt 3)"; "begin { 1 } process { $_ } end { 2 }" ]
+
+let prop_printer_preserves_behavior =
+  QCheck.Test.make ~name:"printer: canonical rendering preserves behaviour"
+    ~count:40 QCheck.small_nat
+    (fun seed ->
+      let rng = Pscommon.Rng.of_int (seed * 7 + 1) in
+      let _, clean = Corpus.Templates.generate rng in
+      let ob, _ = Obfuscator.Obfuscate.wild_mix rng clean in
+      match Psparse.Parser.parse ob with
+      | Error _ -> false
+      | Ok ast ->
+          let printed = Psast.Printer.print ast in
+          Psparse.Parser.is_valid_syntax printed
+          && Sandbox.same_network_behavior (Sandbox.run ob) (Sandbox.run printed))
+
+let suite =
+  [
+    ("children complete", `Quick, test_children_complete);
+    ("printer roundtrips", `Quick, test_printer_roundtrips);
+    QCheck_alcotest.to_alcotest prop_printer_preserves_behavior;
+    ("post-order children first", `Quick, test_post_order_children_first);
+    ("pre-order root first", `Quick, test_pre_order_root_first);
+    ("count nodes", `Quick, test_count_nodes);
+    ("ancestors", `Quick, test_ancestors);
+    ("command name", `Quick, test_command_name);
+    ("paper taxonomy names", `Quick, test_kind_names_match_paper_taxonomy);
+    ("recoverable nodes", `Quick, test_recoverable_nodes_detected);
+  ]

