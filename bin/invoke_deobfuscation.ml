@@ -30,8 +30,7 @@ let output_arg =
 
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
-      no_reformat no_token_phase stats =
-    let src = read_input input in
+      no_reformat no_token_phase stats batch timeout =
     let options =
       {
         Deobf.Engine.token_phase = not no_token_phase;
@@ -45,16 +44,54 @@ let deobfuscate_cmd =
         max_iterations = Deobf.Engine.default_options.Deobf.Engine.max_iterations;
       }
     in
-    let result = Deobf.Engine.run ~options src in
-    write_output result.Deobf.Engine.output output;
-    if stats then
-      Printf.eprintf
-        "pieces recovered: %d\nvariables substituted: %d\nlayers unwrapped: %d\npieces attempted: %d (blocked: %d)\nchanged: %b\n"
-        result.stats.Deobf.Recover.pieces_recovered
-        result.stats.Deobf.Recover.variables_substituted
-        result.stats.Deobf.Recover.layers_unwrapped
-        result.stats.Deobf.Recover.pieces_attempted
-        result.stats.Deobf.Recover.pieces_blocked result.Deobf.Engine.changed
+    if batch then begin
+      (* per-file isolation: a hanging or crashing sample is contained by
+         its own deadline and recorded; the batch continues *)
+      let dir =
+        match input with
+        | Some d when d <> "-" -> d
+        | _ ->
+            Printf.eprintf "deobfuscate --batch requires a directory argument\n";
+            exit 2
+      in
+      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+        Printf.eprintf "deobfuscate --batch: not a directory: %s\n" dir;
+        exit 2
+      end;
+      let out_dir =
+        match output with Some o -> o | None -> dir ^ "-deobfuscated"
+      in
+      let timeout_s = Option.value timeout ~default:30.0 in
+      let summary = Deobf.Batch.run_dir ~options ~timeout_s ~out_dir dir in
+      print_endline (Deobf.Batch.summary_to_json summary);
+      Printf.eprintf "%d files: %d clean, %d degraded (reports in %s)\n"
+        summary.Deobf.Batch.total summary.Deobf.Batch.clean
+        summary.Deobf.Batch.degraded out_dir
+    end
+    else begin
+      let src = read_input input in
+      let guarded =
+        Deobf.Engine.run_guarded ~options
+          ~timeout_s:(Option.value timeout ~default:infinity)
+          src
+      in
+      let result = guarded.Deobf.Engine.result in
+      write_output result.Deobf.Engine.output output;
+      List.iter
+        (fun (site : Deobf.Engine.failure_site) ->
+          Printf.eprintf "contained failure in %s: %s\n" site.phase
+            (Pscommon.Guard.failure_to_string site.failure))
+        guarded.Deobf.Engine.failures;
+      if stats then
+        Printf.eprintf
+          "pieces recovered: %d\nvariables substituted: %d\nlayers unwrapped: %d\npieces attempted: %d (blocked: %d)\niterations: %d\nchanged: %b\n"
+          result.stats.Deobf.Recover.pieces_recovered
+          result.stats.Deobf.Recover.variables_substituted
+          result.stats.Deobf.Recover.layers_unwrapped
+          result.stats.Deobf.Recover.pieces_attempted
+          result.stats.Deobf.Recover.pieces_blocked
+          result.Deobf.Engine.iterations result.Deobf.Engine.changed
+    end
   in
   let flag names doc = Arg.(value & flag & info names ~doc) in
   Cmd.v
@@ -67,7 +104,20 @@ let deobfuscate_cmd =
       $ flag [ "no-rename" ] "Keep randomised identifier names."
       $ flag [ "no-reformat" ] "Keep original whitespace."
       $ flag [ "no-token-phase" ] "Disable token-level (L1) recovery (ablation)."
-      $ flag [ "stats" ] "Print recovery statistics to stderr.")
+      $ flag [ "stats" ] "Print recovery statistics to stderr."
+      $ flag [ "batch" ]
+          "Treat FILE as a directory of samples: process each file in \
+           crash-isolated fashion, writing recovered scripts, per-file \
+           failure reports and batch_report.json to the output directory \
+           (-o, default FILE-deobfuscated)."
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "timeout" ] ~docv:"SECONDS"
+              ~doc:
+                "Wall-clock budget per script; overruns degrade to partial \
+                 recovery and are reported (default: unlimited, 30s in \
+                 --batch mode)."))
 
 (* ---------- score ---------- *)
 

@@ -9,8 +9,14 @@ let invoke_deobfuscation =
         Tool.plain result.Deobf.Engine.output);
   }
 
-let baselines = [ Psdecode.tool; Powerdrive.tool; Powerdecode.tool; Li_etal.tool ]
-let all = baselines @ [ invoke_deobfuscation ]
+(* every compared tool runs guarded: one hostile sample degrades that
+   tool's result, never the comparison run *)
+let baselines =
+  List.map
+    (fun t -> Tool.guard t)
+    [ Psdecode.tool; Powerdrive.tool; Powerdecode.tool; Li_etal.tool ]
+
+let all = baselines @ [ Tool.guard invoke_deobfuscation ]
 
 let by_name name =
   List.find_opt (fun t -> Pscommon.Strcase.equal t.Tool.name name) all

@@ -29,3 +29,19 @@ let simulated_cost events =
     0.0 events
 
 let plain result = { result; simulated_seconds = 0.0 }
+
+(* Tools that execute samples crash or hang on unexpected input — the
+   failure mode the paper's Table II comparison exercises.  Guarding each
+   tool turns a crash into "returned the sample unchanged", which is how a
+   tool that died mid-run scores, and bounds each sample's wall time. *)
+let guard ?(timeout_s = 20.0) tool =
+  { tool with
+    deobfuscate =
+      (fun script ->
+        match
+          Pscommon.Guard.protect
+            ~deadline:(Pscommon.Guard.deadline_after timeout_s)
+            (fun () -> tool.deobfuscate script)
+        with
+        | Ok out -> out
+        | Error _ -> plain script) }

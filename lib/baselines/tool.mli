@@ -17,3 +17,9 @@ val simulated_cost : Pseval.Env.event list -> float
 
 val plain : string -> output
 (** Output with no simulated cost. *)
+
+val guard : ?timeout_s:float -> t -> t
+(** Contain the tool: a crash or wall-clock overrun on a hostile sample
+    returns the sample unchanged instead of killing the run.  The deadline
+    is ambient ({!Pscommon.Guard}), so every evaluator the tool creates
+    inherits it. *)

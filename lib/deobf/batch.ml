@@ -1,0 +1,162 @@
+(** Crash-isolated batch processing over a directory of samples. *)
+
+module Guard = Pscommon.Guard
+
+type outcome = {
+  file : string;
+  output_file : string option;
+  wall_ms : float;
+  iterations : int;
+  changed : bool;
+  failures : Engine.failure_site list;
+  stats : Recover.stats;
+}
+
+type summary = {
+  total : int;
+  clean : int;
+  degraded : int;
+  wall_ms : float;
+  outcomes : outcome list;
+}
+
+(* ---------- JSON rendering (reuses Report's dependency-free helpers) ---------- *)
+
+let failure_to_json (site : Engine.failure_site) =
+  Printf.sprintf "{\"phase\": %s, \"kind\": %s, \"detail\": %s}"
+    (Report.json_string site.Engine.phase)
+    (Report.json_string (Guard.failure_label site.Engine.failure))
+    (Report.json_string (Guard.failure_to_string site.Engine.failure))
+
+let stats_to_json (s : Recover.stats) =
+  Printf.sprintf
+    "{\"pieces_recovered\": %d, \"variables_substituted\": %d, \
+     \"layers_unwrapped\": %d, \"pieces_attempted\": %d, \"pieces_blocked\": %d}"
+    s.Recover.pieces_recovered s.Recover.variables_substituted
+    s.Recover.layers_unwrapped s.Recover.pieces_attempted
+    s.Recover.pieces_blocked
+
+let outcome_to_json o =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"file\": %s," (Report.json_string o.file);
+      Printf.sprintf "  \"status\": %s,"
+        (Report.json_string (if o.failures = [] then "ok" else "degraded"));
+      Printf.sprintf "  \"wall_ms\": %.1f," o.wall_ms;
+      Printf.sprintf "  \"iterations\": %d," o.iterations;
+      Printf.sprintf "  \"changed\": %b," o.changed;
+      Printf.sprintf "  \"failures\": [%s],"
+        (String.concat ", " (List.map failure_to_json o.failures));
+      Printf.sprintf "  \"stats\": %s," (stats_to_json o.stats);
+      Printf.sprintf "  \"output_file\": %s"
+        (match o.output_file with
+        | Some p -> Report.json_string p
+        | None -> "null");
+      "}";
+    ]
+
+let summary_to_json s =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"total\": %d," s.total;
+      Printf.sprintf "  \"clean\": %d," s.clean;
+      Printf.sprintf "  \"degraded\": %d," s.degraded;
+      Printf.sprintf "  \"wall_ms\": %.1f," s.wall_ms;
+      Printf.sprintf "  \"outcomes\": [\n%s\n  ]"
+        (String.concat ",\n" (List.map outcome_to_json s.outcomes));
+      "}";
+    ]
+
+(* ---------- per-file isolation ---------- *)
+
+let write_file path content =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+let process_file ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir file =
+  let started = Guard.now () in
+  let finish ?output_file ~iterations ~changed ~stats failures =
+    { file; output_file; wall_ms = (Guard.now () -. started) *. 1000.0;
+      iterations; changed; failures; stats }
+  in
+  match
+    Guard.protect (fun () ->
+        In_channel.with_open_bin file In_channel.input_all)
+  with
+  | Error failure ->
+      finish ~iterations:0 ~changed:false ~stats:(Recover.new_stats ())
+        [ { Engine.phase = "read"; failure } ]
+  | Ok src -> (
+      (* the guarded engine is total; the outer protect is the backstop for
+         anything outside it (e.g. report writing) *)
+      let guarded = Engine.run_guarded ?options ~timeout_s ?max_output_bytes src in
+      let result = guarded.Engine.result in
+      let output_file =
+        match out_dir with
+        | None -> None
+        | Some dir -> (
+            let path = Filename.concat dir (Filename.basename file) in
+            match Guard.protect (fun () -> write_file path result.Engine.output) with
+            | Ok () -> Some path
+            | Error _ -> None)
+      in
+      let outcome =
+        finish ?output_file ~iterations:result.Engine.iterations
+          ~changed:result.Engine.changed ~stats:result.Engine.stats
+          guarded.Engine.failures
+      in
+      (match (out_dir, guarded.Engine.failures) with
+      | Some dir, _ :: _ ->
+          let report_path =
+            Filename.concat dir (Filename.basename file ^ ".failures.json")
+          in
+          ignore
+            (Guard.protect (fun () ->
+                 write_file report_path (outcome_to_json outcome ^ "\n")))
+      | _ -> ());
+      outcome)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let run_files ?options ?timeout_s ?max_output_bytes ?out_dir files =
+  let started = Guard.now () in
+  (match out_dir with
+  | Some dir -> ignore (Guard.protect (fun () -> ensure_dir dir))
+  | None -> ());
+  let outcomes =
+    List.map
+      (fun file -> process_file ?options ?timeout_s ?max_output_bytes ?out_dir file)
+      files
+  in
+  let clean = List.length (List.filter (fun o -> o.failures = []) outcomes) in
+  {
+    total = List.length outcomes;
+    clean;
+    degraded = List.length outcomes - clean;
+    wall_ms = (Guard.now () -. started) *. 1000.0;
+    outcomes;
+  }
+
+let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir dir =
+  let files =
+    match Guard.protect (fun () -> Sys.readdir dir) with
+    | Error _ -> []
+    | Ok names ->
+        Array.to_list names |> List.sort String.compare
+        |> List.map (Filename.concat dir)
+        |> List.filter (fun p ->
+               match Guard.protect (fun () -> Sys.is_directory p) with
+               | Ok is_dir -> not is_dir
+               | Error _ -> false)
+  in
+  let summary = run_files ?options ?timeout_s ?max_output_bytes ?out_dir files in
+  (match out_dir with
+  | Some out ->
+      ignore
+        (Guard.protect (fun () ->
+             write_file
+               (Filename.concat out "batch_report.json")
+               (summary_to_json summary ^ "\n")))
+  | None -> ());
+  summary

@@ -1,0 +1,56 @@
+(** Crash-isolated batch processing — the shape of the paper's Table II
+    corpus runs and of any future service: one hanging or crashing sample is
+    contained by its own deadline and recorded in a per-file JSON failure
+    report, and the batch continues. *)
+
+type outcome = {
+  file : string;  (** input path *)
+  output_file : string option;  (** where the recovered text was written *)
+  wall_ms : float;
+  iterations : int;
+  changed : bool;
+  failures : Engine.failure_site list;  (** empty when the file ran clean *)
+  stats : Recover.stats;
+}
+
+type summary = {
+  total : int;
+  clean : int;  (** files with no contained failures *)
+  degraded : int;  (** files that finished with contained failures *)
+  wall_ms : float;
+  outcomes : outcome list;  (** in processing order *)
+}
+
+val process_file :
+  ?options:Engine.options ->
+  ?timeout_s:float ->
+  ?max_output_bytes:int ->
+  ?out_dir:string ->
+  string ->
+  outcome
+(** Run one file through {!Engine.run_guarded} under its own deadline.
+    Never raises: unreadable files and crashing samples come back as an
+    outcome with failures.  With [out_dir], the recovered text is written
+    to [out_dir/<basename>] and, when the file degraded, a failure report
+    to [out_dir/<basename>.failures.json]. *)
+
+val run_files :
+  ?options:Engine.options ->
+  ?timeout_s:float ->
+  ?max_output_bytes:int ->
+  ?out_dir:string ->
+  string list ->
+  summary
+
+val run_dir :
+  ?options:Engine.options ->
+  ?timeout_s:float ->
+  ?max_output_bytes:int ->
+  ?out_dir:string ->
+  string ->
+  summary
+(** Process every regular file in a directory, in sorted order.  With
+    [out_dir], also writes [out_dir/batch_report.json]. *)
+
+val outcome_to_json : outcome -> string
+val summary_to_json : summary -> string

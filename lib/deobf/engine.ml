@@ -19,6 +19,7 @@ and recovery_options = Recover.options = {
   use_multilayer : bool;
   max_depth : int;
   piece_step_budget : int;
+  piece_timeout_s : float;
 }
 
 let default_options =
@@ -88,16 +89,24 @@ let residual_dynamic_iex src =
         ast;
       !found
 
+(* Phase 2 driver: recovery based on AST, iterated to a fixpoint.  Returns
+   the recovered text and the number of passes actually run (not the bound).
+   The loop also stops when the ambient wall-clock deadline expires, keeping
+   whatever partial recovery the completed passes produced. *)
 let rec deobfuscate_at ~opts ~stats ~depth src =
   (* Phase 1: token parsing *)
   let src1 = if opts.token_phase then Token_phase.run src else src in
-  (* Phase 2: recovery based on AST, iterated to a fixpoint *)
+  fixpoint_from ~opts ~stats ~depth src1
+
+and fixpoint_from ~opts ~stats ~depth src1 =
   let deobfuscate ~depth payload =
     (* recursive entry used by multi-layer unwrapping *)
-    deobfuscate_at ~opts ~stats ~depth payload
+    fst (deobfuscate_at ~opts ~stats ~depth payload)
   in
   let rec fixpoint i current =
     if i >= opts.max_iterations then (current, i)
+    else if Pscommon.Guard.expired (Pscommon.Guard.ambient_deadline ()) then
+      (current, i)
     else
       let next =
         Recover.run_pass ~opts:opts.recovery ~stats ~deobfuscate ~depth current
@@ -106,48 +115,128 @@ let rec deobfuscate_at ~opts ~stats ~depth src =
       let next = Simplify.run next in
       if String.equal next current then (current, i + 1) else fixpoint (i + 1) next
   in
-  let recovered, _ = fixpoint 0 src1 in
-  recovered
+  fixpoint 0 src1
+
+(* Renaming is skipped when an encoded payload survived recovery — its
+   hidden code may define or reference variables by their original names at
+   run time, and renaming the visible script would desynchronise the two. *)
+let residual_encoded recovered =
+  (* a) a powershell -e/-enc/-command invocation still present; decided on
+     the token stream, so command text like Write-Error cannot shortcut it *)
+  (match Pslex.Lexer.tokenize recovered with
+  | Error _ -> true
+  | Ok toks ->
+      List.exists
+        (fun t ->
+          t.Pslex.Token.kind = Pslex.Token.Command_parameter
+          && String.length t.Pslex.Token.content > 1
+          && Char.lowercase_ascii t.Pslex.Token.content.[1] = 'e')
+        toks)
+  (* b) an Invoke-Expression whose argument is still dynamic *)
+  || residual_dynamic_iex recovered
+
+(* Phase 3: rename and reformat, falling back to the recovered text when
+   the re-rendered form breaks. *)
+let finalize ~options recovered =
+  let renamed =
+    if options.rename && not (residual_encoded recovered) then
+      Rename.rename recovered
+    else recovered
+  in
+  let formatted = if options.reformat then Rename.reformat renamed else renamed in
+  if Psparse.Parser.is_valid_syntax formatted then formatted else recovered
+
+type failure_site = { phase : string; failure : Pscommon.Guard.failure }
+
+type guarded = {
+  result : result;
+  failures : failure_site list;  (** contained degradations, in phase order *)
+}
+
+(** Totalised pipeline: every phase runs under {!Pscommon.Guard.protect}
+    with one wall-clock deadline for the whole run.  A phase that crashes,
+    overruns, or over-produces degrades to the best text the earlier phases
+    produced, and the failure is recorded — the run itself always returns. *)
+let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
+    ?(max_output_bytes = 32 * 1024 * 1024) src =
+  let module Guard = Pscommon.Guard in
+  let deadline = Guard.deadline_after timeout_s in
+  let stats = Recover.new_stats () in
+  let failures = ref [] in
+  let record phase failure = failures := { phase; failure } :: !failures in
+  let finish output iterations =
+    { result =
+        { output; stats; iterations; changed = not (String.equal output src) };
+      failures = List.rev !failures }
+  in
+  match Guard.protect ~deadline (fun () -> Psparse.Parser.is_valid_syntax src) with
+  | Ok false ->
+      record "parse" Guard.Parse_failure;
+      finish src 0
+  | Error failure ->
+      record "parse" failure;
+      finish src 0
+  | Ok true ->
+      let recovered, iterations =
+        match
+          Guard.protect ~deadline ~max_output_bytes
+            ~measure:(fun (s, _) -> String.length s)
+            (fun () -> deobfuscate_at ~opts:options ~stats ~depth:0 src)
+        with
+        | Ok r -> r
+        | Error failure ->
+            record "recovery" failure;
+            (src, 0)
+      in
+      if Guard.expired deadline then begin
+        (* the fixpoint loop stopped itself on the deadline: partial
+           recovery is kept, later phases are skipped *)
+        if not (List.exists (fun s -> s.failure = Guard.Timeout) !failures)
+        then record "recovery" Guard.Timeout;
+        finish recovered iterations
+      end
+      else begin
+        let renamed =
+          if not options.rename then recovered
+          else
+            match
+              Guard.protect ~deadline ~max_output_bytes ~measure:String.length
+                (fun () ->
+                  if residual_encoded recovered then recovered
+                  else Rename.rename recovered)
+            with
+            | Ok s -> s
+            | Error failure ->
+                record "rename" failure;
+                recovered
+        in
+        let formatted =
+          if not options.reformat then renamed
+          else
+            match
+              Guard.protect ~deadline ~max_output_bytes ~measure:String.length
+                (fun () -> Rename.reformat renamed)
+            with
+            | Ok s -> s
+            | Error failure ->
+                record "reformat" failure;
+                renamed
+        in
+        let output =
+          match
+            Guard.protect ~deadline (fun () ->
+                Psparse.Parser.is_valid_syntax formatted)
+          with
+          | Ok true -> formatted
+          | Ok false | Error _ -> recovered
+        in
+        finish output iterations
+      end
 
 (** Deobfuscate a script.  Never raises: scripts that fail to lex or parse
     are returned unchanged with [changed = false]. *)
 let run ?(options = default_options) src =
-  let stats = Recover.new_stats () in
-  if not (Psparse.Parser.is_valid_syntax src) then
-    { output = src; stats; iterations = 0; changed = false }
-  else begin
-    let recovered = deobfuscate_at ~opts:options ~stats ~depth:0 src in
-    (* Phase 3: rename and reformat.  Renaming is skipped when an encoded
-       payload survived recovery — its hidden code may define or reference
-       variables by their original names at run time, and renaming the
-       visible script would desynchronise the two. *)
-    let residual_encoded =
-      (* a) a powershell -e/-enc/-command invocation still present *)
-      (Pscommon.Strcase.contains ~needle:"-e" recovered
-      &&
-      match Pslex.Lexer.tokenize recovered with
-      | Error _ -> true
-      | Ok toks ->
-          List.exists
-            (fun t ->
-              t.Pslex.Token.kind = Pslex.Token.Command_parameter
-              && String.length t.Pslex.Token.content > 1
-              && Char.lowercase_ascii t.Pslex.Token.content.[1] = 'e')
-            toks)
-      (* b) an Invoke-Expression whose argument is still dynamic *)
-      || residual_dynamic_iex recovered
-    in
-    let renamed =
-      if options.rename && not residual_encoded then Rename.rename recovered
-      else recovered
-    in
-    let formatted = if options.reformat then Rename.reformat renamed else renamed in
-    let output =
-      if Psparse.Parser.is_valid_syntax formatted then formatted else recovered
-    in
-    { output; stats; iterations = options.max_iterations;
-      changed = not (String.equal output src) }
-  end
+  (run_guarded ~options ~timeout_s:infinity ~max_output_bytes:max_int src).result
 
 (** Convenience: deobfuscate and report score reduction. *)
 let run_with_scores ?options src =
@@ -165,10 +254,12 @@ let run_phases ?(options = default_options) src =
   if not (Psparse.Parser.is_valid_syntax src) then
     [ { phase = "original"; text = src } ]
   else begin
+    (* each stage is computed exactly once: the fixpoint continues from the
+       token-parsed text, and the final stage finalizes the recovered text *)
     let stats = Recover.new_stats () in
     let after_tokens = if options.token_phase then Token_phase.run src else src in
-    let recovered = deobfuscate_at ~opts:options ~stats ~depth:0 src in
-    let final = (run ~options src).output in
+    let recovered, _ = fixpoint_from ~opts:options ~stats ~depth:0 after_tokens in
+    let final = finalize ~options recovered in
     [
       { phase = "original"; text = src };
       { phase = "token parsing"; text = after_tokens };

@@ -25,6 +25,7 @@ and recovery_options = Recover.options = {
   use_multilayer : bool;
   max_depth : int;
   piece_step_budget : int;
+  piece_timeout_s : float;
 }
 
 val default_options : options
@@ -32,13 +33,36 @@ val default_options : options
 type result = {
   output : string;
   stats : Recover.stats;
-  iterations : int;
+  iterations : int;  (** recovery passes actually run, not the bound *)
   changed : bool;  (** false when the tool returned the input unchanged *)
 }
 
 val run : ?options:options -> string -> result
 (** Deobfuscate a script.  Never raises; scripts that fail to lex or parse
     are returned unchanged with [changed = false]. *)
+
+type failure_site = { phase : string; failure : Pscommon.Guard.failure }
+(** One contained degradation: which pipeline phase gave up and why.
+    Phases, in degradation order: ["parse"], ["recovery"], ["rename"],
+    ["reformat"]. *)
+
+type guarded = {
+  result : result;
+  failures : failure_site list;  (** contained degradations, in phase order *)
+}
+
+val run_guarded :
+  ?options:options ->
+  ?timeout_s:float ->
+  ?max_output_bytes:int ->
+  string ->
+  guarded
+(** Totalised pipeline for hostile input: every phase runs under
+    {!Pscommon.Guard.protect} with one wall-clock deadline for the whole
+    run.  Deeply nested scripts, decode bombs and random bytes each come
+    back as a structured {!failure_site} — the call itself always returns,
+    degrading phase-by-phase to the best text produced so far (partial
+    recovery is kept on timeout). *)
 
 val run_with_scores : ?options:options -> string -> result * int * int
 (** [run_with_scores src] also returns the obfuscation score before and

@@ -27,11 +27,12 @@ type options = {
   use_multilayer : bool;  (** ablation: IEX / -EncodedCommand unwrapping *)
   max_depth : int;  (** multi-layer recursion bound *)
   piece_step_budget : int;  (** interpreter budget per invoked piece *)
+  piece_timeout_s : float;  (** wall-clock budget per invoked piece *)
 }
 
 let default_options =
   { use_tracing = true; use_blocklist = true; use_multilayer = true;
-    max_depth = 16; piece_step_budget = 400_000 }
+    max_depth = 16; piece_step_budget = 400_000; piece_timeout_s = 5.0 }
 
 type stats = {
   mutable pieces_recovered : int;
@@ -69,6 +70,17 @@ let fresh_env ?(for_bytes = 0) st =
   if st.opts.use_tracing then Tracer.seed_env st.table env;
   env
 
+(* run one piece under a guard: a stack overflow on a pathological piece, a
+   wall-clock overrun, or any stray exception degrades that piece instead of
+   aborting the pass.  The per-piece deadline is lowered to any enclosing
+   run deadline by Guard.protect itself. *)
+let guarded st f =
+  match
+    Guard.protect ~deadline:(Guard.deadline_after st.opts.piece_timeout_s) f
+  with
+  | Ok r -> r
+  | Error failure -> Error (Guard.failure_label failure)
+
 (** Execute a piece of script text and return the resulting value. *)
 let invoke_piece st text =
   st.stats.pieces_attempted <- st.stats.pieces_attempted + 1;
@@ -77,8 +89,9 @@ let invoke_piece st text =
     Error "blocklisted"
   end
   else
-    let env = fresh_env ~for_bytes:(String.length text) st in
-    Pseval.Interp.invoke_piece env text
+    guarded st (fun () ->
+        let env = fresh_env ~for_bytes:(String.length text) st in
+        Pseval.Interp.invoke_piece env text)
 
 (* executing a piece that contains variables is pointless (and wrong) when
    some of them are unknown — Algorithm 1 line 15 *)
@@ -371,18 +384,24 @@ let trace_assignment st ~in_guard (stmt : A.t) =
           then Tracer.remove st.table name
           else begin
             (* compute the assigned value by executing the whole assignment *)
-            let env = fresh_env ~for_bytes:(String.length (A.text st.src stmt)) st in
-            (match Tracer.lookup st.table name with
-            | Some v -> Pseval.Env.set_var env name v
-            | None -> ());
-            let text = A.text st.src stmt in
-            match Pseval.Interp.run_script env text with
-            | Ok _ -> (
-                ignore op;
-                match Pseval.Env.get_var env name with
-                | Some value -> Tracer.record st.table name value
-                | None -> Tracer.remove st.table name)
-            | Error _ -> Tracer.remove st.table name
+            let traced =
+              guarded st (fun () ->
+                  let env =
+                    fresh_env ~for_bytes:(String.length (A.text st.src stmt)) st
+                  in
+                  (match Tracer.lookup st.table name with
+                  | Some v -> Pseval.Env.set_var env name v
+                  | None -> ());
+                  let text = A.text st.src stmt in
+                  match Pseval.Interp.run_script env text with
+                  | Ok _ -> (
+                      ignore op;
+                      Ok (Pseval.Env.get_var env name))
+                  | Error _ -> Error "evaluation failed")
+            in
+            match traced with
+            | Ok (Some value) -> Tracer.record st.table name value
+            | Ok None | Error _ -> Tracer.remove st.table name
           end)
   | _ -> ()
 

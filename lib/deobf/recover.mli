@@ -9,6 +9,10 @@ type options = {
   use_multilayer : bool;  (** ablation: IEX / [-EncodedCommand] unwrapping *)
   max_depth : int;  (** multi-layer recursion bound *)
   piece_step_budget : int;  (** interpreter budget per invoked piece *)
+  piece_timeout_s : float;
+      (** wall-clock budget per invoked piece; each piece runs under a
+          {!Pscommon.Guard.protect}, so a crashing or hanging piece degrades
+          to "kept obfuscated" instead of aborting the pass *)
 }
 
 val default_options : options

@@ -1,0 +1,72 @@
+(** Fault containment: guarded execution under resource deadlines. *)
+
+type failure =
+  | Parse_failure
+  | Stack_exhausted
+  | Timeout
+  | Output_too_large
+  | Interpreter_limit of string
+  | Unexpected of string
+
+let failure_label = function
+  | Parse_failure -> "parse-failure"
+  | Stack_exhausted -> "stack-exhausted"
+  | Timeout -> "timeout"
+  | Output_too_large -> "output-too-large"
+  | Interpreter_limit _ -> "interpreter-limit"
+  | Unexpected _ -> "unexpected"
+
+let failure_to_string = function
+  | Parse_failure -> "parse failure"
+  | Stack_exhausted -> "stack exhausted"
+  | Timeout -> "wall-clock deadline exceeded"
+  | Output_too_large -> "output too large"
+  | Interpreter_limit m -> "interpreter limit: " ^ m
+  | Unexpected m -> "unexpected exception: " ^ m
+
+exception Deadline_exceeded
+
+type deadline = float
+
+let no_deadline = infinity
+let now () = Unix.gettimeofday ()
+let deadline_after s = if s = infinity then infinity else now () +. s
+
+(* innermost first; guards nest (batch file -> engine phase -> piece) *)
+let ambient : deadline list ref = ref []
+
+let ambient_deadline () =
+  match !ambient with [] -> no_deadline | d :: _ -> d
+
+let expired d = d < infinity && now () >= d
+let remaining_s d = if d = infinity then infinity else d -. now ()
+let check d = if expired d then raise Deadline_exceeded
+
+let classifiers : (exn -> failure option) list ref = ref []
+let register_classifier f = classifiers := f :: !classifiers
+
+let classify_exn e =
+  match e with
+  | Deadline_exceeded -> Timeout
+  | Stack_overflow -> Stack_exhausted
+  | Out_of_memory -> Unexpected "out of memory"
+  | e -> (
+      match List.find_map (fun f -> f e) !classifiers with
+      | Some failure -> failure
+      | None -> Unexpected (Printexc.to_string e))
+
+let protect ?(deadline = no_deadline) ?max_output_bytes ?measure f =
+  let effective = Float.min deadline (ambient_deadline ()) in
+  if expired effective then Error Timeout
+  else begin
+    ambient := effective :: !ambient;
+    let result =
+      match f () with
+      | v -> Ok v
+      | exception e -> Error (classify_exn e)
+    in
+    ambient := (match !ambient with _ :: rest -> rest | [] -> []);
+    match (result, max_output_bytes, measure) with
+    | Ok v, Some cap, Some size when size v > cap -> Error Output_too_large
+    | r, _, _ -> r
+  end

@@ -1,0 +1,74 @@
+(** Fault containment: guarded execution under resource deadlines.
+
+    Every pipeline entry point (engine, sandbox, baselines, batch runs) is
+    made {e total} by running its work inside {!protect}: a stack overflow
+    on a deeply nested script, a wall-clock overrun in a decode loop, or a
+    stray exception from a malformed sample degrades into a structured
+    {!failure} instead of killing the process.
+
+    Deadlines are cooperative: {!protect} installs its deadline as the
+    {e ambient} deadline for the duration of the call, and the interpreter's
+    step accounting ({!Pseval.Env.tick}) polls it, so any evaluator created
+    below a guard inherits the time budget without explicit threading. *)
+
+type failure =
+  | Parse_failure  (** the input never parsed; nothing to work on *)
+  | Stack_exhausted  (** recursion blew the stack (deeply nested input) *)
+  | Timeout  (** the wall-clock deadline passed *)
+  | Output_too_large  (** the result exceeded the output byte cap *)
+  | Interpreter_limit of string
+      (** a cooperative evaluator limit fired (steps, string bytes,
+          collection size, invoke depth) *)
+  | Unexpected of string  (** any other exception, contained *)
+
+val failure_label : failure -> string
+(** Stable kebab-case tag of the taxonomy, for JSON reports. *)
+
+val failure_to_string : failure -> string
+(** Human-readable rendering, including the detail payload. *)
+
+exception Deadline_exceeded
+(** Raised cooperatively (e.g. by [Env.tick]) when past the ambient
+    deadline; {!protect} maps it to {!Timeout}. *)
+
+type deadline = float
+(** Absolute time in epoch seconds; [infinity] means no deadline. *)
+
+val no_deadline : deadline
+
+val deadline_after : float -> deadline
+(** [deadline_after s] is [s] seconds from now ([infinity]-safe). *)
+
+val now : unit -> float
+(** Wall clock in epoch seconds. *)
+
+val ambient_deadline : unit -> deadline
+(** The innermost deadline installed by an enclosing {!protect}, or
+    {!no_deadline} outside any guard. *)
+
+val expired : deadline -> bool
+val remaining_s : deadline -> float
+
+val check : deadline -> unit
+(** @raise Deadline_exceeded when [deadline] has passed. *)
+
+val register_classifier : (exn -> failure option) -> unit
+(** Let higher layers map their exceptions into the taxonomy without a
+    dependency cycle (e.g. the evaluator registers [Limit_exceeded] as
+    {!Interpreter_limit}). *)
+
+val classify_exn : exn -> failure
+
+val protect :
+  ?deadline:deadline ->
+  ?max_output_bytes:int ->
+  ?measure:('a -> int) ->
+  (unit -> 'a) ->
+  ('a, failure) result
+(** [protect f] runs [f ()] with every escape hatch closed: [Stack_overflow],
+    [Out_of_memory], {!Deadline_exceeded} and any other exception become
+    [Error failure].  The effective deadline is the minimum of [deadline]
+    and the ambient one; it is installed as ambient for the duration of
+    [f], and an already-expired deadline returns [Error Timeout] without
+    running [f].  When both [max_output_bytes] and [measure] are given, a
+    result measuring larger returns [Error Output_too_large]. *)

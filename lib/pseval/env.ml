@@ -46,12 +46,22 @@ type limits = {
   max_steps : int;
   max_invoke_depth : int;  (** nested Invoke-Expression layers *)
   max_collection : int;  (** range / array size cap *)
-  max_string : int;
+  max_string_bytes : int;  (** cap on any single string value built *)
+  deadline : float;
+      (** absolute wall-clock bound (epoch seconds, [infinity] = none);
+          polled by {!tick}, so runaway decode loops stop on time, not just
+          on steps *)
 }
 
 let default_limits =
   { max_steps = 2_000_000; max_invoke_depth = 32; max_collection = 1_000_000;
-    max_string = 32 * 1024 * 1024 }
+    max_string_bytes = 32 * 1024 * 1024; deadline = Guard.no_deadline }
+
+(* map evaluator limits into the guard taxonomy without a dependency cycle *)
+let () =
+  Guard.register_classifier (function
+    | Limit_exceeded m -> Some (Guard.Interpreter_limit m)
+    | _ -> None)
 
 type scope = { table : (string, Psvalue.Value.t) Hashtbl.t }
 
@@ -127,6 +137,10 @@ let automatic_variables =
 let create ?(mode = Recovery) ?(limits = default_limits) () =
   let global = new_scope () in
   List.iter (fun (k, v) -> Hashtbl.replace global.table k v) automatic_variables;
+  (* an enclosing Guard.protect bounds every evaluator created under it *)
+  let limits =
+    { limits with deadline = Float.min limits.deadline (Guard.ambient_deadline ()) }
+  in
   {
     scopes = [ global ];
     functions = Hashtbl.create 8;
@@ -144,7 +158,26 @@ let create ?(mode = Recovery) ?(limits = default_limits) () =
 let tick env =
   env.steps <- env.steps + 1;
   if env.steps > env.limits.max_steps then
-    raise (Limit_exceeded "step budget exhausted")
+    raise (Limit_exceeded "step budget exhausted");
+  (* polling the clock every step would dominate the hot loop; every 2048
+     steps keeps deadline latency in the microseconds *)
+  if env.steps land 2047 = 0 then Guard.check env.limits.deadline
+
+let check_size env (v : Psvalue.Value.t) =
+  match v with
+  | Psvalue.Value.Str s ->
+      if String.length s > env.limits.max_string_bytes then
+        raise
+          (Limit_exceeded
+             (Printf.sprintf "string of %d bytes exceeds max_string_bytes"
+                (String.length s)))
+  | Psvalue.Value.Arr a ->
+      if Array.length a > env.limits.max_collection then
+        raise
+          (Limit_exceeded
+             (Printf.sprintf "collection of %d elements exceeds max_collection"
+                (Array.length a)))
+  | _ -> ()
 
 let record env ev =
   match env.mode with

@@ -34,7 +34,11 @@ type limits = {
   max_steps : int;
   max_invoke_depth : int;  (** nested Invoke-Expression layers *)
   max_collection : int;  (** range / array size cap *)
-  max_string : int;
+  max_string_bytes : int;  (** cap on any single string value built *)
+  deadline : float;
+      (** absolute wall-clock bound (epoch seconds, [infinity] = none),
+          polled cooperatively by {!tick}; {!create} lowers it to any
+          ambient {!Pscommon.Guard} deadline *)
 }
 
 val default_limits : limits
@@ -70,7 +74,14 @@ val automatic_variables : (string * Psvalue.Value.t) list
 val create : ?mode:mode -> ?limits:limits -> unit -> t
 
 val tick : t -> unit
-(** Account one evaluation step.  @raise Limit_exceeded over budget. *)
+(** Account one evaluation step.  @raise Limit_exceeded over budget.
+    @raise Pscommon.Guard.Deadline_exceeded past the wall-clock deadline. *)
+
+val check_size : t -> Psvalue.Value.t -> unit
+(** Enforce [max_string_bytes] / [max_collection] on a freshly built value —
+    the string-building hot paths (concat, [-join], array append) call this
+    so decode bombs stop growing at the cap.
+    @raise Limit_exceeded when the value is over a limit. *)
 
 val record : t -> event -> unit
 (** Record a side effect ([Sandbox]) or @raise Blocked ([Recovery]). *)

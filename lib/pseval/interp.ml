@@ -27,7 +27,15 @@ let enumerate v = Value.to_list v
 
 (* ---------- expressions ---------- *)
 
+(* every expression result passes one O(1) size check: string concat, -join,
+   -f, array append, member calls — all the paths a decode bomb can grow
+   through — are bounded without instrumenting each operator *)
 let rec eval_expr ctx (t : A.t) : Value.t =
+  let v = eval_expr_unchecked ctx t in
+  Env.check_size ctx.env v;
+  v
+
+and eval_expr_unchecked ctx (t : A.t) : Value.t =
   Env.tick ctx.env;
   match t.A.node with
   | A.String_const (s, _) -> Value.Str s
@@ -1165,6 +1173,7 @@ let describe_exception = function
   | Regexen.Regex.Parse_error m -> Some ("regex error: " ^ m)
   | Failure m -> Some ("failure: " ^ m)
   | Invalid_argument m -> Some ("invalid argument: " ^ m)
+  | Stack_overflow -> Some "stack exhausted"
   | _ -> None
 
 let run_ast env ~src ast =
@@ -1173,6 +1182,7 @@ let run_ast env ~src ast =
 
 let run_script env src =
   match Psparse.Parser.parse src with
+  | exception Stack_overflow -> Error "stack exhausted while parsing"
   | Error e ->
       Error
         (Printf.sprintf "syntax error at %d: %s" e.Psparse.Parser.position

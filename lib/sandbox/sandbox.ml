@@ -12,18 +12,30 @@ type report = {
   output : Value.t list;
   host_output : Value.t list;  (** what Write-Host printed *)
   error : string option;  (** execution error, if any; events are kept *)
+  failure : Pscommon.Guard.failure option;
+      (** set when the run was contained by the guard (stack overflow,
+          deadline, stray exception) rather than finishing *)
 }
 
-let run ?(max_steps = 1_000_000) script =
-  let limits = { Pseval.Env.default_limits with Pseval.Env.max_steps } in
+let run ?(max_steps = 1_000_000) ?(timeout_s = infinity) script =
+  let deadline = Pscommon.Guard.deadline_after timeout_s in
+  let limits =
+    { Pseval.Env.default_limits with Pseval.Env.max_steps; deadline }
+  in
   let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox ~limits () in
-  match Pseval.Interp.run_script env script with
-  | Ok output ->
-      { events = Pseval.Env.events env; output;
-        host_output = Pseval.Env.sunk_output env; error = None }
-  | Error msg ->
-      { events = Pseval.Env.events env; output = [];
-        host_output = Pseval.Env.sunk_output env; error = Some msg }
+  let report error failure =
+    { events = Pseval.Env.events env; output = [];
+      host_output = Pseval.Env.sunk_output env; error; failure }
+  in
+  match
+    Pscommon.Guard.protect ~deadline (fun () -> Pseval.Interp.run_script env script)
+  with
+  | Ok (Ok output) -> { (report None None) with output }
+  | Ok (Error msg) -> report (Some msg) None
+  | Error failure ->
+      (* events recorded before containment are kept: a sample that beacons
+         then hangs still yields its network signature *)
+      report (Some (Pscommon.Guard.failure_to_string failure)) (Some failure)
 
 let is_network_event = function
   | Pseval.Env.Dns_query _ | Pseval.Env.Tcp_connect _ | Pseval.Env.Http_get _

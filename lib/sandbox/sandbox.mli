@@ -7,9 +7,14 @@ type report = {
   output : Psvalue.Value.t list;
   host_output : Psvalue.Value.t list;  (** what Write-Host printed *)
   error : string option;  (** execution error, if any; events are kept *)
+  failure : Pscommon.Guard.failure option;
+      (** set when the run was contained by the guard (stack overflow,
+          deadline, stray exception) rather than finishing *)
 }
 
-val run : ?max_steps:int -> string -> report
+val run : ?max_steps:int -> ?timeout_s:float -> string -> report
+(** Never raises: execution is guarded, and a contained crash or overrun
+    keeps the events recorded up to that point. *)
 
 val is_network_event : Pseval.Env.event -> bool
 

@@ -1,0 +1,307 @@
+(* Tests for the fault-containment layer: Guard.protect, cooperative
+   deadlines, the guarded engine pipeline, and crash-isolated batch runs.
+   Adversarial inputs — deeply nested scripts, decode bombs, random bytes —
+   must come back as structured failures, never as uncaught exceptions. *)
+
+open Pscommon
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* ---------- Guard primitives ---------- *)
+
+let test_protect_value () =
+  check_b "ok result" true (Guard.protect (fun () -> 41 + 1) = Ok 42)
+
+let test_protect_stack_overflow () =
+  let rec boom n = 1 + boom (n + 1) in
+  check_b "stack overflow contained" true
+    (Guard.protect (fun () -> boom 0) = Error Guard.Stack_exhausted)
+
+let test_protect_stray_exception () =
+  match Guard.protect (fun () -> failwith "boom") with
+  | Error (Guard.Unexpected _) -> ()
+  | _ -> Alcotest.fail "expected Unexpected"
+
+let test_protect_expired_deadline () =
+  check_b "expired deadline never runs f" true
+    (Guard.protect ~deadline:(Guard.now () -. 1.0) (fun () -> 1)
+    = Error Guard.Timeout)
+
+let test_protect_output_cap () =
+  check_b "oversized output" true
+    (Guard.protect ~max_output_bytes:4 ~measure:String.length (fun () ->
+         "too long")
+    = Error Guard.Output_too_large);
+  check_b "within cap" true
+    (Guard.protect ~max_output_bytes:64 ~measure:String.length (fun () -> "ok")
+    = Ok "ok")
+
+let test_protect_nests_ambient () =
+  (* inner guard cannot outlive the outer deadline *)
+  let r =
+    Guard.protect ~deadline:(Guard.now () -. 1.0) (fun () ->
+        Guard.protect ~deadline:(Guard.deadline_after 60.0) (fun () -> 1))
+  in
+  check_b "outer expiry wins" true (r = Error Guard.Timeout);
+  check_b "ambient restored" true (Guard.ambient_deadline () = Guard.no_deadline)
+
+let test_interpreter_limit_classified () =
+  check_b "Limit_exceeded maps into taxonomy" true
+    (Guard.protect (fun () -> raise (Pseval.Env.Limit_exceeded "steps"))
+    = Error (Guard.Interpreter_limit "steps"))
+
+(* ---------- adversarial engine inputs ---------- *)
+
+let deep_nesting n =
+  String.concat ""
+    [ String.concat "" (List.init n (fun _ -> "(")); "1";
+      String.concat "" (List.init n (fun _ -> ")")) ]
+
+let test_deep_nesting_total () =
+  (* 30k nesting levels blow a fixed-size recursive-descent stack; on
+     OCaml 5's growable stacks the pipeline instead simplifies the tower to
+     its payload.  Either way run_guarded must be total: a clean simplified
+     result, or a structured parse/stack failure with the input unchanged *)
+  let src = deep_nesting 30_000 in
+  let guarded = Deobf.Engine.run_guarded ~timeout_s:30.0 src in
+  let output = guarded.Deobf.Engine.result.Deobf.Engine.output in
+  match guarded.Deobf.Engine.failures with
+  | [] -> check_b "tower simplified" true (String.trim output = "1")
+  | failures ->
+      check_b "input returned unchanged" true (String.equal output src);
+      List.iter
+        (fun (site : Deobf.Engine.failure_site) ->
+          check_b "taxonomy is parse/stack/timeout" true
+            (match site.failure with
+            | Guard.Parse_failure | Guard.Stack_exhausted | Guard.Timeout ->
+                true
+            | _ -> false))
+        failures
+
+let bomb_options =
+  (* a step budget high enough that only the wall clock can stop the loop *)
+  { Deobf.Engine.default_options with
+    recovery =
+      { Deobf.Recover.default_options with
+        piece_step_budget = 1_000_000_000;
+        piece_timeout_s = 60.0 } }
+
+(* an infinite decode-style loop; it must be variable-free, because a piece
+   reading (or even assigning) an untraced variable is never invoked *)
+let decode_bomb = "$x = $(while (1 -lt 2) { 1 }; 'done')"
+
+let test_decode_bomb_deadline () =
+  let timeout_s = 0.4 in
+  let started = Guard.now () in
+  let guarded = Deobf.Engine.run_guarded ~options:bomb_options ~timeout_s decode_bomb in
+  let elapsed = Guard.now () -. started in
+  check_b "timeout recorded" true
+    (List.exists
+       (fun (s : Deobf.Engine.failure_site) -> s.failure = Guard.Timeout)
+       guarded.Deobf.Engine.failures);
+  check_b "deadline respected within tolerance" true (elapsed < timeout_s +. 2.0)
+
+let test_string_bomb_capped () =
+  (* exponential string growth must stop at max_string_bytes, on steps, or on
+     the deadline — contained either way *)
+  let src = "$s = 'aaaaaaaa'; $r = $(foreach ($i in 1..64) { $s = $s + $s }; $s)" in
+  let guarded = Deobf.Engine.run_guarded ~options:bomb_options ~timeout_s:5.0 src in
+  check_b "output bounded" true
+    (String.length guarded.Deobf.Engine.result.Deobf.Engine.output
+    <= 32 * 1024 * 1024)
+
+let prop_random_bytes_total =
+  QCheck.Test.make ~name:"guard: run_guarded total on random bytes" ~count:300
+    QCheck.(string_of_size Gen.(int_range 0 120))
+    (fun s ->
+      let guarded = Deobf.Engine.run_guarded ~timeout_s:10.0 s in
+      (* a structured verdict either way: clean run or recorded failure *)
+      guarded.Deobf.Engine.failures = []
+      || String.equal guarded.Deobf.Engine.result.Deobf.Engine.output s)
+
+let prop_mutants_total =
+  QCheck.Test.make ~name:"guard: run_guarded total on obfuscated mutants"
+    ~count:60
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, layers) ->
+      let rng = Rng.of_int (seed + 1) in
+      let src =
+        Obfuscator.Obfuscate.multilayer rng
+          ((layers mod 3) + 1)
+          "Write-Host 'payload'; $u = 'http://example.com/a.ps1'"
+      in
+      let guarded = Deobf.Engine.run_guarded ~timeout_s:20.0 src in
+      String.length guarded.Deobf.Engine.result.Deobf.Engine.output >= 0)
+
+(* ---------- degradation boundaries ---------- *)
+
+let test_max_depth_boundary () =
+  let rng = Rng.of_int 7 in
+  let src = Obfuscator.Obfuscate.multilayer rng 3 "Write-Host 'deep'" in
+  let depth0 =
+    { Deobf.Engine.default_options with
+      recovery = { Deobf.Recover.default_options with max_depth = 0 } }
+  in
+  let r0 = Deobf.Engine.run ~options:depth0 src in
+  check_i "max_depth 0 unwraps nothing" 0
+    r0.Deobf.Engine.stats.Deobf.Recover.layers_unwrapped;
+  let r = Deobf.Engine.run src in
+  check_b "default depth unwraps layers" true
+    (r.Deobf.Engine.stats.Deobf.Recover.layers_unwrapped >= 1)
+
+let test_budget_exhaustion_partial () =
+  (* a starved step budget degrades pieces but the run still completes and
+     reports the attempts *)
+  let starved =
+    { Deobf.Engine.default_options with
+      recovery = { Deobf.Recover.default_options with piece_step_budget = 1 } }
+  in
+  let rng = Rng.of_int 11 in
+  let src = Obfuscator.Obfuscate.multilayer rng 2 "Write-Host 'x'" in
+  let guarded = Deobf.Engine.run_guarded ~options:starved ~timeout_s:20.0 src in
+  check_b "run completes" true
+    (String.length guarded.Deobf.Engine.result.Deobf.Engine.output > 0);
+  check_b "pieces were attempted" true
+    (guarded.Deobf.Engine.result.Deobf.Engine.stats.Deobf.Recover.pieces_attempted
+    >= 1)
+
+(* ---------- satellite regressions ---------- *)
+
+let test_iterations_actual_count () =
+  (* a trivial script converges far below the fixpoint bound; the result
+     must report the actual pass count, not max_iterations *)
+  let r = Deobf.Engine.run "Write-Host 'hello'" in
+  check_b "iterations >= 1" true (r.Deobf.Engine.iterations >= 1);
+  check_b "iterations below bound" true
+    (r.Deobf.Engine.iterations
+    < Deobf.Engine.default_options.Deobf.Engine.max_iterations)
+
+let test_write_error_renamed () =
+  (* "-e" appearing as command text (Write-Error) must not trip the
+     residual-encoded check: decided on tokens, not substrings *)
+  let r = Deobf.Engine.run "$qzxwvjkp = 'v'; Write-Error $qzxwvjkp" in
+  check_b "pipeline ran to completion" true
+    (Psparse.Parser.is_valid_syntax r.Deobf.Engine.output)
+
+let test_run_phases_consistent () =
+  let src = "$a = ('Wr'+'ite'+'-Host'); & $a 'hi'" in
+  let phases = Deobf.Engine.run_phases src in
+  check_i "four phases" 4 (List.length phases);
+  let final = List.nth phases 3 in
+  check_b "final phase equals run output" true
+    (String.equal final.Deobf.Engine.text (Deobf.Engine.run src).Deobf.Engine.output)
+
+(* ---------- sandbox containment ---------- *)
+
+let test_sandbox_contained () =
+  let report = Sandbox.run ~timeout_s:0.4 "while (1 -lt 2) { $z = 1 }" in
+  check_b "sandbox contains the hang" true (report.Sandbox.error <> None)
+
+let test_sandbox_deep_nesting () =
+  (* totality: either the tower evaluates cleanly or the failure is
+     contained in the report — never an escaping exception *)
+  let report = Sandbox.run (deep_nesting 30_000) in
+  check_b "sandbox survives deep nesting" true
+    (match (report.Sandbox.error, report.Sandbox.failure) with
+    | None, None -> report.Sandbox.output <> []
+    | _ -> true)
+
+(* ---------- crash-isolated batch ---------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "guard-batch-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let write path content =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+let test_batch_isolates_hanging_sample () =
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      let out_dir = Filename.concat dir "out" in
+      Sys.mkdir in_dir 0o755;
+      write (Filename.concat in_dir "a_clean.ps1") "Write-Host 'hello'";
+      write (Filename.concat in_dir "b_bomb.ps1") decode_bomb;
+      write (Filename.concat in_dir "c_deep.ps1") (deep_nesting 30_000);
+      let started = Guard.now () in
+      let summary =
+        Deobf.Batch.run_dir ~options:bomb_options ~timeout_s:2.0 ~out_dir in_dir
+      in
+      let elapsed = Guard.now () -. started in
+      check_i "all files processed" 3 summary.Deobf.Batch.total;
+      check_b "batch not stalled by the bomb" true (elapsed < 15.0);
+      let outcome name =
+        List.find
+          (fun (o : Deobf.Batch.outcome) ->
+            Filename.basename o.Deobf.Batch.file = name)
+          summary.Deobf.Batch.outcomes
+      in
+      check_b "clean sample ran clean" true
+        ((outcome "a_clean.ps1").Deobf.Batch.failures = []);
+      check_b "bomb contained by its deadline" true
+        (List.exists
+           (fun (s : Deobf.Engine.failure_site) -> s.failure = Guard.Timeout)
+           (outcome "b_bomb.ps1").Deobf.Batch.failures);
+      check_b "deep sample processed after the bomb" true
+        (String.length (outcome "c_deep.ps1").Deobf.Batch.file > 0);
+      check_b "recovered scripts written" true
+        (Sys.file_exists (Filename.concat out_dir "a_clean.ps1"));
+      check_b "per-file failure report written" true
+        (Sys.file_exists (Filename.concat out_dir "b_bomb.ps1.failures.json"));
+      check_b "batch report written" true
+        (Sys.file_exists (Filename.concat out_dir "batch_report.json"));
+      let report_json =
+        In_channel.with_open_bin
+          (Filename.concat out_dir "batch_report.json")
+          In_channel.input_all
+      in
+      check_b "report carries the taxonomy" true
+        (Strcase.contains ~needle:"\"timeout\"" report_json);
+      check_b "report carries wall time" true
+        (Strcase.contains ~needle:"\"wall_ms\"" report_json))
+
+let test_batch_unreadable_file () =
+  let summary = Deobf.Batch.run_files [ "/nonexistent/guard-test.ps1" ] in
+  check_i "one outcome" 1 summary.Deobf.Batch.total;
+  check_i "recorded as degraded" 1 summary.Deobf.Batch.degraded
+
+let suite =
+  [
+    Alcotest.test_case "protect value" `Quick test_protect_value;
+    Alcotest.test_case "protect stack overflow" `Quick test_protect_stack_overflow;
+    Alcotest.test_case "protect stray exception" `Quick test_protect_stray_exception;
+    Alcotest.test_case "protect expired deadline" `Quick test_protect_expired_deadline;
+    Alcotest.test_case "protect output cap" `Quick test_protect_output_cap;
+    Alcotest.test_case "protect nests ambient" `Quick test_protect_nests_ambient;
+    Alcotest.test_case "interpreter limit classified" `Quick
+      test_interpreter_limit_classified;
+    Alcotest.test_case "deep nesting total" `Quick test_deep_nesting_total;
+    Alcotest.test_case "decode bomb deadline" `Quick test_decode_bomb_deadline;
+    Alcotest.test_case "string bomb capped" `Quick test_string_bomb_capped;
+    QCheck_alcotest.to_alcotest prop_random_bytes_total;
+    QCheck_alcotest.to_alcotest prop_mutants_total;
+    Alcotest.test_case "max_depth boundary" `Quick test_max_depth_boundary;
+    Alcotest.test_case "budget exhaustion partial" `Quick
+      test_budget_exhaustion_partial;
+    Alcotest.test_case "iterations actual count" `Quick test_iterations_actual_count;
+    Alcotest.test_case "write-error renamed" `Quick test_write_error_renamed;
+    Alcotest.test_case "run_phases consistent" `Quick test_run_phases_consistent;
+    Alcotest.test_case "sandbox contained" `Quick test_sandbox_contained;
+    Alcotest.test_case "sandbox deep nesting" `Quick test_sandbox_deep_nesting;
+    Alcotest.test_case "batch isolates hanging sample" `Quick
+      test_batch_isolates_hanging_sample;
+    Alcotest.test_case "batch unreadable file" `Quick test_batch_unreadable_file;
+  ]

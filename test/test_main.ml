@@ -9,6 +9,7 @@ let () =
       ("psparse", Test_psparse.suite);
       ("psvalue", Test_psvalue.suite);
       ("pseval", Test_pseval.suite);
+      ("guard", Test_guard.suite);
       ("ops", Test_ops.suite);
       ("obfuscator", Test_obfuscator.suite);
       ("deobf", Test_deobf.suite);
