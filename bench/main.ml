@@ -1,9 +1,11 @@
 (* Benchmark and experiment harness.
 
    One target per table/figure of the paper:
-     table1 table2 fig5 fig6 table3 table4 table5 case ablate micro
-   No argument runs everything except micro (the Bechamel throughput
-   suite, which takes a while on its own). *)
+     table1 table2 fig5 fig6 table3 table4 table5 case ablate
+     throughput micro
+   No argument runs everything except throughput (the parallel-batch
+   scaling run, writes BENCH_batch.json) and micro (the Bechamel
+   suite) — both take a while on their own. *)
 
 let line () = print_endline (String.make 78 '-')
 
@@ -63,6 +65,110 @@ let run_limits () =
 let run_funnel () =
   line ();
   Experiments.Preprocess_stats.print (Experiments.Preprocess_stats.run ())
+
+(* ---------- batch throughput (domain-pool scaling) ---------- *)
+
+let run_throughput () =
+  line ();
+  let module Guard = Pscommon.Guard in
+  let count = 64 in
+  let seed = 42 in
+  let samples = Corpus.Generator.generate ~seed ~count in
+  let dir = Filename.temp_dir "bench_batch" "" in
+  let files =
+    List.map
+      (fun (s : Corpus.Generator.sample) ->
+        let path = Filename.concat dir (Printf.sprintf "sample_%04d.ps1" s.id) in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc s.obfuscated);
+        path)
+      samples
+  in
+  (* floor at 4 so the domain-pool path is exercised even on small boxes;
+     on a single core the speedup honestly reports ~1x *)
+  let jobs_n = max 4 (Pscommon.Pool.recommended_jobs ()) in
+  let run jobs =
+    let out_dir = Filename.concat dir (Printf.sprintf "out_j%d" jobs) in
+    let t0 = Guard.now () in
+    let summary = Deobf.Batch.run_files ~timeout_s:30.0 ~out_dir ~jobs files in
+    let wall_s = Guard.now () -. t0 in
+    (summary, out_dir, wall_s)
+  in
+  Printf.printf "batch throughput: %d samples (seed %d), jobs 1 vs %d\n" count
+    seed jobs_n;
+  let s1, out1, wall1 = run 1 in
+  let sn, outn, walln = run jobs_n in
+  let identical =
+    List.for_all
+      (fun file ->
+        let base = Filename.basename file in
+        let read d =
+          In_channel.with_open_bin (Filename.concat d base) In_channel.input_all
+        in
+        String.equal (read out1) (read outn))
+      files
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 sn.Deobf.Batch.outcomes in
+  let attempted = sum (fun o -> o.Deobf.Batch.stats.Deobf.Recover.pieces_attempted) in
+  let hits = sum (fun o -> o.Deobf.Batch.stats.Deobf.Recover.cache_hits) in
+  let hit_rate =
+    if attempted = 0 then 0.0 else float_of_int hits /. float_of_int attempted
+  in
+  let phase_totals =
+    List.fold_left
+      (fun acc o ->
+        List.fold_left
+          (fun acc (phase, ms) ->
+            let prev = try List.assoc phase acc with Not_found -> 0.0 in
+            (phase, prev +. ms) :: List.remove_assoc phase acc)
+          acc o.Deobf.Batch.phase_ms)
+      [] sn.Deobf.Batch.outcomes
+  in
+  let speedup = if walln > 0.0 then wall1 /. walln else 0.0 in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"samples\": %d," count;
+        Printf.sprintf "  \"seed\": %d," seed;
+        Printf.sprintf "  \"jobs\": %d," jobs_n;
+        Printf.sprintf "  \"wall_s_jobs1\": %.3f," wall1;
+        Printf.sprintf "  \"wall_s_jobsN\": %.3f," walln;
+        Printf.sprintf "  \"samples_per_s_jobs1\": %.2f,"
+          (float_of_int count /. wall1);
+        Printf.sprintf "  \"samples_per_s_jobsN\": %.2f,"
+          (float_of_int count /. walln);
+        Printf.sprintf "  \"speedup\": %.2f," speedup;
+        Printf.sprintf "  \"outputs_identical\": %b," identical;
+        Printf.sprintf "  \"pieces_attempted\": %d," attempted;
+        Printf.sprintf "  \"cache_hits\": %d," hits;
+        Printf.sprintf "  \"cache_hit_rate\": %.3f," hit_rate;
+        Printf.sprintf "  \"phase_ms\": {%s},"
+          (String.concat ", "
+             (List.map
+                (fun (p, ms) -> Printf.sprintf "\"%s\": %.1f" p ms)
+                (List.sort compare phase_totals)));
+        Printf.sprintf "  \"clean\": %d," sn.Deobf.Batch.clean;
+        Printf.sprintf "  \"degraded\": %d" sn.Deobf.Batch.degraded;
+        "}";
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_batch.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf
+    "  jobs=1: %.2fs (%.1f samples/s)\n  jobs=%d: %.2fs (%.1f samples/s)\n"
+    wall1
+    (float_of_int count /. wall1)
+    jobs_n walln
+    (float_of_int count /. walln);
+  Printf.printf "  speedup: %.2fx, outputs identical: %b\n" speedup identical;
+  Printf.printf "  cache: %d hits / %d attempted (%.1f%%)\n" hits attempted
+    (100.0 *. hit_rate);
+  List.iter
+    (fun (p, ms) -> Printf.printf "  phase %-10s %8.1f ms\n" p ms)
+    (List.sort compare phase_totals);
+  print_endline "  wrote BENCH_batch.json";
+  ignore s1
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -125,7 +231,8 @@ let registry =
     ("fig6", run_fig6); ("table3", run_table3); ("table4", run_table4);
     ("table5", run_table5); ("case", run_case); ("ablate", run_ablate);
     ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
-    ("funnel", run_funnel); ("micro", run_micro) ]
+    ("funnel", run_funnel); ("throughput", run_throughput);
+    ("micro", run_micro) ]
 
 let () =
   match Array.to_list Sys.argv with
@@ -139,4 +246,9 @@ let () =
                 (String.concat " " (List.map fst registry));
               exit 1)
         names
-  | _ -> List.iter (fun (name, f) -> if name <> "micro" then f ()) registry
+  | _ ->
+      (* micro and throughput are long-running timing suites: explicit only *)
+      List.iter
+        (fun (name, f) ->
+          if name <> "micro" && name <> "throughput" then f ())
+        registry

@@ -30,7 +30,7 @@ let output_arg =
 
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
-      no_reformat no_token_phase stats batch timeout =
+      no_reformat no_token_phase no_piece_cache stats batch jobs timeout =
     let options =
       {
         Deobf.Engine.token_phase = not no_token_phase;
@@ -38,7 +38,8 @@ let deobfuscate_cmd =
           { Deobf.Recover.default_options with
             use_tracing = not no_tracing;
             use_blocklist = not no_blocklist;
-            use_multilayer = not no_multilayer };
+            use_multilayer = not no_multilayer;
+            use_piece_cache = not no_piece_cache };
         rename = not no_rename;
         reformat = not no_reformat;
         max_iterations = Deobf.Engine.default_options.Deobf.Engine.max_iterations;
@@ -62,7 +63,14 @@ let deobfuscate_cmd =
         match output with Some o -> o | None -> dir ^ "-deobfuscated"
       in
       let timeout_s = Option.value timeout ~default:30.0 in
-      let summary = Deobf.Batch.run_dir ~options ~timeout_s ~out_dir dir in
+      let jobs =
+        match jobs with
+        | Some n -> max 1 n
+        | None -> Pscommon.Pool.recommended_jobs ()
+      in
+      let summary =
+        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ~jobs dir
+      in
       print_endline (Deobf.Batch.summary_to_json summary);
       Printf.eprintf "%d files: %d clean, %d degraded (reports in %s)\n"
         summary.Deobf.Batch.total summary.Deobf.Batch.clean
@@ -84,12 +92,13 @@ let deobfuscate_cmd =
         guarded.Deobf.Engine.failures;
       if stats then
         Printf.eprintf
-          "pieces recovered: %d\nvariables substituted: %d\nlayers unwrapped: %d\npieces attempted: %d (blocked: %d)\niterations: %d\nchanged: %b\n"
+          "pieces recovered: %d\nvariables substituted: %d\nlayers unwrapped: %d\npieces attempted: %d (blocked: %d, cache hits: %d)\niterations: %d\nchanged: %b\n"
           result.stats.Deobf.Recover.pieces_recovered
           result.stats.Deobf.Recover.variables_substituted
           result.stats.Deobf.Recover.layers_unwrapped
           result.stats.Deobf.Recover.pieces_attempted
           result.stats.Deobf.Recover.pieces_blocked
+          result.stats.Deobf.Recover.cache_hits
           result.Deobf.Engine.iterations result.Deobf.Engine.changed
     end
   in
@@ -104,12 +113,21 @@ let deobfuscate_cmd =
       $ flag [ "no-rename" ] "Keep randomised identifier names."
       $ flag [ "no-reformat" ] "Keep original whitespace."
       $ flag [ "no-token-phase" ] "Disable token-level (L1) recovery (ablation)."
+      $ flag [ "no-piece-cache" ] "Disable the piece result cache (ablation)."
       $ flag [ "stats" ] "Print recovery statistics to stderr."
       $ flag [ "batch" ]
           "Treat FILE as a directory of samples: process each file in \
            crash-isolated fashion, writing recovered scripts, per-file \
            failure reports and batch_report.json to the output directory \
            (-o, default FILE-deobfuscated)."
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "j"; "jobs" ] ~docv:"N"
+              ~doc:
+                "Process $(docv) files in parallel in --batch mode \
+                 (default: the number of cores).  Outputs are byte-identical \
+                 to a sequential run.")
       $ Arg.(
           value
           & opt (some float) None

@@ -1,11 +1,14 @@
-(** Crash-isolated batch processing over a directory of samples. *)
+(** Crash-isolated batch processing over a directory of samples, in
+    parallel across a fixed-size domain pool. *)
 
 module Guard = Pscommon.Guard
+module Pool = Pscommon.Pool
 
 type outcome = {
   file : string;
   output_file : string option;
   wall_ms : float;
+  phase_ms : (string * float) list;
   iterations : int;
   changed : bool;
   failures : Engine.failure_site list;
@@ -31,10 +34,19 @@ let failure_to_json (site : Engine.failure_site) =
 let stats_to_json (s : Recover.stats) =
   Printf.sprintf
     "{\"pieces_recovered\": %d, \"variables_substituted\": %d, \
-     \"layers_unwrapped\": %d, \"pieces_attempted\": %d, \"pieces_blocked\": %d}"
+     \"layers_unwrapped\": %d, \"pieces_attempted\": %d, \
+     \"pieces_blocked\": %d, \"cache_hits\": %d}"
     s.Recover.pieces_recovered s.Recover.variables_substituted
     s.Recover.layers_unwrapped s.Recover.pieces_attempted
-    s.Recover.pieces_blocked
+    s.Recover.pieces_blocked s.Recover.cache_hits
+
+let phase_ms_to_json phases =
+  Printf.sprintf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (phase, ms) ->
+            Printf.sprintf "%s: %.1f" (Report.json_string phase) ms)
+          phases))
 
 let outcome_to_json o =
   String.concat "\n"
@@ -44,6 +56,7 @@ let outcome_to_json o =
       Printf.sprintf "  \"status\": %s,"
         (Report.json_string (if o.failures = [] then "ok" else "degraded"));
       Printf.sprintf "  \"wall_ms\": %.1f," o.wall_ms;
+      Printf.sprintf "  \"phase_ms\": %s," (phase_ms_to_json o.phase_ms);
       Printf.sprintf "  \"iterations\": %d," o.iterations;
       Printf.sprintf "  \"changed\": %b," o.changed;
       Printf.sprintf "  \"failures\": [%s],"
@@ -76,9 +89,9 @@ let write_file path content =
 
 let process_file ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir file =
   let started = Guard.now () in
-  let finish ?output_file ~iterations ~changed ~stats failures =
+  let finish ?output_file ?(phase_ms = []) ~iterations ~changed ~stats failures =
     { file; output_file; wall_ms = (Guard.now () -. started) *. 1000.0;
-      iterations; changed; failures; stats }
+      phase_ms; iterations; changed; failures; stats }
   in
   match
     Guard.protect (fun () ->
@@ -92,21 +105,27 @@ let process_file ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir file =
          anything outside it (e.g. report writing) *)
       let guarded = Engine.run_guarded ?options ~timeout_s ?max_output_bytes src in
       let result = guarded.Engine.result in
-      let output_file =
+      let output_file, write_failure =
         match out_dir with
-        | None -> None
+        | None -> (None, None)
         | Some dir -> (
             let path = Filename.concat dir (Filename.basename file) in
             match Guard.protect (fun () -> write_file path result.Engine.output) with
-            | Ok () -> Some path
-            | Error _ -> None)
+            | Ok () -> (Some path, None)
+            | Error failure ->
+                (* a failed write is a real degradation — surfaced as a
+                   structured site, not a silent [None] *)
+                (None, Some { Engine.phase = "write"; failure }))
+      in
+      let failures =
+        guarded.Engine.failures @ Option.to_list write_failure
       in
       let outcome =
-        finish ?output_file ~iterations:result.Engine.iterations
-          ~changed:result.Engine.changed ~stats:result.Engine.stats
-          guarded.Engine.failures
+        finish ?output_file ~phase_ms:guarded.Engine.timings
+          ~iterations:result.Engine.iterations ~changed:result.Engine.changed
+          ~stats:result.Engine.stats failures
       in
-      (match (out_dir, guarded.Engine.failures) with
+      (match (out_dir, failures) with
       | Some dir, _ :: _ ->
           let report_path =
             Filename.concat dir (Filename.basename file ^ ".failures.json")
@@ -117,17 +136,51 @@ let process_file ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir file =
       | _ -> ());
       outcome)
 
-let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+(* mkdir -p semantics: creates missing ancestors, accepts an existing
+   directory, and fails when any component exists as a non-directory. *)
+let rec ensure_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      failwith (Printf.sprintf "not a directory: %s" dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && not (Sys.file_exists parent) then ensure_dir parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir ->
+      (* lost a race to a sibling worker creating the same directory *)
+      ()
+  end
 
-let run_files ?options ?timeout_s ?max_output_bytes ?out_dir files =
+let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?(jobs = 1) files =
   let started = Guard.now () in
-  (match out_dir with
-  | Some dir -> ignore (Guard.protect (fun () -> ensure_dir dir))
-  | None -> ());
+  let dir_failure =
+    match out_dir with
+    | None -> None
+    | Some dir -> (
+        match Guard.protect (fun () -> ensure_dir dir) with
+        | Ok () -> None
+        | Error failure -> Some { Engine.phase = "write"; failure })
+  in
   let outcomes =
-    List.map
-      (fun file -> process_file ?options ?timeout_s ?max_output_bytes ?out_dir file)
-      files
+    match dir_failure with
+    | Some site ->
+        (* the output directory is unusable: report every file as a
+           structured write failure instead of crashing or silently
+           dropping the outputs *)
+        List.map
+          (fun file ->
+            { file; output_file = None; wall_ms = 0.0; phase_ms = [];
+              iterations = 0; changed = false; failures = [ site ];
+              stats = Recover.new_stats () })
+          files
+    | None ->
+        (* outcomes come back input-ordered regardless of which domain ran
+           which file, so reports and outputs are deterministic *)
+        Pool.map ~jobs
+          (fun file ->
+            process_file ?options ?timeout_s ?max_output_bytes ?out_dir file)
+          files
   in
   let clean = List.length (List.filter (fun o -> o.failures = []) outcomes) in
   {
@@ -138,7 +191,7 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir files =
     outcomes;
   }
 
-let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir dir =
+let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?jobs dir =
   let files =
     match Guard.protect (fun () -> Sys.readdir dir) with
     | Error _ -> []
@@ -150,7 +203,9 @@ let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir dir =
                | Ok is_dir -> not is_dir
                | Error _ -> false)
   in
-  let summary = run_files ?options ?timeout_s ?max_output_bytes ?out_dir files in
+  let summary =
+    run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?jobs files
+  in
   (match out_dir with
   | Some out ->
       ignore

@@ -1,12 +1,16 @@
 (** Crash-isolated batch processing — the shape of the paper's Table II
     corpus runs and of any future service: one hanging or crashing sample is
     contained by its own deadline and recorded in a per-file JSON failure
-    report, and the batch continues. *)
+    report, and the batch continues.  With [jobs > 1] the files run in
+    parallel on a fixed-size domain pool ({!Pscommon.Pool}); outcomes stay
+    in input order and outputs are byte-identical to a sequential run. *)
 
 type outcome = {
   file : string;  (** input path *)
   output_file : string option;  (** where the recovered text was written *)
   wall_ms : float;
+  phase_ms : (string * float) list;
+      (** per-phase wall milliseconds from {!Engine.run_guarded} *)
   iterations : int;
   changed : bool;
   failures : Engine.failure_site list;  (** empty when the file ran clean *)
@@ -32,21 +36,28 @@ val process_file :
     Never raises: unreadable files and crashing samples come back as an
     outcome with failures.  With [out_dir], the recovered text is written
     to [out_dir/<basename>] and, when the file degraded, a failure report
-    to [out_dir/<basename>.failures.json]. *)
+    to [out_dir/<basename>.failures.json].  A failed output write is
+    recorded as a ["write"] failure site. *)
 
 val run_files :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
+  ?jobs:int ->
   string list ->
   summary
+(** Process the given files, [jobs] at a time (default 1, sequential).
+    [out_dir] is created with mkdir-p semantics; if it cannot be created
+    (e.g. the path names a regular file) every outcome carries a
+    structured ["write"] failure instead of the batch crashing. *)
 
 val run_dir :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
+  ?jobs:int ->
   string ->
   summary
 (** Process every regular file in a directory, in sorted order.  With

@@ -17,6 +17,7 @@ and recovery_options = Recover.options = {
   use_tracing : bool;
   use_blocklist : bool;
   use_multilayer : bool;
+  use_piece_cache : bool;
   max_depth : int;
   piece_step_budget : int;
   piece_timeout_s : float;
@@ -92,30 +93,70 @@ let residual_dynamic_iex src =
 (* Phase 2 driver: recovery based on AST, iterated to a fixpoint.  Returns
    the recovered text and the number of passes actually run (not the bound).
    The loop also stops when the ambient wall-clock deadline expires, keeping
-   whatever partial recovery the completed passes produced. *)
-let rec deobfuscate_at ~opts ~stats ~depth src =
+   whatever partial recovery the completed passes produced.
+
+   Each pass tokenizes and parses the working text at most once: the input
+   AST comes from the previous stage's validating parse (stages return the
+   parse of their own patched output), Token_phase tokenizes the one time
+   its phase needs tokens, and Simplify plus the syntax re-check are skipped
+   outright when no stage produced an edit. *)
+let rec deobfuscate_at ~opts ~stats ~cache ~depth src =
   (* Phase 1: token parsing *)
   let src1 = if opts.token_phase then Token_phase.run src else src in
-  fixpoint_from ~opts ~stats ~depth src1
+  fixpoint_from ~opts ~stats ~cache ~depth src1
 
-and fixpoint_from ~opts ~stats ~depth src1 =
+and fixpoint_from ~opts ~stats ~cache ~depth src1 =
   let deobfuscate ~depth payload =
-    (* recursive entry used by multi-layer unwrapping *)
-    fst (deobfuscate_at ~opts ~stats ~depth payload)
+    (* recursive entry used by multi-layer unwrapping; shares the piece
+       cache — unwrapped layers repeat the outer layers' decode pieces *)
+    fst (deobfuscate_at ~opts ~stats ~cache ~depth payload)
   in
-  let rec fixpoint i current =
+  (* [ast] is always the parse of [current]; [simplify_pending] records
+     whether the previous pass's Simplify landed edits (its output has not
+     itself been simplified yet), forcing one more Simplify run even when
+     Recover and Token_phase are quiescent *)
+  let rec fixpoint i current ast simplify_pending =
     if i >= opts.max_iterations then (current, i)
     else if Pscommon.Guard.expired (Pscommon.Guard.ambient_deadline ()) then
       (current, i)
-    else
-      let next =
-        Recover.run_pass ~opts:opts.recovery ~stats ~deobfuscate ~depth current
+    else begin
+      let cur1, ast1, recover_changed =
+        match
+          Recover.run_pass ~opts:opts.recovery ~stats ~cache ~deobfuscate
+            ~depth ~ast current
+        with
+        | Some (patched, patched_ast) -> (patched, patched_ast, true)
+        | None -> (current, ast, false)
       in
-      let next = if opts.token_phase then Token_phase.run next else next in
-      let next = Simplify.run next in
-      if String.equal next current then (current, i + 1) else fixpoint (i + 1) next
+      let cur2, ast2, token_changed =
+        match if opts.token_phase then Token_phase.run_shared cur1 else None with
+        | Some (patched, patched_ast) -> (patched, patched_ast, true)
+        | None -> (cur1, ast1, false)
+      in
+      if not (recover_changed || token_changed || simplify_pending) then
+        (* nothing moved and the text is already simplify-stable: the
+           fixpoint is reached without running Simplify or re-checking *)
+        (current, i + 1)
+      else
+        let cur3, ast3, simplify_changed =
+          match Simplify.run_shared ~ast:ast2 cur2 with
+          | Some (patched, patched_ast) -> (patched, patched_ast, true)
+          | None -> (cur2, ast2, false)
+        in
+        if String.equal cur3 current then (current, i + 1)
+        else fixpoint (i + 1) cur3 ast3 simplify_changed
+    end
   in
-  fixpoint 0 src1
+  match Psparse.Parser.parse src1 with
+  | Error _ ->
+      (* unparseable payloads (recursive entry) make one vacuous pass, as
+         the stage-by-stage loop always did *)
+      if
+        opts.max_iterations <= 0
+        || Pscommon.Guard.expired (Pscommon.Guard.ambient_deadline ())
+      then (src1, 0)
+      else (src1, 1)
+  | Ok ast -> fixpoint 0 src1 ast true
 
 (* Renaming is skipped when an encoded payload survived recovery — its
    hidden code may define or reference variables by their original names at
@@ -151,6 +192,8 @@ type failure_site = { phase : string; failure : Pscommon.Guard.failure }
 type guarded = {
   result : result;
   failures : failure_site list;  (** contained degradations, in phase order *)
+  timings : (string * float) list;
+      (** wall milliseconds per phase, in execution order *)
 }
 
 (** Totalised pipeline: every phase runs under {!Pscommon.Guard.protect}
@@ -162,14 +205,26 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
   let module Guard = Pscommon.Guard in
   let deadline = Guard.deadline_after timeout_s in
   let stats = Recover.new_stats () in
+  let cache = Recover.Cache.create () in
   let failures = ref [] in
   let record phase failure = failures := { phase; failure } :: !failures in
+  let timings = ref [] in
+  let timed phase f =
+    let t0 = Guard.now () in
+    let r = f () in
+    timings := (phase, (Guard.now () -. t0) *. 1000.0) :: !timings;
+    r
+  in
   let finish output iterations =
     { result =
         { output; stats; iterations; changed = not (String.equal output src) };
-      failures = List.rev !failures }
+      failures = List.rev !failures;
+      timings = List.rev !timings }
   in
-  match Guard.protect ~deadline (fun () -> Psparse.Parser.is_valid_syntax src) with
+  match
+    timed "parse" (fun () ->
+        Guard.protect ~deadline (fun () -> Psparse.Parser.is_valid_syntax src))
+  with
   | Ok false ->
       record "parse" Guard.Parse_failure;
       finish src 0
@@ -179,9 +234,10 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
   | Ok true ->
       let recovered, iterations =
         match
-          Guard.protect ~deadline ~max_output_bytes
-            ~measure:(fun (s, _) -> String.length s)
-            (fun () -> deobfuscate_at ~opts:options ~stats ~depth:0 src)
+          timed "recovery" (fun () ->
+              Guard.protect ~deadline ~max_output_bytes
+                ~measure:(fun (s, _) -> String.length s)
+                (fun () -> deobfuscate_at ~opts:options ~stats ~cache ~depth:0 src))
         with
         | Ok r -> r
         | Error failure ->
@@ -200,10 +256,11 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
           if not options.rename then recovered
           else
             match
-              Guard.protect ~deadline ~max_output_bytes ~measure:String.length
-                (fun () ->
-                  if residual_encoded recovered then recovered
-                  else Rename.rename recovered)
+              timed "rename" (fun () ->
+                  Guard.protect ~deadline ~max_output_bytes
+                    ~measure:String.length (fun () ->
+                      if residual_encoded recovered then recovered
+                      else Rename.rename recovered))
             with
             | Ok s -> s
             | Error failure ->
@@ -214,8 +271,9 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
           if not options.reformat then renamed
           else
             match
-              Guard.protect ~deadline ~max_output_bytes ~measure:String.length
-                (fun () -> Rename.reformat renamed)
+              timed "reformat" (fun () ->
+                  Guard.protect ~deadline ~max_output_bytes
+                    ~measure:String.length (fun () -> Rename.reformat renamed))
             with
             | Ok s -> s
             | Error failure ->
@@ -224,8 +282,9 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
         in
         let output =
           match
-            Guard.protect ~deadline (fun () ->
-                Psparse.Parser.is_valid_syntax formatted)
+            timed "check" (fun () ->
+                Guard.protect ~deadline (fun () ->
+                    Psparse.Parser.is_valid_syntax formatted))
           with
           | Ok true -> formatted
           | Ok false | Error _ -> recovered
@@ -257,8 +316,11 @@ let run_phases ?(options = default_options) src =
     (* each stage is computed exactly once: the fixpoint continues from the
        token-parsed text, and the final stage finalizes the recovered text *)
     let stats = Recover.new_stats () in
+    let cache = Recover.Cache.create () in
     let after_tokens = if options.token_phase then Token_phase.run src else src in
-    let recovered, _ = fixpoint_from ~opts:options ~stats ~depth:0 after_tokens in
+    let recovered, _ =
+      fixpoint_from ~opts:options ~stats ~cache ~depth:0 after_tokens
+    in
     let final = finalize ~options recovered in
     [
       { phase = "original"; text = src };

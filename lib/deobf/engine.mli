@@ -23,6 +23,7 @@ and recovery_options = Recover.options = {
   use_tracing : bool;
   use_blocklist : bool;
   use_multilayer : bool;
+  use_piece_cache : bool;
   max_depth : int;
   piece_step_budget : int;
   piece_timeout_s : float;
@@ -49,6 +50,10 @@ type failure_site = { phase : string; failure : Pscommon.Guard.failure }
 type guarded = {
   result : result;
   failures : failure_site list;  (** contained degradations, in phase order *)
+  timings : (string * float) list;
+      (** wall milliseconds per phase (["parse"], ["recovery"], ["rename"],
+          ["reformat"], ["check"]), in execution order — the raw material
+          for batch-level phase profiles *)
 }
 
 val run_guarded :

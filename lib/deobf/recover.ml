@@ -25,6 +25,7 @@ type options = {
   use_tracing : bool;  (** ablation: Algorithm 1 on/off *)
   use_blocklist : bool;  (** ablation: skip pieces naming blocked commands *)
   use_multilayer : bool;  (** ablation: IEX / -EncodedCommand unwrapping *)
+  use_piece_cache : bool;  (** ablation: memoize piece invocations *)
   max_depth : int;  (** multi-layer recursion bound *)
   piece_step_budget : int;  (** interpreter budget per invoked piece *)
   piece_timeout_s : float;  (** wall-clock budget per invoked piece *)
@@ -32,7 +33,8 @@ type options = {
 
 let default_options =
   { use_tracing = true; use_blocklist = true; use_multilayer = true;
-    max_depth = 16; piece_step_budget = 400_000; piece_timeout_s = 5.0 }
+    use_piece_cache = true; max_depth = 16; piece_step_budget = 400_000;
+    piece_timeout_s = 5.0 }
 
 type stats = {
   mutable pieces_recovered : int;
@@ -40,15 +42,38 @@ type stats = {
   mutable layers_unwrapped : int;
   mutable pieces_attempted : int;
   mutable pieces_blocked : int;
+  mutable cache_hits : int;
 }
 
 let new_stats () =
   { pieces_recovered = 0; variables_substituted = 0; layers_unwrapped = 0;
-    pieces_attempted = 0; pieces_blocked = 0 }
+    pieces_attempted = 0; pieces_blocked = 0; cache_hits = 0 }
+
+(* Memoizes piece invocation: obfuscators emit the same decode piece
+   hundreds of times per script, and the fixpoint loop re-attempts
+   unrecovered pieces every pass.  The key joins the traced-binding digest
+   (the only ambient input to an execution) with the piece text; a table
+   holding an unfingerprintable value yields no key and bypasses the cache
+   entirely.  Bounded: on overflow the whole table resets — crude, but
+   keeps the common case (one hot working set per script) intact. *)
+module Cache = struct
+  type t = {
+    tbl : (string, (Value.t, string) result) Hashtbl.t;
+    cap : int;
+  }
+
+  let create ?(cap = 2048) () = { tbl = Hashtbl.create 64; cap }
+  let find t key = Hashtbl.find_opt t.tbl key
+
+  let add t key result =
+    if Hashtbl.length t.tbl >= t.cap then Hashtbl.reset t.tbl;
+    Hashtbl.replace t.tbl key result
+end
 
 type pass_state = {
   opts : options;
   stats : stats;
+  cache : Cache.t;  (** shared across passes and layers of one engine run *)
   src : string;
   table : Tracer.t;
   mutable edits : Patch.edit list;
@@ -81,17 +106,53 @@ let guarded st f =
   | Ok r -> r
   | Error failure -> Error (Guard.failure_label failure)
 
-(** Execute a piece of script text and return the resulting value. *)
+(* guard failures that depend on the moment of execution (wall clock,
+   current recursion depth) must not be replayed from the cache *)
+let cacheable_error = function
+  | "timeout" | "stack-exhausted" -> false
+  | _ -> true
+
+let cache_key st text =
+  if not st.opts.use_piece_cache then None
+  else
+    let digest =
+      (* with tracing off the env is never seeded: every invocation runs
+         under the same (empty) binding set *)
+      if st.opts.use_tracing then Tracer.digest st.table
+      else Pseval.Env.bindings_digest []
+    in
+    match digest with
+    | Some d -> Some (d ^ "\x00" ^ text)
+    | None -> None
+
+(** Execute a piece of script text and return the resulting value.
+    Memoized on (traced-binding digest, text): a fresh environment seeded
+    from an identical binding set evaluates identical text to the same
+    value, so a hit replays the recorded result without re-interpreting. *)
 let invoke_piece st text =
   st.stats.pieces_attempted <- st.stats.pieces_attempted + 1;
   if st.opts.use_blocklist && Blocklist.mentions_blocked_command text then begin
     st.stats.pieces_blocked <- st.stats.pieces_blocked + 1;
     Error "blocklisted"
   end
-  else
-    guarded st (fun () ->
-        let env = fresh_env ~for_bytes:(String.length text) st in
-        Pseval.Interp.invoke_piece env text)
+  else begin
+    let key = cache_key st text in
+    match Option.bind key (Cache.find st.cache) with
+    | Some result ->
+        st.stats.cache_hits <- st.stats.cache_hits + 1;
+        result
+    | None ->
+        let result =
+          guarded st (fun () ->
+              let env = fresh_env ~for_bytes:(String.length text) st in
+              Pseval.Interp.invoke_piece env text)
+        in
+        (match (key, result) with
+        | Some k, Ok _ -> Cache.add st.cache k result
+        | Some k, Error e when cacheable_error e -> Cache.add st.cache k result
+        | _ -> ());
+        result
+  end
 
 (* executing a piece that contains variables is pointless (and wrong) when
    some of them are unknown — Algorithm 1 line 15 *)
@@ -503,22 +564,26 @@ and process_block st ~in_guard (block : A.t) =
       List.iter (process_statement st ~in_guard) stmts
   | _ -> process_statement st ~in_guard block
 
-(** One recovery pass.  [deobfuscate] is the full engine used to process
-    unwrapped layers recursively. *)
-let run_pass ~opts ~stats ~deobfuscate ~depth src =
-  match Psparse.Parser.parse src with
-  | Error _ -> src
-  | Ok ast -> (
-      let st =
-        { opts; stats; src; table = Tracer.create (); edits = []; deobfuscate; depth }
-      in
-      (match ast.A.node with
-      | A.Script_block sb ->
-          List.iter (process_statement st ~in_guard:false) sb.A.sb_statements
-      | _ -> process_statement st ~in_guard:false ast);
-      if st.edits = [] then src
-      else
-        match Patch.apply src st.edits with
-        | patched when Psparse.Parser.is_valid_syntax patched -> patched
-        | _ -> src
-        | exception Invalid_argument _ -> src)
+(** One recovery pass over an already-parsed script.  [deobfuscate] is the
+    full engine used to process unwrapped layer payloads recursively.
+    Returns [None] when the pass changed nothing (no edits, or edits that
+    would break the script) and [Some (patched, ast)] — the new text with
+    its validated parse, ready to thread into the next stage — otherwise. *)
+let run_pass ~opts ~stats ~cache ~deobfuscate ~depth ~ast src =
+  let st =
+    { opts; stats; cache; src; table = Tracer.create (); edits = [];
+      deobfuscate; depth }
+  in
+  (match ast.A.node with
+  | A.Script_block sb ->
+      List.iter (process_statement st ~in_guard:false) sb.A.sb_statements
+  | _ -> process_statement st ~in_guard:false ast);
+  if st.edits = [] then None
+  else
+    match Patch.apply src st.edits with
+    | patched when not (String.equal patched src) -> (
+        match Psparse.Parser.parse patched with
+        | Ok patched_ast -> Some (patched, patched_ast)
+        | Error _ -> None)
+    | _ -> None
+    | exception Invalid_argument _ -> None

@@ -7,6 +7,10 @@ type options = {
   use_tracing : bool;  (** ablation: Algorithm 1 on/off *)
   use_blocklist : bool;  (** ablation: skip pieces naming blocked commands *)
   use_multilayer : bool;  (** ablation: IEX / [-EncodedCommand] unwrapping *)
+  use_piece_cache : bool;
+      (** ablation: memoize piece invocations on (binding digest, text) —
+          obfuscators emit the same decode piece hundreds of times per
+          script, and the fixpoint loop re-attempts unrecovered pieces *)
   max_depth : int;  (** multi-layer recursion bound *)
   piece_step_budget : int;  (** interpreter budget per invoked piece *)
   piece_timeout_s : float;
@@ -23,9 +27,21 @@ type stats = {
   mutable layers_unwrapped : int;
   mutable pieces_attempted : int;
   mutable pieces_blocked : int;
+  mutable cache_hits : int;
+      (** piece invocations answered from the memo cache (counted inside
+          [pieces_attempted]) *)
 }
 
 val new_stats : unit -> stats
+
+(** Bounded memo cache for piece invocation, shared across the fixpoint
+    passes and unwrapped layers of one engine run.  Never shared across
+    runs or domains. *)
+module Cache : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+end
 
 val is_recoverable : Psast.Ast.t -> bool
 (** The paper's recoverable-node test (§III-B1): PipelineAst,
@@ -35,10 +51,15 @@ val is_recoverable : Psast.Ast.t -> bool
 val run_pass :
   opts:options ->
   stats:stats ->
+  cache:Cache.t ->
   deobfuscate:(depth:int -> string -> string) ->
   depth:int ->
+  ast:Psast.Ast.t ->
   string ->
-  string
-(** One recovery pass over a script.  [deobfuscate] is the full engine,
-    called recursively on unwrapped layer payloads.  Returns the input
-    unchanged when it does not parse or when the edits would break it. *)
+  (string * Psast.Ast.t) option
+(** One recovery pass over an already-parsed script ([ast] must be the
+    parse of the text argument).  [deobfuscate] is the full engine, called
+    recursively on unwrapped layer payloads.  [None] when the pass changed
+    nothing or its edits would break the script; [Some (patched, ast')]
+    carries the validated parse of the patched text so the caller never
+    re-parses. *)

@@ -97,25 +97,22 @@ let detect_tokens toks =
   in
   (!ticking, !random_case, !alias, random_name)
 
-let detect_whitespacing src =
+let whitespacing_of_tokens src toks =
   (* ≥3 consecutive spaces outside strings, or space before ';' *)
-  match Pslex.Lexer.tokenize src with
-  | Error _ -> false
-  | Ok toks ->
-      let rec check prev_stop = function
-        | [] -> false
-        | t :: rest ->
-            let gap_start = prev_stop and gap_stop = t.T.extent.Extent.start in
-            let gap_len = gap_stop - gap_start in
-            if
-              gap_len >= 3
-              && String.for_all
-                   (fun c -> c = ' ' || c = '\t')
-                   (String.sub src gap_start gap_len)
-            then true
-            else check t.T.extent.Extent.stop rest
-      in
-      check 0 toks
+  let rec check prev_stop = function
+    | [] -> false
+    | t :: rest ->
+        let gap_start = prev_stop and gap_stop = t.T.extent.Extent.start in
+        let gap_len = gap_stop - gap_start in
+        if
+          gap_len >= 3
+          && String.for_all
+               (fun c -> c = ' ' || c = '\t')
+               (String.sub src gap_start gap_len)
+        then true
+        else check t.T.extent.Extent.stop rest
+  in
+  check 0 toks
 
 let is_string_node (n : A.t) =
   match n.A.node with
@@ -238,21 +235,15 @@ let detect_ast src =
       !d
 
 let detect src =
-  let token_part =
+  (* one tokenize feeds both the token-feature pass and the whitespacing
+     check; the AST pass parses separately *)
+  let (ticking, random_case, alias, random_name), whitespacing =
     match Pslex.Lexer.tokenize src with
-    | Error _ -> (false, false, false, false)
-    | Ok toks -> detect_tokens toks
+    | Error _ -> ((false, false, false, false), false)
+    | Ok toks -> (detect_tokens toks, whitespacing_of_tokens src toks)
   in
-  let ticking, random_case, alias, random_name = token_part in
   let d = detect_ast src in
-  {
-    d with
-    ticking;
-    random_case;
-    alias;
-    random_name;
-    whitespacing = detect_whitespacing src;
-  }
+  { d with ticking; random_case; alias; random_name; whitespacing }
 
 (** Levels present in a script. *)
 let levels d =

@@ -15,44 +15,54 @@ let literal_inside (paren_body : A.t) =
       | _ -> None)
   | _ -> None
 
+(** Simplify an already-parsed script ([ast] must be the parse of [src]).
+    [None] when nothing reduces or the reduction would break the script;
+    [Some (patched, ast')] carries the validated parse of the result so a
+    fixpoint driver can thread it onward without re-parsing. *)
+let run_shared ~ast src =
+  let edits = ref [] in
+  ignore
+    (A.fold_post_order_with_ancestors
+       (fun ancestors () node ->
+         match node.A.node with
+         | A.Paren_expr body -> (
+             match literal_inside body with
+             | Some (kind, inner) ->
+                 (* a number literal still needs its parens before
+                    member access or indexing: (5).ToString() *)
+                 let parent_needs_parens =
+                   match (kind, ancestors) with
+                   | `Num,
+                     ({ A.node =
+                          ( A.Member_access _ | A.Invoke_member _
+                          | A.Index_expr _ );
+                        _ }
+                      :: _) ->
+                       true
+                   (* keep parens in command position: `.('iex') …` is
+                      the recovered-launcher form the paper shows *)
+                   | _, ({ A.node = A.Command _; _ } :: _) -> true
+                   | _ -> false
+                 in
+                 if not parent_needs_parens then
+                   edits :=
+                     Pscommon.Patch.edit node.A.extent (A.text src inner)
+                     :: !edits
+             | None -> ())
+         | _ -> ())
+       () ast);
+  if !edits = [] then None
+  else
+    match Pscommon.Patch.apply src !edits with
+    | patched when not (String.equal patched src) -> (
+        match Psparse.Parser.parse patched with
+        | Ok patched_ast -> Some (patched, patched_ast)
+        | Error _ -> None)
+    | _ -> None
+    | exception Invalid_argument _ -> None
+
 let run src =
   match Psparse.Parser.parse src with
   | Error _ -> src
   | Ok ast -> (
-      let edits = ref [] in
-      ignore
-        (A.fold_post_order_with_ancestors
-           (fun ancestors () node ->
-             match node.A.node with
-             | A.Paren_expr body -> (
-                 match literal_inside body with
-                 | Some (kind, inner) ->
-                     (* a number literal still needs its parens before
-                        member access or indexing: (5).ToString() *)
-                     let parent_needs_parens =
-                       match (kind, ancestors) with
-                       | `Num,
-                         ({ A.node =
-                              ( A.Member_access _ | A.Invoke_member _
-                              | A.Index_expr _ );
-                            _ }
-                          :: _) ->
-                           true
-                       (* keep parens in command position: `.('iex') …` is
-                          the recovered-launcher form the paper shows *)
-                       | _, ({ A.node = A.Command _; _ } :: _) -> true
-                       | _ -> false
-                     in
-                     if not parent_needs_parens then
-                       edits :=
-                         Pscommon.Patch.edit node.A.extent (A.text src inner)
-                         :: !edits
-                 | None -> ())
-             | _ -> ())
-           () ast);
-      if !edits = [] then src
-      else
-        match Pscommon.Patch.apply src !edits with
-        | patched when Psparse.Parser.is_valid_syntax patched -> patched
-        | _ -> src
-        | exception Invalid_argument _ -> src)
+      match run_shared ~ast src with Some (patched, _) -> patched | None -> src)

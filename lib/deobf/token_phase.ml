@@ -123,17 +123,27 @@ let token_edit t =
   | T.String_single_here | T.String_double_here | T.Splat_variable ->
       None
 
-(** Run the token phase.  The result is checked for syntactic validity; on
-    any breakage the input is returned unchanged (paper §IV-A: skip a step
-    that introduces syntax errors). *)
-let run src =
+(** Run the token phase, one tokenize and (only when edits landed) one
+    validating parse.  [None] when the phase changed nothing — the input
+    does not lex, no token needs recovery, or the patched result would not
+    parse (paper §IV-A: skip a step that introduces syntax errors).
+    [Some (patched, ast)] carries the validated parse of the result so the
+    caller can thread it into the next stage without re-parsing. *)
+let run_shared src =
   match Pslex.Lexer.tokenize src with
-  | Error _ -> src
+  | Error _ -> None
   | Ok toks -> (
       let edits = List.filter_map token_edit toks in
-      if edits = [] then src
+      if edits = [] then None
       else
         match Patch.apply src edits with
-        | patched when Psparse.Parser.is_valid_syntax patched -> patched
-        | _ -> src
-        | exception Invalid_argument _ -> src)
+        | patched when not (String.equal patched src) -> (
+            match Psparse.Parser.parse patched with
+            | Ok ast -> Some (patched, ast)
+            | Error _ -> None)
+        | _ -> None
+        | exception Invalid_argument _ -> None)
+
+(** Run the token phase.  The result is checked for syntactic validity; on
+    any breakage the input is returned unchanged. *)
+let run src = match run_shared src with Some (patched, _) -> patched | None -> src

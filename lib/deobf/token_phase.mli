@@ -6,6 +6,11 @@ val run : string -> string
 (** Returns the input unchanged when it does not lex, or when the patched
     result would not parse (paper §IV-A). *)
 
+val run_shared : string -> (string * Psast.Ast.t) option
+(** Like {!run}, but distinguishes "changed nothing" ([None]) and returns
+    the validated parse of the changed result, so a fixpoint driver can
+    skip its own re-parse and re-check. *)
+
 val canonical_member : string -> string
 (** Canonical spelling of a known member name ([replace] → [Replace]). *)
 

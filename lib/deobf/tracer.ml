@@ -11,9 +11,15 @@ open Pscommon
 module A = Psast.Ast
 module Value = Psvalue.Value
 
-type t = { mutable table : Value.t Strcase.Map.t }
+type t = {
+  mutable table : Value.t Strcase.Map.t;
+  mutable digest : string option option;
+      (** memoized {!Pseval.Env.bindings_digest} of [table]; outer [None]
+          means stale (recompute), inner [None] means the table holds a
+          compound value and cannot be fingerprinted *)
+}
 
-let create () = { table = Strcase.Map.empty }
+let create () = { table = Strcase.Map.empty; digest = None }
 
 let automatic_names =
   List.fold_left
@@ -31,15 +37,27 @@ let is_automatic name =
   Strcase.Set.mem name automatic_names
   || Strcase.starts_with ~prefix:"env:" name
 
-let record t name value = t.table <- Strcase.Map.add (Strcase.lower name) value t.table
+let record t name value =
+  t.table <- Strcase.Map.add (Strcase.lower name) value t.table;
+  t.digest <- None
 
-let remove t name = t.table <- Strcase.Map.remove (Strcase.lower name) t.table
+let remove t name =
+  t.table <- Strcase.Map.remove (Strcase.lower name) t.table;
+  t.digest <- None
 
 let lookup t name = Strcase.Map.find_opt (Strcase.lower name) t.table
 
 let known t name = is_automatic name || Strcase.Map.mem (Strcase.lower name) t.table
 
 let bindings t = Strcase.Map.bindings t.table
+
+let digest t =
+  match t.digest with
+  | Some d -> d
+  | None ->
+      let d = Pseval.Env.bindings_digest (bindings t) in
+      t.digest <- Some d;
+      d
 
 (** Seed an evaluation environment with the traced values. *)
 let seed_env t env =

@@ -20,6 +20,12 @@ val known : t -> string -> bool
 
 val bindings : t -> (string * Psvalue.Value.t) list
 
+val digest : t -> string option
+(** Memoized {!Pseval.Env.bindings_digest} of the current table, recomputed
+    only after a {!record}/{!remove}.  [None] when the table holds a value
+    that cannot be fingerprinted (compound / mutable) — piece results must
+    not be cached under such a table. *)
+
 val seed_env : t -> Pseval.Env.t -> unit
 (** Install every traced value into an evaluation environment — the context
     that lets recovery execute pieces containing variables. *)

@@ -25,21 +25,22 @@ let distance_symbol dist =
   let i = find 0 in
   (i, dist - base.(i), extra.(i))
 
-let fixed_lit_codes = lazy (Huffman.codes_of_lengths (Huffman.fixed_literal_lengths ()))
-let fixed_lit_lengths = lazy (Huffman.fixed_literal_lengths ())
-let fixed_dist_codes = lazy (Huffman.codes_of_lengths (Huffman.fixed_distance_lengths ()))
+(* built eagerly at module init: racing Lazy.force from parallel batch
+   domains is unsafe, and the fixed Huffman tables are cheap to compute *)
+let fixed_lit_lengths = Huffman.fixed_literal_lengths ()
+let fixed_lit_codes = Huffman.codes_of_lengths fixed_lit_lengths
+let fixed_dist_codes = Huffman.codes_of_lengths (Huffman.fixed_distance_lengths ())
 
 let emit_literal w sym =
-  let codes = Lazy.force fixed_lit_codes and lens = Lazy.force fixed_lit_lengths in
-  Bitstream.Writer.huffman w ~code:codes.(sym) ~length:lens.(sym)
+  Bitstream.Writer.huffman w ~code:fixed_lit_codes.(sym)
+    ~length:fixed_lit_lengths.(sym)
 
 let emit_match w ~len ~dist =
   let lsym, lextra_val, lextra_bits = length_symbol len in
   emit_literal w lsym;
   if lextra_bits > 0 then Bitstream.Writer.bits w ~value:lextra_val ~count:lextra_bits;
   let dsym, dextra_val, dextra_bits = distance_symbol dist in
-  let dcodes = Lazy.force fixed_dist_codes in
-  Bitstream.Writer.huffman w ~code:dcodes.(dsym) ~length:5;
+  Bitstream.Writer.huffman w ~code:fixed_dist_codes.(dsym) ~length:5;
   if dextra_bits > 0 then Bitstream.Writer.bits w ~value:dextra_val ~count:dextra_bits
 
 let hash3 s i =

@@ -14,20 +14,17 @@ type t = {
   ips : string list;
 }
 
+(* compiled eagerly at module init: racing Lazy.force from parallel batch
+   domains is unsafe, and the compiled automata are shared read-only *)
 let url_re =
-  lazy (Regexen.Regex.compile {|https?://[a-z0-9\.\-]+(:\d+)?[a-z0-9\./\-_%\?=&\+~]*|})
+  Regexen.Regex.compile {|https?://[a-z0-9\.\-]+(:\d+)?[a-z0-9\./\-_%\?=&\+~]*|}
 
-let ip_re =
-  lazy (Regexen.Regex.compile {|\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b|})
-
-let ps1_re =
-  lazy (Regexen.Regex.compile {|[a-z0-9_\-\\/:\.\$%]+\.ps1\b|})
-
-let powershell_re =
-  lazy (Regexen.Regex.compile {|\bpowershell(\.exe)?\b|})
+let ip_re = Regexen.Regex.compile {|\b\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}\b|}
+let ps1_re = Regexen.Regex.compile {|[a-z0-9_\-\\/:\.\$%]+\.ps1\b|}
+let powershell_re = Regexen.Regex.compile {|\bpowershell(\.exe)?\b|}
 
 let matches_of re src =
-  List.map (fun m -> Regexen.Regex.matched_text src m) (Regexen.Regex.find_all (Lazy.force re) src)
+  List.map (fun m -> Regexen.Regex.matched_text src m) (Regexen.Regex.find_all re src)
   |> List.sort_uniq Strcase.compare
 
 let valid_ip s =

@@ -32,18 +32,28 @@ let no_deadline = infinity
 let now () = Unix.gettimeofday ()
 let deadline_after s = if s = infinity then infinity else now () +. s
 
-(* innermost first; guards nest (batch file -> engine phase -> piece) *)
-let ambient : deadline list ref = ref []
+(* Innermost first; guards nest (batch file -> engine phase -> piece).  The
+   stack is domain-local state: parallel batch workers each guard their own
+   file, and a deadline installed in one domain must never be observed as
+   ambient by another.  Each domain's stack starts empty. *)
+let ambient : deadline list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let ambient_deadline () =
-  match !ambient with [] -> no_deadline | d :: _ -> d
+  match Domain.DLS.get ambient with [] -> no_deadline | d :: _ -> d
 
 let expired d = d < infinity && now () >= d
 let remaining_s d = if d = infinity then infinity else d -. now ()
 let check d = if expired d then raise Deadline_exceeded
 
-let classifiers : (exn -> failure option) list ref = ref []
-let register_classifier f = classifiers := f :: !classifiers
+(* Registration happens in module initialisers (single-domain, before any
+   worker spawns), but an atomic keeps late registration from racing a
+   concurrent classify in some future use. *)
+let classifiers : (exn -> failure option) list Atomic.t = Atomic.make []
+
+let rec register_classifier f =
+  let cur = Atomic.get classifiers in
+  if not (Atomic.compare_and_set classifiers cur (f :: cur)) then
+    register_classifier f
 
 let classify_exn e =
   match e with
@@ -51,7 +61,7 @@ let classify_exn e =
   | Stack_overflow -> Stack_exhausted
   | Out_of_memory -> Unexpected "out of memory"
   | e -> (
-      match List.find_map (fun f -> f e) !classifiers with
+      match List.find_map (fun f -> f e) (Atomic.get classifiers) with
       | Some failure -> failure
       | None -> Unexpected (Printexc.to_string e))
 
@@ -59,13 +69,14 @@ let protect ?(deadline = no_deadline) ?max_output_bytes ?measure f =
   let effective = Float.min deadline (ambient_deadline ()) in
   if expired effective then Error Timeout
   else begin
-    ambient := effective :: !ambient;
+    Domain.DLS.set ambient (effective :: Domain.DLS.get ambient);
     let result =
       match f () with
       | v -> Ok v
       | exception e -> Error (classify_exn e)
     in
-    ambient := (match !ambient with _ :: rest -> rest | [] -> []);
+    Domain.DLS.set ambient
+      (match Domain.DLS.get ambient with _ :: rest -> rest | [] -> []);
     match (result, max_output_bytes, measure) with
     | Ok v, Some cap, Some size when size v > cap -> Error Output_too_large
     | r, _, _ -> r

@@ -44,7 +44,9 @@ val now : unit -> float
 
 val ambient_deadline : unit -> deadline
 (** The innermost deadline installed by an enclosing {!protect}, or
-    {!no_deadline} outside any guard. *)
+    {!no_deadline} outside any guard.  The deadline stack is
+    {e domain-local} (Domain.DLS): parallel batch workers each see only
+    their own guards, so deadlines never leak across domains. *)
 
 val expired : deadline -> bool
 val remaining_s : deadline -> float

@@ -1,0 +1,44 @@
+(** Fixed-size domain pool with an atomic work queue.
+
+    Determinism by construction: item [i]'s result is written only to slot
+    [i], and slots are disjoint, so the result list is always in input
+    order no matter how the scheduler interleaves the workers.  Worker
+    domains inherit nothing ambient — {!Guard}'s deadline stack is
+    domain-local, so a deadline installed in one worker can never leak
+    into another. *)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r = match f items.(i) with v -> Ok v | exception e -> Error e in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* the calling domain is worker number [jobs]; spawn the other jobs-1 *)
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false (* every index was claimed and joined *))
+         results)
+  end
+
+let iter ?jobs f items = ignore (map ?jobs f items)

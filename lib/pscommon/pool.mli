@@ -1,0 +1,22 @@
+(** Fixed-size domain pool: parallel map over a work queue with
+    deterministic, input-ordered results.
+
+    Built for batch deobfuscation: each work item is independent, already
+    totalised by {!Guard.protect}, and its result slot is private to the
+    item, so the only shared state is the index counter.  Worker domains
+    pull the next index atomically; results land in a pre-sized array, so
+    the output order is the input order regardless of scheduling. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware's parallelism. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, running up to [jobs]
+    domains (the calling domain counts as one).  [jobs <= 1] runs
+    sequentially in the calling domain, spawning nothing.  Results are in
+    input order.  If [f] raises, the exception with the lowest input index
+    is re-raised after all workers have drained (callers in this codebase
+    pass total functions, so this is a backstop, not a protocol). *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [iter ~jobs f items] — {!map} with unit results. *)

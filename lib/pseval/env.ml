@@ -271,3 +271,48 @@ let find_function env name = Hashtbl.find_opt env.functions (Strcase.lower name)
 
 let sink env v = env.output_sink <- v :: env.output_sink
 let sunk_output env = List.rev env.output_sink
+
+(* ---------- binding fingerprints (recovery memoization) ---------- *)
+
+(* A scalar binding set admits a stable content fingerprint; compound
+   values (arrays, streams, script blocks) are mutable or carry hidden
+   state, so a table containing one cannot be fingerprinted soundly. *)
+let scalar_fingerprint buf (v : Psvalue.Value.t) =
+  match v with
+  | Psvalue.Value.Null -> Buffer.add_char buf 'N'; true
+  | Psvalue.Value.Bool b -> Buffer.add_char buf (if b then 'T' else 'F'); true
+  | Psvalue.Value.Int n ->
+      Buffer.add_char buf 'i';
+      Buffer.add_string buf (string_of_int n);
+      true
+  | Psvalue.Value.Float f ->
+      Buffer.add_char buf 'f';
+      Buffer.add_string buf (Printf.sprintf "%h" f);
+      true
+  | Psvalue.Value.Char c ->
+      Buffer.add_char buf 'c';
+      Buffer.add_char buf c;
+      true
+  | Psvalue.Value.Str s ->
+      Buffer.add_char buf 's';
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s;
+      true
+  | Psvalue.Value.Arr _ | Psvalue.Value.Hash _ | Psvalue.Value.Script_block _
+  | Psvalue.Value.Secure_string _ | Psvalue.Value.Obj _ ->
+      false
+
+let bindings_digest bindings =
+  let buf = Buffer.create 256 in
+  let all_scalar =
+    List.for_all
+      (fun (name, value) ->
+        Buffer.add_string buf (Pscommon.Strcase.lower name);
+        Buffer.add_char buf '=';
+        let ok = scalar_fingerprint buf value in
+        Buffer.add_char buf ';';
+        ok)
+      bindings
+  in
+  if all_scalar then Some (Digest.string (Buffer.contents buf)) else None

@@ -107,3 +107,11 @@ val sink : t -> Psvalue.Value.t -> unit
 (** Host output (Write-Host). *)
 
 val sunk_output : t -> Psvalue.Value.t list
+
+val bindings_digest : (string * Psvalue.Value.t) list -> string option
+(** Content fingerprint of a seeded binding set, for memoizing piece
+    recovery: two environments seeded from binding lists with equal digests
+    evaluate any piece to the same value.  [None] when a binding holds a
+    compound value (array, hashtable, stream, script block) — those are
+    mutable or carry hidden state, so the set cannot be fingerprinted
+    soundly and callers must not cache. *)
