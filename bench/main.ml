@@ -2,10 +2,12 @@
 
    One target per table/figure of the paper:
      table1 table2 fig5 fig6 table3 table4 table5 case ablate
-     throughput micro
+     throughput obs micro
    No argument runs everything except throughput (the parallel-batch
    scaling run, writes BENCH_batch.json) and micro (the Bechamel
-   suite) — both take a while on their own. *)
+   suite) — both take a while on their own.  obs (in the default run,
+   writes BENCH_obs.json) measures telemetry overhead and exits
+   non-zero if the disabled path costs more than 5%. *)
 
 let line () = print_endline (String.make 78 '-')
 
@@ -170,6 +172,153 @@ let run_throughput () =
   print_endline "  wrote BENCH_batch.json";
   ignore s1
 
+(* ---------- telemetry overhead (observability) ---------- *)
+
+(* Measures the two costs of the telemetry layer on a fixed-seed corpus:
+   the *enabled* cost (tracing every file vs not tracing) and the
+   *disabled* cost (what instrumented call sites cost when no trace is
+   installed — the path every production run without --trace takes).  The
+   disabled overhead is estimated as events-per-sample x per-call cost
+   against the per-sample wall time, and the run fails loudly if it
+   exceeds 5% — the regression budget for instrumenting hot paths. *)
+let run_obs () =
+  line ();
+  let module T = Pscommon.Telemetry in
+  let module Guard = Pscommon.Guard in
+  let count = 48 in
+  let seed = 42 in
+  let samples = Corpus.Generator.generate ~seed ~count in
+  let dir = Filename.temp_dir "bench_obs" "" in
+  let files =
+    List.map
+      (fun (s : Corpus.Generator.sample) ->
+        let path = Filename.concat dir (Printf.sprintf "sample_%04d.ps1" s.id) in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc s.obfuscated);
+        path)
+      samples
+  in
+  Printf.printf "telemetry overhead: %d samples (seed %d)\n" count seed;
+  let run ?trace_dir tag =
+    let out_dir = Filename.concat dir ("out_" ^ tag) in
+    let t0 = Guard.now () in
+    let summary =
+      Deobf.Batch.run_files ~timeout_s:30.0 ~out_dir ?trace_dir ~jobs:1 files
+    in
+    ignore summary;
+    (out_dir, Guard.now () -. t0)
+  in
+  let out_plain, wall_plain = run "plain" in
+  let trace_dir = Filename.concat dir "traces" in
+  let out_traced, wall_traced = run ~trace_dir "traced" in
+  let identical =
+    List.for_all
+      (fun file ->
+        let base = Filename.basename file in
+        let read d =
+          In_channel.with_open_bin (Filename.concat d base) In_channel.input_all
+        in
+        String.equal (read out_plain) (read out_traced))
+      files
+  in
+  (* total events across the run, from each trace's summary line *)
+  let summary_events path =
+    try
+      In_channel.with_open_bin path @@ fun ic ->
+      let text = In_channel.input_all ic in
+      (* the trailing summary line: {"kind": "summary", "events": N, ...} *)
+      let key = "\"summary\", \"events\": " in
+      let klen = String.length key in
+      let rec find i =
+        if i + klen > String.length text then 0
+        else if String.sub text i klen = key then
+          let stop = ref (i + klen) in
+          while
+            !stop < String.length text
+            && text.[!stop] >= '0'
+            && text.[!stop] <= '9'
+          do
+            incr stop
+          done;
+          int_of_string (String.sub text (i + klen) (!stop - (i + klen)))
+        else find (i + 1)
+      in
+      find 0
+    with _ -> 0
+  in
+  let total_events =
+    List.fold_left
+      (fun acc file ->
+        acc
+        + summary_events
+            (Filename.concat trace_dir (Filename.basename file ^ ".trace.jsonl")))
+      0 files
+  in
+  let events_per_sample = float_of_int total_events /. float_of_int count in
+  (* disabled fast path: cost of an instrumented call site with no ambient
+     trace installed *)
+  let calls = 1_000_000 in
+  let t0 = Guard.now () in
+  for _ = 1 to calls do
+    T.event "bench.obs"
+  done;
+  let percall_ns = (Guard.now () -. t0) *. 1e9 /. float_of_int calls in
+  let per_sample_ns = wall_plain *. 1e9 /. float_of_int count in
+  let disabled_overhead_pct =
+    if per_sample_ns > 0.0 then
+      100.0 *. (events_per_sample *. percall_ns) /. per_sample_ns
+    else 0.0
+  in
+  let traced_overhead_pct =
+    if wall_plain > 0.0 then
+      100.0 *. (wall_traced -. wall_plain) /. wall_plain
+    else 0.0
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"samples\": %d," count;
+        Printf.sprintf "  \"seed\": %d," seed;
+        Printf.sprintf "  \"wall_s_untraced\": %.3f," wall_plain;
+        Printf.sprintf "  \"wall_s_traced\": %.3f," wall_traced;
+        Printf.sprintf "  \"samples_per_s_untraced\": %.2f,"
+          (float_of_int count /. wall_plain);
+        Printf.sprintf "  \"samples_per_s_traced\": %.2f,"
+          (float_of_int count /. wall_traced);
+        Printf.sprintf "  \"outputs_identical\": %b," identical;
+        Printf.sprintf "  \"events_total\": %d," total_events;
+        Printf.sprintf "  \"events_per_sample\": %.1f," events_per_sample;
+        Printf.sprintf "  \"disabled_percall_ns\": %.1f," percall_ns;
+        Printf.sprintf "  \"disabled_overhead_pct\": %.3f,"
+          disabled_overhead_pct;
+        Printf.sprintf "  \"traced_overhead_pct\": %.1f" traced_overhead_pct;
+        "}";
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_obs.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf
+    "  untraced: %.2fs (%.1f samples/s)\n  traced:   %.2fs (%.1f samples/s, \
+     +%.1f%%)\n"
+    wall_plain
+    (float_of_int count /. wall_plain)
+    wall_traced
+    (float_of_int count /. wall_traced)
+    traced_overhead_pct;
+  Printf.printf "  outputs identical: %b\n" identical;
+  Printf.printf "  events: %d total, %.1f per sample\n" total_events
+    events_per_sample;
+  Printf.printf "  disabled path: %.1f ns/call, est. overhead %.3f%%\n"
+    percall_ns disabled_overhead_pct;
+  print_endline "  wrote BENCH_obs.json";
+  if disabled_overhead_pct > 5.0 then begin
+    Printf.eprintf
+      "FAIL: disabled-telemetry overhead %.3f%% exceeds the 5%% budget\n"
+      disabled_overhead_pct;
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro_tests () =
@@ -232,7 +381,7 @@ let registry =
     ("table5", run_table5); ("case", run_case); ("ablate", run_ablate);
     ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
     ("funnel", run_funnel); ("throughput", run_throughput);
-    ("micro", run_micro) ]
+    ("obs", run_obs); ("micro", run_micro) ]
 
 let () =
   match Array.to_list Sys.argv with

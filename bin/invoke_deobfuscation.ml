@@ -28,9 +28,82 @@ let output_arg =
 
 (* ---------- deobfuscate ---------- *)
 
+module T = Pscommon.Telemetry
+
+let pct hits attempted =
+  if attempted = 0 then 0.0
+  else 100.0 *. float_of_int hits /. float_of_int attempted
+
+let phase_ms_line timings =
+  String.concat ", "
+    (List.map (fun (p, ms) -> Printf.sprintf "%s %.1f" p ms) timings)
+
+(* --summary: the one-screen digest of a single-file run *)
+let print_file_summary src (guarded : Deobf.Engine.guarded) =
+  let result = guarded.Deobf.Engine.result in
+  let stats = result.Deobf.Engine.stats in
+  let score_before =
+    Deobf.Score.score_of_detection (Deobf.Score.detect src)
+  in
+  let score_after =
+    Deobf.Score.score_of_detection
+      (Deobf.Score.detect result.Deobf.Engine.output)
+  in
+  Printf.eprintf
+    "== summary ==\n\
+     score: %d -> %d\n\
+     pieces: %d recovered, %d blocked, %d attempted (cache hit-rate %.1f%%)\n\
+     variables substituted: %d, layers unwrapped: %d\n\
+     iterations: %d, changed: %b, contained failures: %d\n\
+     phase ms: %s\n"
+    score_before score_after stats.Deobf.Recover.pieces_recovered
+    stats.Deobf.Recover.pieces_blocked stats.Deobf.Recover.pieces_attempted
+    (pct stats.Deobf.Recover.cache_hits stats.Deobf.Recover.pieces_attempted)
+    stats.Deobf.Recover.variables_substituted
+    stats.Deobf.Recover.layers_unwrapped result.Deobf.Engine.iterations
+    result.Deobf.Engine.changed
+    (List.length guarded.Deobf.Engine.failures)
+    (phase_ms_line guarded.Deobf.Engine.timings)
+
+(* --summary: the one-screen digest of a batch run *)
+let print_batch_summary (s : Deobf.Batch.summary) =
+  let sum f =
+    List.fold_left
+      (fun acc (o : Deobf.Batch.outcome) -> acc + f o.Deobf.Batch.stats)
+      0 s.Deobf.Batch.outcomes
+  in
+  let recovered = sum (fun st -> st.Deobf.Recover.pieces_recovered) in
+  let blocked = sum (fun st -> st.Deobf.Recover.pieces_blocked) in
+  let attempted = sum (fun st -> st.Deobf.Recover.pieces_attempted) in
+  let hits = sum (fun st -> st.Deobf.Recover.cache_hits) in
+  let unwrapped = sum (fun st -> st.Deobf.Recover.layers_unwrapped) in
+  let phase_totals =
+    List.fold_left
+      (fun acc (o : Deobf.Batch.outcome) ->
+        List.fold_left
+          (fun acc (phase, ms) ->
+            let prev = Option.value ~default:0.0 (List.assoc_opt phase acc) in
+            (phase, prev +. ms) :: List.remove_assoc phase acc)
+          acc o.Deobf.Batch.phase_ms)
+      [] s.Deobf.Batch.outcomes
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.eprintf
+    "== batch summary ==\n\
+     files: %d (%d clean, %d degraded) in %.1f ms\n\
+     pieces: %d recovered, %d blocked, %d attempted (cache hit-rate %.1f%%)\n\
+     layers unwrapped: %d\n\
+     phase ms: %s\n"
+    s.Deobf.Batch.total s.Deobf.Batch.clean s.Deobf.Batch.degraded
+    s.Deobf.Batch.wall_ms recovered blocked attempted (pct hits attempted)
+    unwrapped
+    (phase_ms_line phase_totals)
+
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
-      no_reformat no_token_phase no_piece_cache stats batch jobs timeout =
+      no_reformat no_token_phase no_piece_cache stats batch jobs timeout trace
+      log_level summary_flag =
+    Option.iter (fun l -> T.Log.set_level (Some l)) log_level;
     let options =
       {
         Deobf.Engine.token_phase = not no_token_phase;
@@ -68,28 +141,53 @@ let deobfuscate_cmd =
         | Some n -> max 1 n
         | None -> Pscommon.Pool.recommended_jobs ()
       in
+      (* bare --trace puts the per-file JSONL streams next to the outputs *)
+      let trace_dir =
+        match trace with
+        | None -> None
+        | Some "" -> Some out_dir
+        | Some dir -> Some dir
+      in
       let summary =
-        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ~jobs dir
+        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ?trace_dir ~jobs dir
       in
       print_endline (Deobf.Batch.summary_to_json summary);
-      Printf.eprintf "%d files: %d clean, %d degraded (reports in %s)\n"
-        summary.Deobf.Batch.total summary.Deobf.Batch.clean
-        summary.Deobf.Batch.degraded out_dir
+      T.Log.info (fun () ->
+          Printf.sprintf "%d files: %d clean, %d degraded (reports in %s)"
+            summary.Deobf.Batch.total summary.Deobf.Batch.clean
+            summary.Deobf.Batch.degraded out_dir);
+      if summary_flag then print_batch_summary summary
     end
     else begin
       let src = read_input input in
-      let guarded =
+      let file_trace =
+        match trace with None -> None | Some path -> Some (path, T.create ())
+      in
+      let run_once () =
         Deobf.Engine.run_guarded ~options
           ~timeout_s:(Option.value timeout ~default:infinity)
           src
       in
+      let guarded =
+        match file_trace with
+        | None -> run_once ()
+        | Some (_, tr) -> T.with_trace tr run_once
+      in
+      (match file_trace with
+      | None -> ()
+      | Some ("", tr) -> prerr_string (T.to_jsonl tr)
+      | Some (path, tr) ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (T.to_jsonl tr)));
       let result = guarded.Deobf.Engine.result in
       write_output result.Deobf.Engine.output output;
       List.iter
         (fun (site : Deobf.Engine.failure_site) ->
-          Printf.eprintf "contained failure in %s: %s\n" site.phase
-            (Pscommon.Guard.failure_to_string site.failure))
+          T.Log.warn (fun () ->
+              Printf.sprintf "contained failure in %s: %s" site.phase
+                (Pscommon.Guard.failure_to_string site.failure)))
         guarded.Deobf.Engine.failures;
+      if summary_flag then print_file_summary src guarded;
       if stats then
         Printf.eprintf
           "pieces recovered: %d\nvariables substituted: %d\nlayers unwrapped: %d\npieces attempted: %d (blocked: %d, cache hits: %d)\niterations: %d\nchanged: %b\n"
@@ -135,7 +233,33 @@ let deobfuscate_cmd =
               ~doc:
                 "Wall-clock budget per script; overruns degrade to partial \
                  recovery and are reported (default: unlimited, 30s in \
-                 --batch mode)."))
+                 --batch mode).")
+      $ Arg.(
+          value
+          & opt ~vopt:(Some "") (some string) None
+          & info [ "trace" ] ~docv:"PATH"
+              ~doc:
+                "Record a span/event trace of the run as JSONL.  Single \
+                 file: write to $(docv), or to stderr with bare $(b,--trace). \
+                 In $(b,--batch) mode $(docv) is a directory receiving one \
+                 <file>.trace.jsonl stream per input (bare $(b,--trace): the \
+                 output directory).")
+      $ Arg.(
+          value
+          & opt
+              (some
+                 (enum
+                    [ ("error", T.Log.Error); ("warn", T.Log.Warn);
+                      ("info", T.Log.Info); ("debug", T.Log.Debug) ]))
+              None
+          & info [ "log-level" ] ~docv:"LEVEL"
+              ~doc:
+                "Enable diagnostic logging to stderr at $(docv) and above \
+                 (error|warn|info|debug; default: silent).")
+      $ flag [ "summary" ]
+          "Print a one-screen digest to stderr: scores, pieces \
+           recovered/blocked, layers unwrapped, cache hit-rate, per-phase \
+           milliseconds.")
 
 (* ---------- score ---------- *)
 

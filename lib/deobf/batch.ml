@@ -3,6 +3,7 @@
 
 module Guard = Pscommon.Guard
 module Pool = Pscommon.Pool
+module T = Pscommon.Telemetry
 
 type outcome = {
   file : string;
@@ -87,7 +88,8 @@ let summary_to_json s =
 let write_file path content =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
 
-let process_file ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir file =
+let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
+    file =
   let started = Guard.now () in
   let finish ?output_file ?(phase_ms = []) ~iterations ~changed ~stats failures =
     { file; output_file; wall_ms = (Guard.now () -. started) *. 1000.0;
@@ -136,6 +138,27 @@ let process_file ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir file =
       | _ -> ());
       outcome)
 
+let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir file
+    =
+  match trace_dir with
+  | None -> process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir file
+  | Some dir ->
+      (* one event stream per input: the trace is created in (and private
+         to) whichever pool domain runs this file, installed as that
+         domain's ambient context for the duration, and serialized next to
+         the other per-file reports.  Tracing is observation only, so the
+         deobfuscated output is byte-identical to an untraced run. *)
+      let trace = T.create () in
+      let outcome =
+        T.with_trace trace (fun () ->
+            T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
+                process_file_inner ?options ?timeout_s ?max_output_bytes
+                  ?out_dir file))
+      in
+      let path = Filename.concat dir (Filename.basename file ^ ".trace.jsonl") in
+      ignore (Guard.protect (fun () -> write_file path (T.to_jsonl trace)));
+      outcome
+
 (* mkdir -p semantics: creates missing ancestors, accepts an existing
    directory, and fails when any component exists as a non-directory. *)
 let rec ensure_dir dir =
@@ -152,15 +175,23 @@ let rec ensure_dir dir =
       ()
   end
 
-let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?(jobs = 1) files =
+let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
+    ?(jobs = 1) files =
   let started = Guard.now () in
-  let dir_failure =
-    match out_dir with
+  (* the process-global metrics registry becomes a per-run rollup: zeroed
+     here, aggregated across every pool domain, snapshotted by metrics_json *)
+  T.Metrics.reset ();
+  let ensure_failure = function
     | None -> None
     | Some dir -> (
         match Guard.protect (fun () -> ensure_dir dir) with
         | Ok () -> None
         | Error failure -> Some { Engine.phase = "write"; failure })
+  in
+  let dir_failure =
+    match ensure_failure out_dir with
+    | Some site -> Some site
+    | None -> ensure_failure trace_dir
   in
   let outcomes =
     match dir_failure with
@@ -179,7 +210,8 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?(jobs = 1) files =
            which file, so reports and outputs are deterministic *)
         Pool.map ~jobs
           (fun file ->
-            process_file ?options ?timeout_s ?max_output_bytes ?out_dir file)
+            process_file ?options ?timeout_s ?max_output_bytes ?out_dir
+              ?trace_dir file)
           files
   in
   let clean = List.length (List.filter (fun o -> o.failures = []) outcomes) in
@@ -191,7 +223,76 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?(jobs = 1) files =
     outcomes;
   }
 
-let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?jobs dir =
+(* ---------- run-level metrics rollup ---------- *)
+
+let sum_stats f outcomes =
+  List.fold_left (fun acc o -> acc + f o.stats) 0 outcomes
+
+(* counts of contained failures keyed "phase/kind", sorted *)
+let failure_site_counts outcomes =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (site : Engine.failure_site) ->
+          let key =
+            site.Engine.phase ^ "/" ^ Guard.failure_label site.Engine.failure
+          in
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+        o.failures)
+    outcomes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let phase_totals outcomes =
+  List.fold_left
+    (fun acc o ->
+      List.fold_left
+        (fun acc (phase, ms) ->
+          let prev = Option.value ~default:0.0 (List.assoc_opt phase acc) in
+          (phase, prev +. ms) :: List.remove_assoc phase acc)
+        acc o.phase_ms)
+    [] outcomes
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** The run-level observability rollup written as [metrics.json]: failure
+    sites, cache hit-rate, per-phase wall totals, and the full metrics
+    snapshot (counters, gauges, latency histograms) aggregated across every
+    pool domain of the run. *)
+let metrics_json s =
+  let attempted = sum_stats (fun st -> st.Recover.pieces_attempted) s.outcomes in
+  let hits = sum_stats (fun st -> st.Recover.cache_hits) s.outcomes in
+  let hit_rate =
+    if attempted = 0 then 0.0 else float_of_int hits /. float_of_int attempted
+  in
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"total\": %d," s.total;
+      Printf.sprintf "  \"clean\": %d," s.clean;
+      Printf.sprintf "  \"degraded\": %d," s.degraded;
+      Printf.sprintf "  \"wall_ms\": %.1f," s.wall_ms;
+      Printf.sprintf "  \"failure_sites\": {%s},"
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s: %d" (Report.json_string k) n)
+              (failure_site_counts s.outcomes)));
+      Printf.sprintf
+        "  \"cache\": {\"pieces_attempted\": %d, \"cache_hits\": %d, \
+         \"hit_rate\": %.3f},"
+        attempted hits hit_rate;
+      Printf.sprintf "  \"phase_ms_total\": {%s},"
+        (String.concat ", "
+           (List.map
+              (fun (p, ms) -> Printf.sprintf "%s: %.1f" (Report.json_string p) ms)
+              (phase_totals s.outcomes)));
+      Printf.sprintf "  \"metrics\": %s"
+        (T.Metrics.snapshot_to_json (T.Metrics.snapshot ()));
+      "}";
+    ]
+
+let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs dir
+    =
   let files =
     match Guard.protect (fun () -> Sys.readdir dir) with
     | Error _ -> []
@@ -204,7 +305,8 @@ let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?jobs dir =
                | Error _ -> false)
   in
   let summary =
-    run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?jobs files
+    run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs
+      files
   in
   (match out_dir with
   | Some out ->
@@ -212,6 +314,11 @@ let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?jobs dir =
         (Guard.protect (fun () ->
              write_file
                (Filename.concat out "batch_report.json")
-               (summary_to_json summary ^ "\n")))
+               (summary_to_json summary ^ "\n")));
+      ignore
+        (Guard.protect (fun () ->
+             write_file
+               (Filename.concat out "metrics.json")
+               (metrics_json summary ^ "\n")))
   | None -> ());
   summary

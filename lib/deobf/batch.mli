@@ -30,6 +30,7 @@ val process_file :
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
+  ?trace_dir:string ->
   string ->
   outcome
 (** Run one file through {!Engine.run_guarded} under its own deadline.
@@ -37,31 +38,48 @@ val process_file :
     outcome with failures.  With [out_dir], the recovered text is written
     to [out_dir/<basename>] and, when the file degraded, a failure report
     to [out_dir/<basename>.failures.json].  A failed output write is
-    recorded as a ["write"] failure site. *)
+    recorded as a ["write"] failure site.  With [trace_dir], the file runs
+    under an ambient {!Pscommon.Telemetry} trace and the event stream is
+    written to [trace_dir/<basename>.trace.jsonl] — one stream per input,
+    even across pool domains. *)
 
 val run_files :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
+  ?trace_dir:string ->
   ?jobs:int ->
   string list ->
   summary
 (** Process the given files, [jobs] at a time (default 1, sequential).
-    [out_dir] is created with mkdir-p semantics; if it cannot be created
-    (e.g. the path names a regular file) every outcome carries a
-    structured ["write"] failure instead of the batch crashing. *)
+    [out_dir] (and [trace_dir]) are created with mkdir-p semantics; if one
+    cannot be created (e.g. the path names a regular file) every outcome
+    carries a structured ["write"] failure instead of the batch crashing.
+    The process-global {!Pscommon.Telemetry.Metrics} registry is reset at
+    the start of the call, so a snapshot taken afterwards (and the
+    [metrics.json] rollup from {!run_dir}) covers exactly this run. *)
 
 val run_dir :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
+  ?trace_dir:string ->
   ?jobs:int ->
   string ->
   summary
 (** Process every regular file in a directory, in sorted order.  With
-    [out_dir], also writes [out_dir/batch_report.json]. *)
+    [out_dir], also writes [out_dir/batch_report.json] and the run-level
+    observability rollup [out_dir/metrics.json]. *)
 
 val outcome_to_json : outcome -> string
 val summary_to_json : summary -> string
+
+val metrics_json : summary -> string
+(** The run-level rollup written as [metrics.json]: contained-failure
+    counts keyed ["phase/kind"], piece-cache hit rate, per-phase wall-time
+    totals, and the current {!Pscommon.Telemetry.Metrics} snapshot
+    (counters, gauges and latency histograms aggregated across all pool
+    domains).  Meaningful right after {!run_files}/{!run_dir}, which reset
+    the registry at the start of the run. *)

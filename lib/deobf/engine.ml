@@ -120,6 +120,23 @@ and fixpoint_from ~opts ~stats ~cache ~depth src1 =
     else if Pscommon.Guard.expired (Pscommon.Guard.ambient_deadline ()) then
       (current, i)
     else begin
+      (* per-pass span: the per-pass timing breakdown the summed phase
+         totals no longer carry lives here, in the trace *)
+      let sid =
+        if Pscommon.Telemetry.active () then
+          Pscommon.Telemetry.span_begin "engine.pass"
+            ~attrs:
+              [ ("pass", Pscommon.Telemetry.I i);
+                ("depth", Pscommon.Telemetry.I depth);
+                ("bytes", Pscommon.Telemetry.I (String.length current)) ]
+        else 0
+      in
+      let finish_pass ~changed result =
+        if sid <> 0 then
+          Pscommon.Telemetry.span_end sid
+            ~attrs:[ ("changed", Pscommon.Telemetry.B changed) ];
+        result
+      in
       let cur1, ast1, recover_changed =
         match
           Recover.run_pass ~opts:opts.recovery ~stats ~cache ~deobfuscate
@@ -136,15 +153,18 @@ and fixpoint_from ~opts ~stats ~cache ~depth src1 =
       if not (recover_changed || token_changed || simplify_pending) then
         (* nothing moved and the text is already simplify-stable: the
            fixpoint is reached without running Simplify or re-checking *)
-        (current, i + 1)
+        finish_pass ~changed:false (current, i + 1)
       else
         let cur3, ast3, simplify_changed =
           match Simplify.run_shared ~ast:ast2 cur2 with
           | Some (patched, patched_ast) -> (patched, patched_ast, true)
           | None -> (cur2, ast2, false)
         in
-        if String.equal cur3 current then (current, i + 1)
-        else fixpoint (i + 1) cur3 ast3 simplify_changed
+        if String.equal cur3 current then finish_pass ~changed:false (current, i + 1)
+        else begin
+          ignore (finish_pass ~changed:true ());
+          fixpoint (i + 1) cur3 ast3 simplify_changed
+        end
     end
   in
   match Psparse.Parser.parse src1 with
@@ -193,8 +213,22 @@ type guarded = {
   result : result;
   failures : failure_site list;  (** contained degradations, in phase order *)
   timings : (string * float) list;
-      (** wall milliseconds per phase, in execution order *)
+      (** wall milliseconds per phase, {e summed} per phase name in
+          first-execution order — keys are unique, so the list is a valid
+          JSON object; the per-pass breakdown lives in telemetry spans *)
 }
+
+(* Sum [ms] into the entry for [phase], preserving first-use order — a
+   phase that runs more than once (or is ever re-entered) must not produce
+   duplicate keys in downstream JSON. *)
+let add_timing timings phase ms =
+  let rec add acc = function
+    | [] -> List.rev ((phase, ms) :: acc)
+    | (p, total) :: rest when String.equal p phase ->
+        List.rev_append acc ((p, total +. ms) :: rest)
+    | entry :: rest -> add (entry :: acc) rest
+  in
+  add [] timings
 
 (** Totalised pipeline: every phase runs under {!Pscommon.Guard.protect}
     with one wall-clock deadline for the whole run.  A phase that crashes,
@@ -203,23 +237,55 @@ type guarded = {
 let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
     ?(max_output_bytes = 32 * 1024 * 1024) src =
   let module Guard = Pscommon.Guard in
+  let module T = Pscommon.Telemetry in
   let deadline = Guard.deadline_after timeout_s in
   let stats = Recover.new_stats () in
   let cache = Recover.Cache.create () in
+  let run_sid =
+    if T.active () then
+      T.span_begin "engine.run" ~attrs:[ ("bytes", T.I (String.length src)) ]
+    else 0
+  in
   let failures = ref [] in
-  let record phase failure = failures := { phase; failure } :: !failures in
+  let record phase failure =
+    failures := { phase; failure } :: !failures;
+    T.Metrics.incr
+      (T.Metrics.counter
+         (Printf.sprintf "engine.failures.%s.%s" phase
+            (Guard.failure_label failure)));
+    if T.active () then
+      T.event "engine.failure"
+        ~attrs:
+          [ ("phase", T.S phase);
+            ("kind", T.S (Guard.failure_label failure)) ]
+  in
   let timings = ref [] in
   let timed phase f =
+    let module T = Pscommon.Telemetry in
+    let sid =
+      if T.active () then
+        T.span_begin "engine.phase" ~attrs:[ ("phase", T.S phase) ]
+      else 0
+    in
     let t0 = Guard.now () in
     let r = f () in
-    timings := (phase, (Guard.now () -. t0) *. 1000.0) :: !timings;
+    let ms = (Guard.now () -. t0) *. 1000.0 in
+    if sid <> 0 then T.span_end sid ~attrs:[ ("ms", T.F ms) ];
+    T.Metrics.observe (T.Metrics.histogram ("engine.phase_ms." ^ phase)) ms;
+    timings := add_timing !timings phase ms;
     r
   in
   let finish output iterations =
-    { result =
-        { output; stats; iterations; changed = not (String.equal output src) };
+    let changed = not (String.equal output src) in
+    if run_sid <> 0 then
+      T.span_end run_sid
+        ~attrs:
+          [ ("iterations", T.I iterations);
+            ("changed", T.B changed);
+            ("bytes_out", T.I (String.length output)) ];
+    { result = { output; stats; iterations; changed };
       failures = List.rev !failures;
-      timings = List.rev !timings }
+      timings = !timings }
   in
   match
     timed "parse" (fun () ->

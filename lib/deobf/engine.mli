@@ -52,8 +52,10 @@ type guarded = {
   failures : failure_site list;  (** contained degradations, in phase order *)
   timings : (string * float) list;
       (** wall milliseconds per phase (["parse"], ["recovery"], ["rename"],
-          ["reformat"], ["check"]), in execution order — the raw material
-          for batch-level phase profiles *)
+          ["reformat"], ["check"]), {e summed} per phase in first-execution
+          order — keys are unique, so the list renders directly as a JSON
+          object.  The per-pass breakdown is exposed as [engine.pass]
+          telemetry spans instead. *)
 }
 
 val run_guarded :

@@ -20,6 +20,17 @@
 open Pscommon
 module A = Psast.Ast
 module Value = Psvalue.Value
+module T = Telemetry
+
+(* Process-wide recovery metrics, aggregated across batch domains (the
+   per-run view lives in [stats]; these feed the batch metrics.json). *)
+let m_attempted = T.Metrics.counter "recover.pieces_attempted"
+let m_recovered = T.Metrics.counter "recover.pieces_recovered"
+let m_blocked = T.Metrics.counter "recover.pieces_blocked"
+let m_cache_hits = T.Metrics.counter "recover.cache_hits"
+let m_substituted = T.Metrics.counter "recover.variables_substituted"
+let m_unwrapped = T.Metrics.counter "recover.layers_unwrapped"
+let m_piece_ms = T.Metrics.histogram "recover.piece_ms"
 
 type options = {
   use_tracing : bool;  (** ablation: Algorithm 1 on/off *)
@@ -84,6 +95,23 @@ type pass_state = {
 let add_edit st extent replacement =
   st.edits <- Patch.edit extent replacement :: st.edits
 
+(* one variable usage replaced by its traced literal value *)
+let note_substitute st name =
+  st.stats.variables_substituted <- st.stats.variables_substituted + 1;
+  T.Metrics.incr m_substituted;
+  if T.active () then
+    T.event "recover.substitute" ~attrs:[ ("var", T.S name) ]
+
+(* one Invoke-Expression / -EncodedCommand layer replaced by its payload *)
+let note_unwrap st payload =
+  st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+  T.Metrics.incr m_unwrapped;
+  if T.active () then
+    T.event "recover.layer_unwrap"
+      ~attrs:
+        [ ("depth", T.I st.depth);
+          ("payload_bytes", T.I (String.length payload)) ]
+
 (* ---------- invoking pieces ---------- *)
 
 let fresh_env ?(for_bytes = 0) st =
@@ -125,14 +153,40 @@ let cache_key st text =
     | Some d -> Some (d ^ "\x00" ^ text)
     | None -> None
 
+(* trace attributes of a piece execution's outcome: the guard verdict
+   ("ok" for a recovered value, the failure label otherwise) plus the
+   rendered size when the result has a cheap string form *)
+let piece_end_attrs ~cache_hit result =
+  let verdict = match result with Ok _ -> "ok" | Error e -> e in
+  let base =
+    [ ("verdict", T.S verdict); ("cache_hit", T.B cache_hit) ]
+  in
+  match result with
+  | Ok (Value.Str s) -> ("bytes_out", T.I (String.length s)) :: base
+  | _ -> base
+
 (** Execute a piece of script text and return the resulting value.
     Memoized on (traced-binding digest, text): a fresh environment seeded
     from an identical binding set evaluates identical text to the same
-    value, so a hit replays the recorded result without re-interpreting. *)
-let invoke_piece st text =
+    value, so a hit replays the recorded result without re-interpreting.
+    [kind] labels the telemetry span with what the piece syntactically is
+    (AST node kind, or the call-site role for command names / payloads). *)
+let invoke_piece ?(kind = "piece") st text =
   st.stats.pieces_attempted <- st.stats.pieces_attempted + 1;
+  T.Metrics.incr m_attempted;
+  let sid =
+    if T.active () then
+      T.span_begin "recover.piece"
+        ~attrs:
+          [ ("kind", T.S kind); ("bytes_in", T.I (String.length text)) ]
+    else 0
+  in
   if st.opts.use_blocklist && Blocklist.mentions_blocked_command text then begin
     st.stats.pieces_blocked <- st.stats.pieces_blocked + 1;
+    T.Metrics.incr m_blocked;
+    if sid <> 0 then
+      T.span_end sid
+        ~attrs:[ ("verdict", T.S "blocked"); ("cache_hit", T.B false) ];
     Error "blocklisted"
   end
   else begin
@@ -140,17 +194,22 @@ let invoke_piece st text =
     match Option.bind key (Cache.find st.cache) with
     | Some result ->
         st.stats.cache_hits <- st.stats.cache_hits + 1;
+        T.Metrics.incr m_cache_hits;
+        if sid <> 0 then T.span_end sid ~attrs:(piece_end_attrs ~cache_hit:true result);
         result
     | None ->
+        let t0 = Guard.now () in
         let result =
           guarded st (fun () ->
               let env = fresh_env ~for_bytes:(String.length text) st in
               Pseval.Interp.invoke_piece env text)
         in
+        T.Metrics.observe m_piece_ms ((Guard.now () -. t0) *. 1000.0);
         (match (key, result) with
         | Some k, Ok _ -> Cache.add st.cache k result
         | Some k, Error e when cacheable_error e -> Cache.add st.cache k result
         | _ -> ());
+        if sid <> 0 then T.span_end sid ~attrs:(piece_end_attrs ~cache_hit:false result);
         result
   end
 
@@ -210,7 +269,7 @@ let resolves_to_iex st (name_expr : A.t) =
   | _ -> (
       if has_unknown_variables st name_expr then false
       else
-        match invoke_piece st (A.text st.src name_expr) with
+        match invoke_piece ~kind:"command-name" st (A.text st.src name_expr) with
         | Ok (Value.Str s) -> is_iex_name (String.trim s)
         | Ok _ | Error _ -> false)
 
@@ -245,7 +304,7 @@ let eval_payload st (arg : A.t) =
   | _ ->
       if has_unknown_variables st arg then None
       else
-        match invoke_piece st (A.text st.src arg) with
+        match invoke_piece ~kind:"payload" st (A.text st.src arg) with
         | Ok (Value.Str s) -> Some s
         | Ok _ | Error _ -> None
 
@@ -332,7 +391,7 @@ let multilayer_payload st (stmt : A.t) =
                 in
                 if unknown then None
                 else
-                  match invoke_piece st prefix_text with
+                  match invoke_piece ~kind:"pipeline-prefix" st prefix_text with
                   | Ok (Value.Str s) -> Some s
                   | Ok _ | Error _ -> None)
           | _ -> None)
@@ -360,7 +419,7 @@ let rec recover_in_node st (node : A.t) =
       if trivially_recovered text then None
       else if has_unknown_variables st node then None
       else
-        match invoke_piece st text with
+        match invoke_piece ~kind:(A.kind_name node) st text with
         | Ok value -> (
             match renderable value with
             | Some rendered
@@ -375,6 +434,7 @@ let rec recover_in_node st (node : A.t) =
     match recovered with
     | Some rendered ->
         st.stats.pieces_recovered <- st.stats.pieces_recovered + 1;
+        T.Metrics.incr m_recovered;
         add_edit st node.A.extent rendered
     | None -> descend st node
   end
@@ -398,7 +458,7 @@ and substitute_variable st node v =
     | Some ((Value.Str _ | Value.Int _ | Value.Float _ | Value.Char _) as value) -> (
         match Value.to_source_opt value with
         | Some rendered ->
-            st.stats.variables_substituted <- st.stats.variables_substituted + 1;
+            note_substitute st v.A.var_name;
             add_edit st node.A.extent rendered
         | None -> ())
     | Some _ | None -> ()
@@ -417,7 +477,7 @@ and substitute_in_string st extent v =
                    true
                | _ -> false)
              s ->
-        st.stats.variables_substituted <- st.stats.variables_substituted + 1;
+        note_substitute st v.A.var_name;
         add_edit st extent s
     | Some (Value.Int n) -> add_edit st extent (string_of_int n)
     | Some _ | None -> ()
@@ -475,7 +535,7 @@ let rec process_statement st ~in_guard (stmt : A.t) =
          else None
        with
       | Some payload ->
-          st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+          note_unwrap st payload;
           let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
           add_edit st rhs.A.extent (inline_form recovered)
       | None -> recover_in_node st rhs);
@@ -487,7 +547,7 @@ let rec process_statement st ~in_guard (stmt : A.t) =
         else None
       with
       | Some payload ->
-          st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+          note_unwrap st payload;
           let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
           add_edit st stmt.A.extent recovered
       | None ->
@@ -503,7 +563,7 @@ let rec process_statement st ~in_guard (stmt : A.t) =
                 | A.Command cmd -> (
                     match payload_of_command st cmd ~piped_input:None with
                     | Some payload ->
-                        st.stats.layers_unwrapped <- st.stats.layers_unwrapped + 1;
+                        note_unwrap st payload;
                         let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
                         add_edit st elem.A.extent (inline_form recovered);
                         unwrapped_any := true

@@ -17,6 +17,11 @@ type t = {
   layers_unwrapped : int;
   pieces_attempted : int;
   pieces_blocked : int;
+  cache_hits : int;
+  iterations : int;
+  wall_ms : float;
+  phase_ms : (string * float) list;
+  metrics : Pscommon.Telemetry.Metrics.snapshot;
   urls : string list;
   ips : string list;
   ps1_files : string list;
@@ -24,7 +29,14 @@ type t = {
 }
 
 let analyze ?options src =
-  let result = Engine.run ?options src in
+  let started = Pscommon.Guard.now () in
+  (* guarded pipeline with no deadline: same phases and timings as batch,
+     but a single file is allowed to run to completion *)
+  let guarded =
+    Engine.run_guarded ?options ~timeout_s:infinity ~max_output_bytes:max_int
+      src
+  in
+  let result = guarded.Engine.result in
   let before = Score.detect src in
   let after = Score.detect result.Engine.output in
   let info = Keyinfo.extract result.Engine.output in
@@ -40,6 +52,11 @@ let analyze ?options src =
     layers_unwrapped = result.Engine.stats.Recover.layers_unwrapped;
     pieces_attempted = result.Engine.stats.Recover.pieces_attempted;
     pieces_blocked = result.Engine.stats.Recover.pieces_blocked;
+    cache_hits = result.Engine.stats.Recover.cache_hits;
+    iterations = result.Engine.iterations;
+    wall_ms = (Pscommon.Guard.now () -. started) *. 1000.0;
+    phase_ms = guarded.Engine.timings;
+    metrics = Pscommon.Telemetry.Metrics.snapshot ();
     urls = info.Keyinfo.urls;
     ips = info.Keyinfo.ips;
     ps1_files = info.Keyinfo.ps1_files;
@@ -80,6 +97,16 @@ let to_json t =
       Printf.sprintf "  \"layers_unwrapped\": %d," t.layers_unwrapped;
       Printf.sprintf "  \"pieces_attempted\": %d," t.pieces_attempted;
       Printf.sprintf "  \"pieces_blocked\": %d," t.pieces_blocked;
+      Printf.sprintf "  \"cache_hits\": %d," t.cache_hits;
+      Printf.sprintf "  \"iterations\": %d," t.iterations;
+      Printf.sprintf "  \"wall_ms\": %.1f," t.wall_ms;
+      Printf.sprintf "  \"phase_ms\": {%s},"
+        (String.concat ", "
+           (List.map
+              (fun (p, ms) -> Printf.sprintf "%s: %.1f" (json_string p) ms)
+              t.phase_ms));
+      Printf.sprintf "  \"metrics\": %s,"
+        (Pscommon.Telemetry.Metrics.snapshot_to_json t.metrics);
       Printf.sprintf "  \"urls\": %s," (json_list t.urls);
       Printf.sprintf "  \"ips\": %s," (json_list t.ips);
       Printf.sprintf "  \"ps1_files\": %s," (json_list t.ps1_files);

@@ -11,6 +11,9 @@ open Pscommon
 module A = Psast.Ast
 module Value = Psvalue.Value
 
+let m_records = Telemetry.Metrics.counter "tracer.records"
+let m_evictions = Telemetry.Metrics.counter "tracer.evictions"
+
 type t = {
   mutable table : Value.t Strcase.Map.t;
   mutable digest : string option option;
@@ -38,10 +41,23 @@ let is_automatic name =
   || Strcase.starts_with ~prefix:"env:" name
 
 let record t name value =
+  Telemetry.Metrics.incr m_records;
+  if Telemetry.active () then
+    Telemetry.event "tracer.record"
+      ~attrs:
+        [ ("var", Telemetry.S name);
+          ("type", Telemetry.S (Value.type_name value)) ];
   t.table <- Strcase.Map.add (Strcase.lower name) value t.table;
   t.digest <- None
 
 let remove t name =
+  (* an eviction decision (unknown RHS, loop-assigned, blocklisted RHS,
+     failed evaluation) — only note ones that change the table *)
+  if Strcase.Map.mem (Strcase.lower name) t.table then begin
+    Telemetry.Metrics.incr m_evictions;
+    if Telemetry.active () then
+      Telemetry.event "tracer.evict" ~attrs:[ ("var", Telemetry.S name) ]
+  end;
   t.table <- Strcase.Map.remove (Strcase.lower name) t.table;
   t.digest <- None
 

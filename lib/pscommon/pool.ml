@@ -9,6 +9,14 @@
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* Scheduling metrics, aggregated across all pools of the process: how long
+   items sat in the queue before a worker claimed them vs how long they ran,
+   plus a per-domain task count (all Atomic-backed, so workers bump them
+   concurrently and a snapshot at join time sees every domain's share). *)
+let m_queue_wait = Telemetry.Metrics.histogram "pool.queue_wait_ms"
+let m_run = Telemetry.Metrics.histogram "pool.run_ms"
+let m_jobs = Telemetry.Metrics.gauge "pool.jobs"
+
 let map ?(jobs = 1) f items =
   let items = Array.of_list items in
   let n = Array.length items in
@@ -17,11 +25,21 @@ let map ?(jobs = 1) f items =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    Telemetry.Metrics.set m_jobs jobs;
+    let started = Unix.gettimeofday () in
+    let worker k () =
+      let m_tasks =
+        Telemetry.Metrics.counter (Printf.sprintf "pool.tasks.d%d" k)
+      in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          let claimed = Unix.gettimeofday () in
+          Telemetry.Metrics.observe m_queue_wait ((claimed -. started) *. 1000.0);
           let r = match f items.(i) with v -> Ok v | exception e -> Error e in
+          Telemetry.Metrics.observe m_run
+            ((Unix.gettimeofday () -. claimed) *. 1000.0);
+          Telemetry.Metrics.incr m_tasks;
           results.(i) <- Some r;
           loop ()
         end
@@ -29,8 +47,8 @@ let map ?(jobs = 1) f items =
       loop ()
     in
     (* the calling domain is worker number [jobs]; spawn the other jobs-1 *)
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker k)) in
+    worker (jobs - 1) ();
     List.iter Domain.join domains;
     Array.to_list
       (Array.map

@@ -16,7 +16,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     sequentially in the calling domain, spawning nothing.  Results are in
     input order.  If [f] raises, the exception with the lowest input index
     is re-raised after all workers have drained (callers in this codebase
-    pass total functions, so this is a backstop, not a protocol). *)
+    pass total functions, so this is a backstop, not a protocol).
+
+    Parallel runs feed the {!Telemetry.Metrics} registry: histograms
+    [pool.queue_wait_ms] (pool start → claim) and [pool.run_ms] per item,
+    counters [pool.tasks.d<k>] per worker domain, gauge [pool.jobs]. *)
 
 val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [iter ~jobs f items] — {!map} with unit results. *)

@@ -1,0 +1,448 @@
+(** Observability substrate: span tracer, metrics registry, leveled logger.
+
+    Zero external dependencies and domain-safe by construction:
+    {ul
+    {- the {e tracer} writes into a per-run ring buffer installed as an
+       ambient, {e domain-local} context ([Domain.DLS]) — a trace belongs to
+       exactly one domain at a time, so its buffer needs no locking, and
+       parallel batch workers each trace their own file without contention;}
+    {- the {e metrics registry} is process-global and written from every
+       pool domain concurrently, so every cell is an [Atomic] (float cells
+       use a CAS loop) and registration takes a mutex;}
+    {- the {e logger} level is an [Atomic] read on every call; emission
+       takes a mutex so concurrent lines never interleave.}}
+
+    The disabled fast path is one [Domain.DLS.get] plus an immediate
+    comparison — no allocation — so instrumentation can stay in hot code
+    unconditionally. *)
+
+(* ---------- leveled logger ---------- *)
+
+module Log = struct
+  type level = Error | Warn | Info | Debug
+
+  let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+  let label = function
+    | Error -> "error" | Warn -> "warn" | Info -> "info" | Debug -> "debug"
+
+  let of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "error" -> Some Error
+    | "warn" | "warning" -> Some Warn
+    | "info" -> Some Info
+    | "debug" -> Some Debug
+    | _ -> None
+
+  (* [None] = silent (the default); an Atomic so workers spawned after a
+     CLI [--log-level] all observe it *)
+  let current : level option Atomic.t = Atomic.make None
+  let set_level l = Atomic.set current l
+  let level () = Atomic.get current
+
+  let enabled l =
+    match Atomic.get current with
+    | None -> false
+    | Some threshold -> rank l <= rank threshold
+
+  let emit_mutex = Mutex.create ()
+
+  let log l msg =
+    if enabled l then begin
+      Mutex.lock emit_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock emit_mutex)
+        (fun () -> Printf.eprintf "[%s] %s\n%!" (label l) (msg ()))
+    end
+
+  let error msg = log Error msg
+  let warn msg = log Warn msg
+  let info msg = log Info msg
+  let debug msg = log Debug msg
+end
+
+(* ---------- JSON helpers (local: pscommon depends on nothing) ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+(* ---------- attributes ---------- *)
+
+type attr_value = S of string | I of int | F of float | B of bool
+type attr = string * attr_value
+
+let attr_value_to_json = function
+  | S s -> json_string s
+  | I n -> string_of_int n
+  | F f -> json_float f
+  | B b -> string_of_bool b
+
+let attrs_to_json attrs =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> json_string k ^ ": " ^ attr_value_to_json v) attrs)
+  ^ "}"
+
+(* ---------- trace events ---------- *)
+
+type kind = Span_begin | Span_end | Point
+
+let kind_label = function
+  | Span_begin -> "begin"
+  | Span_end -> "end"
+  | Point -> "event"
+
+type event = {
+  seq : int;  (** 0-based position in the run's event stream *)
+  t_ms : float;  (** ms since trace creation, clamped non-decreasing *)
+  kind : kind;
+  name : string;
+  id : int;  (** span id for begin/end; 0 for point events *)
+  parent : int;  (** enclosing span id, 0 at top level *)
+  attrs : attr list;
+}
+
+let dummy_event =
+  { seq = 0; t_ms = 0.0; kind = Point; name = ""; id = 0; parent = 0; attrs = [] }
+
+type open_span = { os_id : int; os_name : string; os_parent : int }
+
+type trace = {
+  buf : event array;
+  capacity : int;
+  mutable pushed : int;  (** total events ever pushed (= next seq) *)
+  mutable dropped : int;  (** oldest events overwritten by the ring *)
+  created : float;  (** wall clock at creation (epoch seconds) *)
+  mutable last_ms : float;  (** monotonicity clamp for [t_ms] *)
+  mutable next_id : int;
+  mutable stack : open_span list;  (** innermost open span first *)
+}
+
+let create ?(capacity = 65536) () =
+  let capacity = max 16 capacity in
+  { buf = Array.make capacity dummy_event; capacity; pushed = 0; dropped = 0;
+    created = Unix.gettimeofday (); last_ms = 0.0; next_id = 0; stack = [] }
+
+(* The wall clock can step backwards (NTP); event timestamps are clamped to
+   the previous event's, so the stream is non-decreasing by construction. *)
+let now_ms t =
+  let ms = (Unix.gettimeofday () -. t.created) *. 1000.0 in
+  let ms = if ms < t.last_ms then t.last_ms else ms in
+  t.last_ms <- ms;
+  ms
+
+let push t kind name ~id ~parent attrs =
+  let e = { seq = t.pushed; t_ms = now_ms t; kind; name; id; parent; attrs } in
+  t.buf.(t.pushed mod t.capacity) <- e;
+  if t.pushed >= t.capacity then t.dropped <- t.dropped + 1;
+  t.pushed <- t.pushed + 1
+
+(* ---------- ambient installation (Domain.DLS) ---------- *)
+
+let ambient : trace option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install t = Domain.DLS.set ambient (Some t)
+let uninstall () = Domain.DLS.set ambient None
+
+let with_trace t f =
+  let previous = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient previous) f
+
+let active () = Option.is_some (Domain.DLS.get ambient)
+
+let current_span t =
+  match t.stack with [] -> 0 | s :: _ -> s.os_id
+
+(* ---------- recording ---------- *)
+
+let span_begin ?(attrs = []) name =
+  match Domain.DLS.get ambient with
+  | None -> 0
+  | Some t ->
+      let id = t.next_id + 1 in
+      t.next_id <- id;
+      let parent = current_span t in
+      push t Span_begin name ~id ~parent attrs;
+      t.stack <- { os_id = id; os_name = name; os_parent = parent } :: t.stack;
+      id
+
+let span_end ?(attrs = []) id =
+  if id <> 0 then
+    match Domain.DLS.get ambient with
+    | None -> ()
+    | Some t ->
+        (* close down to [id]; spans left open by a non-local exit between
+           matching begin/end calls are auto-closed on the way *)
+        let rec close = function
+          | [] -> []  (* unknown id (already closed): drop nothing *)
+          | s :: rest when s.os_id = id ->
+              push t Span_end s.os_name ~id:s.os_id ~parent:s.os_parent attrs;
+              rest
+          | s :: rest ->
+              push t Span_end s.os_name ~id:s.os_id ~parent:s.os_parent [];
+              close rest
+        in
+        if List.exists (fun s -> s.os_id = id) t.stack then
+          t.stack <- close t.stack
+
+let span ?attrs name f =
+  let id = span_begin ?attrs name in
+  match f () with
+  | v ->
+      span_end id;
+      v
+  | exception e ->
+      span_end id;
+      raise e
+
+let event ?(attrs = []) name =
+  match Domain.DLS.get ambient with
+  | None -> ()
+  | Some t -> push t Point name ~id:0 ~parent:(current_span t) attrs
+
+(* ---------- reading a trace back ---------- *)
+
+let events t =
+  let n = min t.pushed t.capacity in
+  let first = t.pushed - n in
+  List.init n (fun i -> t.buf.((first + i) mod t.capacity))
+
+let dropped t = t.dropped
+
+let event_to_json e =
+  Printf.sprintf
+    "{\"seq\": %d, \"t_ms\": %.3f, \"kind\": %s, \"name\": %s, \"id\": %d, \
+     \"parent\": %d, \"attrs\": %s}"
+    e.seq e.t_ms
+    (json_string (kind_label e.kind))
+    (json_string e.name) e.id e.parent (attrs_to_json e.attrs)
+
+(** One JSON object per line, oldest event first, closed by a summary line
+    [{"kind": "summary", "events": N, "dropped": N}]. *)
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_json e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.add_string buf
+    (Printf.sprintf "{\"kind\": \"summary\", \"events\": %d, \"dropped\": %d}\n"
+       t.pushed t.dropped);
+  Buffer.contents buf
+
+(* ---------- metrics registry ---------- *)
+
+module Metrics = struct
+  (* float cells need a CAS loop: Atomic has no fetch-and-add for floats *)
+  let rec atomic_update a f =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (f cur)) then atomic_update a f
+
+  type counter = { c_name : string; c : int Atomic.t }
+  type gauge = { g_name : string; g : int Atomic.t }
+
+  (* Log-scale latency histogram: bucket [i] counts observations with
+     [v <= 2^(i + min_exp)] ms; the last bucket is the +inf overflow.
+     Base-2 bounds from 1/16 ms to ~37 h cover every latency this pipeline
+     can produce while keeping the array small enough to be all-Atomic. *)
+  let min_exp = -4
+  let bucket_count = 32
+
+  let bucket_bound i =
+    if i >= bucket_count - 1 then infinity
+    else Float.of_int 2 ** Float.of_int (i + min_exp)
+
+  let bucket_of v =
+    if Float.is_nan v then bucket_count - 1
+    else begin
+      let rec find i =
+        if i >= bucket_count - 1 then bucket_count - 1
+        else if v <= bucket_bound i then i
+        else find (i + 1)
+      in
+      find 0
+    end
+
+  type histogram = {
+    h_name : string;
+    buckets : int Atomic.t array;
+    h_count : int Atomic.t;
+    h_sum : float Atomic.t;
+    h_min : float Atomic.t;  (** [infinity] until the first observation *)
+    h_max : float Atomic.t;  (** [neg_infinity] until the first observation *)
+  }
+
+  type registry = {
+    mutable counters : counter list;
+    mutable gauges : gauge list;
+    mutable histograms : histogram list;
+  }
+
+  let registry = { counters = []; gauges = []; histograms = [] }
+  let registry_mutex = Mutex.create ()
+
+  let locked f =
+    Mutex.lock registry_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+  let counter name =
+    locked (fun () ->
+        match List.find_opt (fun c -> c.c_name = name) registry.counters with
+        | Some c -> c
+        | None ->
+            let c = { c_name = name; c = Atomic.make 0 } in
+            registry.counters <- c :: registry.counters;
+            c)
+
+  let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c by)
+  let counter_value c = Atomic.get c.c
+
+  let gauge name =
+    locked (fun () ->
+        match List.find_opt (fun g -> g.g_name = name) registry.gauges with
+        | Some g -> g
+        | None ->
+            let g = { g_name = name; g = Atomic.make 0 } in
+            registry.gauges <- g :: registry.gauges;
+            g)
+
+  let set g v = Atomic.set g.g v
+  let gauge_value g = Atomic.get g.g
+
+  let histogram name =
+    locked (fun () ->
+        match
+          List.find_opt (fun h -> h.h_name = name) registry.histograms
+        with
+        | Some h -> h
+        | None ->
+            let h =
+              { h_name = name;
+                buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+                h_count = Atomic.make 0;
+                h_sum = Atomic.make 0.0;
+                h_min = Atomic.make infinity;
+                h_max = Atomic.make neg_infinity }
+            in
+            registry.histograms <- h :: registry.histograms;
+            h)
+
+  let observe h v =
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_update h.h_sum (fun s -> s +. v);
+    atomic_update h.h_min (fun m -> Float.min m v);
+    atomic_update h.h_max (fun m -> Float.max m v)
+
+  type histogram_snapshot = {
+    hs_count : int;
+    hs_sum : float;
+    hs_min : float;  (** [nan] when empty *)
+    hs_max : float;  (** [nan] when empty *)
+    hs_buckets : (float * int) list;
+        (** non-empty buckets as (upper bound in ms, count); the overflow
+            bucket's bound is [infinity] *)
+  }
+
+  type snapshot = {
+    counters : (string * int) list;  (** sorted by name *)
+    gauges : (string * int) list;
+    histograms : (string * histogram_snapshot) list;
+  }
+
+  let snapshot_histogram h =
+    let count = Atomic.get h.h_count in
+    let buckets = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      let n = Atomic.get h.buckets.(i) in
+      if n > 0 then buckets := (bucket_bound i, n) :: !buckets
+    done;
+    { hs_count = count;
+      hs_sum = Atomic.get h.h_sum;
+      hs_min = (if count = 0 then Float.nan else Atomic.get h.h_min);
+      hs_max = (if count = 0 then Float.nan else Atomic.get h.h_max);
+      hs_buckets = !buckets }
+
+  let by_name (a, _) (b, _) = String.compare a b
+
+  let snapshot () =
+    locked (fun () ->
+        { counters =
+            List.sort by_name
+              (List.map (fun c -> (c.c_name, Atomic.get c.c)) registry.counters);
+          gauges =
+            List.sort by_name
+              (List.map (fun g -> (g.g_name, Atomic.get g.g)) registry.gauges);
+          histograms =
+            List.sort by_name
+              (List.map (fun h -> (h.h_name, snapshot_histogram h))
+                 registry.histograms) })
+
+  (* Zeroes every registered value; handles created before the reset stay
+     valid.  Used at the start of a batch run so metrics.json is per-run. *)
+  let reset () =
+    locked (fun () ->
+        List.iter (fun c -> Atomic.set c.c 0) registry.counters;
+        List.iter (fun g -> Atomic.set g.g 0) registry.gauges;
+        List.iter
+          (fun h ->
+            Array.iter (fun b -> Atomic.set b 0) h.buckets;
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum 0.0;
+            Atomic.set h.h_min infinity;
+            Atomic.set h.h_max neg_infinity)
+          registry.histograms)
+
+  let histogram_snapshot_to_json hs =
+    let min_s = if Float.is_nan hs.hs_min then "null" else json_float hs.hs_min in
+    let max_s = if Float.is_nan hs.hs_max then "null" else json_float hs.hs_max in
+    Printf.sprintf
+      "{\"count\": %d, \"sum_ms\": %s, \"min_ms\": %s, \"max_ms\": %s, \
+       \"buckets\": [%s]}"
+      hs.hs_count (json_float hs.hs_sum) min_s max_s
+      (String.concat ", "
+         (List.map
+            (fun (le, n) ->
+              if le = infinity then Printf.sprintf "{\"le_ms\": null, \"n\": %d}" n
+              else Printf.sprintf "{\"le_ms\": %s, \"n\": %d}" (json_float le) n)
+            hs.hs_buckets))
+
+  let snapshot_to_json s =
+    let field (name, v) = Printf.sprintf "    %s: %d" (json_string name) v in
+    let hfield (name, hs) =
+      Printf.sprintf "    %s: %s" (json_string name)
+        (histogram_snapshot_to_json hs)
+    in
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"counters\": {\n%s\n  },"
+          (String.concat ",\n" (List.map field s.counters));
+        Printf.sprintf "  \"gauges\": {\n%s\n  },"
+          (String.concat ",\n" (List.map field s.gauges));
+        Printf.sprintf "  \"histograms\": {\n%s\n  }"
+          (String.concat ",\n" (List.map hfield s.histograms));
+        "}";
+      ]
+end

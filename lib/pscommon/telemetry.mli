@@ -1,0 +1,183 @@
+(** Observability substrate: span tracer, metrics registry, leveled logger.
+
+    Three independent facilities behind one zero-dependency module:
+    {ul
+    {- a {e span/event tracer} — nestable spans and point events with
+       monotonic (non-decreasing) millisecond timestamps and typed
+       attributes, recorded into a per-run ring buffer that serializes to
+       JSONL.  A trace is installed as the {e ambient} context of the
+       current domain ([Domain.DLS]), so instrumented code anywhere below
+       records into it without threading a handle — and parallel batch
+       workers, each installing their own per-file trace, never share a
+       buffer;}
+    {- a {e metrics registry} — process-global named counters, gauges and
+       log-scale latency histograms, every cell an [Atomic], safe to bump
+       from any pool domain concurrently and aggregated by {!Metrics.snapshot};}
+    {- a {e leveled logger} — [error|warn|info|debug] to stderr, silent by
+       default, for the ad-hoc prints a pipeline otherwise accretes.}}
+
+    The disabled fast path (no ambient trace installed) is a domain-local
+    read plus a comparison — no allocation — so call sites stay
+    unconditional even in hot loops. *)
+
+(** Leveled stderr logger, silent unless {!Log.set_level} enables it. *)
+module Log : sig
+  type level = Error | Warn | Info | Debug
+
+  val of_string : string -> level option
+  (** ["error" | "warn"("ing") | "info" | "debug"], case-insensitive. *)
+
+  val label : level -> string
+
+  val set_level : level option -> unit
+  (** [None] (the default) silences everything; [Some l] enables messages
+      at [l] and above.  Stored in an [Atomic]: a level set before spawning
+      pool workers is visible to all of them. *)
+
+  val level : unit -> level option
+
+  val enabled : level -> bool
+
+  val error : (unit -> string) -> unit
+  val warn : (unit -> string) -> unit
+  val info : (unit -> string) -> unit
+  val debug : (unit -> string) -> unit
+  (** Messages are thunks so a disabled level formats nothing.  Emission is
+      mutex-serialized: concurrent domains never interleave lines. *)
+end
+
+(** {1 Traces} *)
+
+type attr_value = S of string | I of int | F of float | B of bool
+type attr = string * attr_value
+
+type kind = Span_begin | Span_end | Point
+
+type event = {
+  seq : int;  (** 0-based position in the run's full event stream *)
+  t_ms : float;
+      (** milliseconds since trace creation; clamped so the stream is
+          non-decreasing even if the wall clock steps backwards *)
+  kind : kind;
+  name : string;
+  id : int;  (** span id ([>= 1]) for begin/end events; [0] for points *)
+  parent : int;  (** id of the enclosing span, [0] at top level *)
+  attrs : attr list;
+}
+
+type trace
+(** A bounded per-run event buffer.  Single-domain by design: install it
+    with {!with_trace} and record through the ambient API.  When more than
+    [capacity] events are pushed the ring overwrites the oldest and counts
+    them in {!dropped}. *)
+
+val create : ?capacity:int -> unit -> trace
+(** Default capacity 65536 events (floor 16). *)
+
+val install : trace -> unit
+(** Make [trace] the current domain's ambient trace. *)
+
+val uninstall : unit -> unit
+
+val with_trace : trace -> (unit -> 'a) -> 'a
+(** Install for the duration of the call (exception-safe), restoring the
+    previously ambient trace afterwards. *)
+
+val active : unit -> bool
+(** Whether an ambient trace is installed in this domain — the guard hot
+    call sites use before building attribute lists. *)
+
+val span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [span name f] wraps [f] in a begin/end event pair nested under the
+    innermost open span.  With no ambient trace this is [f ()]. *)
+
+val span_begin : ?attrs:attr list -> string -> int
+(** Imperative variant for call sites that attach result attributes to the
+    end event: returns the span id, or [0] when no trace is installed. *)
+
+val span_end : ?attrs:attr list -> int -> unit
+(** Close the span by id ([0] is a no-op).  Spans opened after it and still
+    open are auto-closed first, so a non-local exit cannot corrupt
+    nesting. *)
+
+val event : ?attrs:attr list -> string -> unit
+(** Record a point event under the innermost open span. *)
+
+val events : trace -> event list
+(** Buffered events, oldest first (at most [capacity]; earlier ones were
+    dropped by the ring). *)
+
+val dropped : trace -> int
+
+val to_jsonl : trace -> string
+(** One JSON object per event per line, oldest first, closed by a summary
+    line [{"kind": "summary", "events": total, "dropped": n}]. *)
+
+(** {1 Metrics} *)
+
+(** Process-global registry of named counters, gauges and log-scale latency
+    histograms.  Handles are cheap to look up (get-or-create under a mutex)
+    and updates are lock-free [Atomic] operations, so pool domains bump the
+    same cells concurrently; {!Metrics.snapshot} aggregates across all of
+    them at join time. *)
+module Metrics : sig
+  type counter
+
+  val counter : string -> counter
+  (** Get or create by name. *)
+
+  val incr : ?by:int -> counter -> unit
+  val counter_value : counter -> int
+
+  type gauge
+
+  val gauge : string -> gauge
+  val set : gauge -> int -> unit
+  val gauge_value : gauge -> int
+
+  type histogram
+  (** Log-scale (base-2) latency histogram in milliseconds: bucket bounds
+      run from 1/16 ms doubling to ~37 h, plus an overflow bucket.
+      Observations at a bound land in that bucket; [<= 1/16 ms] (including
+      zero and negatives) land in the first. *)
+
+  val histogram : string -> histogram
+  val observe : histogram -> float -> unit
+
+  val bucket_bound : int -> float
+  (** Upper bound (ms) of bucket [i]; [infinity] for the overflow bucket. *)
+
+  val bucket_of : float -> int
+  (** Index of the bucket an observation lands in. *)
+
+  val bucket_count : int
+
+  type histogram_snapshot = {
+    hs_count : int;
+    hs_sum : float;
+    hs_min : float;  (** [nan] when empty *)
+    hs_max : float;  (** [nan] when empty *)
+    hs_buckets : (float * int) list;
+        (** non-empty buckets as (upper bound ms, count), bound order; the
+            overflow bucket's bound is [infinity] *)
+  }
+
+  type snapshot = {
+    counters : (string * int) list;  (** sorted by name *)
+    gauges : (string * int) list;
+    histograms : (string * histogram_snapshot) list;
+  }
+
+  val snapshot : unit -> snapshot
+
+  val reset : unit -> unit
+  (** Zero every registered value (handles stay valid) — run at the start
+      of a batch so the run-level rollup covers exactly that run. *)
+
+  val snapshot_to_json : snapshot -> string
+end
+
+(** {1 JSON helpers} *)
+
+val json_escape : string -> string
+val json_string : string -> string

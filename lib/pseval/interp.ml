@@ -694,6 +694,11 @@ and run_iex ctx payload ~input =
   ignore input;
   let env = ctx.env in
   env.Env.invoke_depth <- env.Env.invoke_depth + 1;
+  if Pscommon.Telemetry.active () then
+    Pscommon.Telemetry.event "interp.iex"
+      ~attrs:
+        [ ("depth", Pscommon.Telemetry.I env.Env.invoke_depth);
+          ("payload_bytes", Pscommon.Telemetry.I (String.length payload)) ];
   if env.Env.invoke_depth > env.Env.limits.Env.max_invoke_depth then
     raise (Env.Limit_exceeded "Invoke-Expression nesting too deep");
   Fun.protect
@@ -1199,9 +1204,26 @@ let run_script env src =
 (** Execute a recoverable piece and return its output — the paper's
     "Recovery Based on Invoke" (§III-B2). *)
 let invoke_piece env src =
-  match run_script env src with
-  | Ok out -> Ok (Value.of_list out)
-  | Error msg -> Error msg
+  let module T = Pscommon.Telemetry in
+  let sid =
+    if T.active () then
+      T.span_begin "interp.invoke_piece"
+        ~attrs:
+          [ ("depth", T.I env.Env.invoke_depth);
+            ("bytes", T.I (String.length src)) ]
+    else 0
+  in
+  let result =
+    match run_script env src with
+    | Ok out -> Ok (Value.of_list out)
+    | Error msg -> Error msg
+  in
+  if sid <> 0 then
+    T.span_end sid
+      ~attrs:
+        [ ("steps", T.I env.Env.steps);
+          ("ok", T.B (Result.is_ok result)) ];
+  result
 
 let eval_expression_ast env ~src ast =
   let ctx = { env; src } in
