@@ -2,12 +2,15 @@
 
    One target per table/figure of the paper:
      table1 table2 fig5 fig6 table3 table4 table5 case ablate
-     throughput obs micro
+     throughput obs resilience micro
    No argument runs everything except throughput (the parallel-batch
    scaling run, writes BENCH_batch.json) and micro (the Bechamel
    suite) — both take a while on their own.  obs (in the default run,
    writes BENCH_obs.json) measures telemetry overhead and exits
-   non-zero if the disabled path costs more than 5%. *)
+   non-zero if the disabled path costs more than 5%.  resilience (in
+   the default run, writes BENCH_resilience.json) measures how much of
+   a truncated corpus partial-parse recovery salvages and what the
+   disabled chaos probes cost, with the same 5% budget. *)
 
 let line () = print_endline (String.make 78 '-')
 
@@ -319,6 +322,136 @@ let run_obs () =
     exit 1
   end
 
+(* ---------- resilience (partial-parse recovery + chaos probes) ---------- *)
+
+(* Two questions, on a fixed-seed corpus truncated at 25/50/75%: how much
+   of the text that an all-or-nothing parser would forfeit does
+   partial-parse recovery salvage (recovered-bytes ratio, majority-recovery
+   rate), and what do the chaos probe points cost when injection is
+   disabled — the path every production run takes.  Fails loudly when the
+   disabled-probe overhead exceeds 5% of per-sample wall time, or when
+   fewer than half of the parse-failed files at the 50% cut recover a
+   region — the same enforce-in-CI shape as the telemetry bench. *)
+let run_resilience () =
+  line ();
+  let module Guard = Pscommon.Guard in
+  let module Chaos = Pscommon.Chaos in
+  let count = 32 in
+  let seed = 42 in
+  let samples = Corpus.Generator.generate ~seed ~count in
+  Printf.printf "resilience: %d samples (seed %d), truncated at 25/50/75%%\n"
+    count seed;
+  let level frac =
+    let failed_bytes = ref 0 and parseable_bytes = ref 0 in
+    let parse_failed = ref 0 and recovered = ref 0 in
+    let t0 = Guard.now () in
+    List.iter
+      (fun (s : Corpus.Generator.sample) ->
+        let src = Chaos.Mutate.truncate_at frac s.obfuscated in
+        let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+        let parse_failure =
+          List.exists
+            (fun (f : Deobf.Engine.failure_site) ->
+              f.Deobf.Engine.phase = "parse")
+            g.Deobf.Engine.failures
+        in
+        if parse_failure then begin
+          incr parse_failed;
+          failed_bytes := !failed_bytes + String.length src;
+          parseable_bytes :=
+            !parseable_bytes
+            + Psparse.Segment.parseable_bytes (Psparse.Segment.segment src);
+          if g.Deobf.Engine.regions_recovered >= 1 then incr recovered
+        end)
+      samples;
+    let wall = Guard.now () -. t0 in
+    let ratio =
+      if !failed_bytes = 0 then 0.0
+      else float_of_int !parseable_bytes /. float_of_int !failed_bytes
+    in
+    (frac, !parse_failed, !recovered, ratio, wall)
+  in
+  let levels = List.map level [ 0.25; 0.5; 0.75 ] in
+  List.iter
+    (fun (frac, failed, recov, ratio, wall) ->
+      Printf.printf
+        "  cut %.0f%%: %d/%d parse-failed, %d recovered >=1 region, %.1f%% \
+         of bytes salvageable (%.2fs)\n"
+        (100.0 *. frac) failed count recov (100.0 *. ratio) wall)
+    levels;
+  (* disabled fast path: one atomic load and a comparison per probe *)
+  Chaos.set None;
+  let calls = 1_000_000 in
+  let t0 = Guard.now () in
+  for _ = 1 to calls do
+    Chaos.probe "bench.resilience"
+  done;
+  let percall_ns = (Guard.now () -. t0) *. 1e9 /. float_of_int calls in
+  (* probes per sample: a rate-zero config reaches the enabled slow path
+     (and the draws counter) at every probe without ever injecting *)
+  Chaos.set (Some { Chaos.seed = 1; rate = 0.0; site_rates = [] });
+  Chaos.reset_draws ();
+  let t0 = Guard.now () in
+  List.iter
+    (fun (s : Corpus.Generator.sample) ->
+      ignore (Deobf.Engine.run_guarded ~timeout_s:10.0 s.obfuscated))
+    samples;
+  let wall_clean = Guard.now () -. t0 in
+  Chaos.set None;
+  let probes_total = Chaos.draws () in
+  let probes_per_sample = float_of_int probes_total /. float_of_int count in
+  let per_sample_ns = wall_clean *. 1e9 /. float_of_int count in
+  let disabled_overhead_pct =
+    if per_sample_ns > 0.0 then
+      100.0 *. (probes_per_sample *. percall_ns) /. per_sample_ns
+    else 0.0
+  in
+  let majority_at_half =
+    match levels with
+    | [ _; (_, failed, recov, _, _); _ ] -> failed = 0 || 2 * recov > failed
+    | _ -> false
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"samples\": %d," count;
+        Printf.sprintf "  \"seed\": %d," seed;
+        Printf.sprintf "  \"levels\": [%s],"
+          (String.concat ", "
+             (List.map
+                (fun (frac, failed, recov, ratio, wall) ->
+                  Printf.sprintf
+                    "{\"cut\": %.2f, \"parse_failed\": %d, \"recovered\": \
+                     %d, \"salvageable_bytes_ratio\": %.3f, \"wall_s\": %.3f}"
+                    frac failed recov ratio wall)
+                levels));
+        Printf.sprintf "  \"majority_recovered_at_half\": %b," majority_at_half;
+        Printf.sprintf "  \"probes_per_sample\": %.1f," probes_per_sample;
+        Printf.sprintf "  \"disabled_percall_ns\": %.1f," percall_ns;
+        Printf.sprintf "  \"disabled_overhead_pct\": %.3f" disabled_overhead_pct;
+        "}";
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_resilience.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf "  probes: %.1f per sample, disabled path %.1f ns/call, est. \
+                 overhead %.3f%%\n"
+    probes_per_sample percall_ns disabled_overhead_pct;
+  print_endline "  wrote BENCH_resilience.json";
+  if disabled_overhead_pct > 5.0 then begin
+    Printf.eprintf
+      "FAIL: disabled-chaos overhead %.3f%% exceeds the 5%% budget\n"
+      disabled_overhead_pct;
+    exit 1
+  end;
+  if not majority_at_half then begin
+    Printf.eprintf
+      "FAIL: fewer than half of parse-failed files recovered a region at \
+       the 50%% cut\n";
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro_tests () =
@@ -381,7 +514,7 @@ let registry =
     ("table5", run_table5); ("case", run_case); ("ablate", run_ablate);
     ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
     ("funnel", run_funnel); ("throughput", run_throughput);
-    ("obs", run_obs); ("micro", run_micro) ]
+    ("obs", run_obs); ("resilience", run_resilience); ("micro", run_micro) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -101,9 +101,19 @@ let print_batch_summary (s : Deobf.Batch.summary) =
 
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
-      no_reformat no_token_phase no_piece_cache stats batch jobs timeout trace
-      log_level summary_flag =
+      no_reformat no_token_phase no_piece_cache no_partial chaos stats batch
+      jobs timeout trace log_level summary_flag =
     Option.iter (fun l -> T.Log.set_level (Some l)) log_level;
+    (match
+       match chaos with Some s -> Some s | None -> Sys.getenv_opt "INVOKE_DEOBF_CHAOS"
+     with
+    | None -> ()
+    | Some spec -> (
+        match Pscommon.Chaos.parse_spec spec with
+        | Ok cfg -> Pscommon.Chaos.set (Some cfg)
+        | Error msg ->
+            Printf.eprintf "--chaos: %s\n" msg;
+            exit 2));
     let options =
       {
         Deobf.Engine.token_phase = not no_token_phase;
@@ -116,6 +126,7 @@ let deobfuscate_cmd =
         rename = not no_rename;
         reformat = not no_reformat;
         max_iterations = Deobf.Engine.default_options.Deobf.Engine.max_iterations;
+        partial = not no_partial;
       }
     in
     if batch then begin
@@ -156,7 +167,11 @@ let deobfuscate_cmd =
           Printf.sprintf "%d files: %d clean, %d degraded (reports in %s)"
             summary.Deobf.Batch.total summary.Deobf.Batch.clean
             summary.Deobf.Batch.degraded out_dir);
-      if summary_flag then print_batch_summary summary
+      if summary_flag then print_batch_summary summary;
+      (* exit 0 only when every file came through clean at full strength;
+         2 signals that at least one file degraded or needed the retry
+         ladder, so callers scripting over corpora can detect it *)
+      if summary.Deobf.Batch.degraded > 0 then exit 2
     end
     else begin
       let src = read_input input in
@@ -212,6 +227,19 @@ let deobfuscate_cmd =
       $ flag [ "no-reformat" ] "Keep original whitespace."
       $ flag [ "no-token-phase" ] "Disable token-level (L1) recovery (ablation)."
       $ flag [ "no-piece-cache" ] "Disable the piece result cache (ablation)."
+      $ flag [ "no-partial" ]
+          "Disable partial-parse recovery: unparseable files are returned \
+           unchanged instead of being segmented into recoverable regions."
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "chaos" ] ~docv:"SEED:RATE"
+              ~doc:
+                "Deterministic fault injection for resilience testing: \
+                 inject containment-taxonomy faults at named probe points \
+                 with probability $(i,RATE), seeded by $(i,SEED).  Optional \
+                 per-site overrides: SEED:RATE:site=rate,site=rate.  Also \
+                 read from $(b,INVOKE_DEOBF_CHAOS) when the flag is absent.")
       $ flag [ "stats" ] "Print recovery statistics to stderr."
       $ flag [ "batch" ]
           "Treat FILE as a directory of samples: process each file in \

@@ -4,6 +4,32 @@
 module Guard = Pscommon.Guard
 module Pool = Pscommon.Pool
 module T = Pscommon.Telemetry
+module Chaos = Pscommon.Chaos
+
+(* ---------- the degraded-mode retry ladder ---------- *)
+
+type mode = Full | Static | Token_only | Passthrough
+
+let mode_name = function
+  | Full -> "full"
+  | Static -> "static"
+  | Token_only -> "token-only"
+  | Passthrough -> "passthrough"
+
+let weaker = function
+  | Full -> Some Static
+  | Static -> Some Token_only
+  | Token_only -> Some Passthrough
+  | Passthrough -> None
+
+(* each rung strips the pipeline further: Static drops the dynamic recovery
+   fixpoint (no piece execution), Token_only additionally drops renaming and
+   reformatting, Passthrough does not run the engine at all *)
+let mode_options base = function
+  | Full | Passthrough -> base
+  | Static -> { base with Engine.max_iterations = 0 }
+  | Token_only ->
+      { base with Engine.max_iterations = 0; rename = false; reformat = false }
 
 type outcome = {
   file : string;
@@ -14,6 +40,10 @@ type outcome = {
   changed : bool;
   failures : Engine.failure_site list;
   stats : Recover.stats;
+  degraded_mode : mode;
+  retries : int;
+  regions_total : int;
+  regions_recovered : int;
 }
 
 type summary = {
@@ -60,6 +90,11 @@ let outcome_to_json o =
       Printf.sprintf "  \"phase_ms\": %s," (phase_ms_to_json o.phase_ms);
       Printf.sprintf "  \"iterations\": %d," o.iterations;
       Printf.sprintf "  \"changed\": %b," o.changed;
+      Printf.sprintf "  \"degraded_mode\": %s,"
+        (Report.json_string (mode_name o.degraded_mode));
+      Printf.sprintf "  \"retries\": %d," o.retries;
+      Printf.sprintf "  \"regions_total\": %d," o.regions_total;
+      Printf.sprintf "  \"regions_recovered\": %d," o.regions_recovered;
       Printf.sprintf "  \"failures\": [%s],"
         (String.concat ", " (List.map failure_to_json o.failures));
       Printf.sprintf "  \"stats\": %s," (stats_to_json o.stats);
@@ -86,17 +121,65 @@ let summary_to_json s =
 (* ---------- per-file isolation ---------- *)
 
 let write_file path content =
+  Chaos.probe "batch.write";
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+(* the Passthrough rung: the engine is not run at all, the input is the
+   output — the ladder's unconditional floor *)
+let passthrough_guarded src =
+  { Engine.result =
+      { Engine.output = src; stats = Recover.new_stats (); iterations = 0;
+        changed = false };
+    failures = []; timings = []; regions_total = 0; regions_recovered = 0 }
+
+(* Walk the ladder: run an attempt, and when it degrades for any reason a
+   weaker mode could dodge (anything but [Parse_failure] — no rung parses
+   better than a stronger one, and partial recovery already made its best
+   effort on the parse), retry one rung down with a fresh deadline.
+   Failures accumulate across attempts so the report shows the whole
+   descent; [Passthrough] cannot fail, so the walk terminates clean. *)
+let run_ladder ?options ~timeout_s ?max_output_bytes src =
+  let base = Option.value options ~default:Engine.default_options in
+  let rec walk mode retries acc_failures =
+    let guarded =
+      match mode with
+      | Passthrough -> passthrough_guarded src
+      | m ->
+          Engine.run_guarded ~options:(mode_options base m) ~timeout_s
+            ?max_output_bytes src
+    in
+    let failures = acc_failures @ guarded.Engine.failures in
+    let retryable =
+      List.exists
+        (fun (s : Engine.failure_site) ->
+          s.Engine.failure <> Guard.Parse_failure)
+        guarded.Engine.failures
+    in
+    match (retryable, weaker mode) with
+    | true, Some next ->
+        T.Metrics.incr (T.Metrics.counter "batch.ladder.retries");
+        if T.active () then
+          T.event "batch.retry"
+            ~attrs:
+              [ ("from", T.S (mode_name mode));
+                ("to", T.S (mode_name next)) ];
+        walk next (retries + 1) failures
+    | _ -> (mode, retries, failures, guarded)
+  in
+  walk Full 0 []
 
 let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
     file =
   let started = Guard.now () in
-  let finish ?output_file ?(phase_ms = []) ~iterations ~changed ~stats failures =
+  let finish ?output_file ?(phase_ms = []) ?(degraded_mode = Full)
+      ?(retries = 0) ?(regions = (0, 0)) ~iterations ~changed ~stats failures =
     { file; output_file; wall_ms = (Guard.now () -. started) *. 1000.0;
-      phase_ms; iterations; changed; failures; stats }
+      phase_ms; iterations; changed; failures; stats; degraded_mode; retries;
+      regions_total = fst regions; regions_recovered = snd regions }
   in
   match
     Guard.protect (fun () ->
+        Chaos.probe "batch.read";
         In_channel.with_open_bin file In_channel.input_all)
   with
   | Error failure ->
@@ -105,7 +188,9 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
   | Ok src -> (
       (* the guarded engine is total; the outer protect is the backstop for
          anything outside it (e.g. report writing) *)
-      let guarded = Engine.run_guarded ?options ~timeout_s ?max_output_bytes src in
+      let mode, retries, ladder_failures, guarded =
+        run_ladder ?options ~timeout_s ?max_output_bytes src
+      in
       let result = guarded.Engine.result in
       let output_file, write_failure =
         match out_dir with
@@ -119,11 +204,11 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
                    structured site, not a silent [None] *)
                 (None, Some { Engine.phase = "write"; failure }))
       in
-      let failures =
-        guarded.Engine.failures @ Option.to_list write_failure
-      in
+      let failures = ladder_failures @ Option.to_list write_failure in
       let outcome =
         finish ?output_file ~phase_ms:guarded.Engine.timings
+          ~degraded_mode:mode ~retries
+          ~regions:(guarded.Engine.regions_total, guarded.Engine.regions_recovered)
           ~iterations:result.Engine.iterations ~changed:result.Engine.changed
           ~stats:result.Engine.stats failures
       in
@@ -140,24 +225,50 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
 
 let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir file
     =
-  match trace_dir with
-  | None -> process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir file
-  | Some dir ->
-      (* one event stream per input: the trace is created in (and private
-         to) whichever pool domain runs this file, installed as that
-         domain's ambient context for the duration, and serialized next to
-         the other per-file reports.  Tracing is observation only, so the
-         deobfuscated output is byte-identical to an untraced run. *)
-      let trace = T.create () in
-      let outcome =
-        T.with_trace trace (fun () ->
-            T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
-                process_file_inner ?options ?timeout_s ?max_output_bytes
-                  ?out_dir file))
-      in
-      let path = Filename.concat dir (Filename.basename file ^ ".trace.jsonl") in
-      ignore (Guard.protect (fun () -> write_file path (T.to_jsonl trace)));
-      outcome
+  (* Scope the chaos stream to the file: injection becomes a pure function
+     of (seed, basename, probe order), so a file draws the same faults no
+     matter which pool domain ran it or in what order — outputs under
+     injection stay byte-identical across --jobs levels.  Traced runs draw
+     one extra probe (the trace write), but only after the output is
+     already decided, so traced/untraced byte-identity holds too. *)
+  Chaos.with_scope (Filename.basename file) @@ fun () ->
+  let task () =
+    (* the "pool.task" probe models a fault in the worker itself, outside
+       every engine guard; the protect in [contained] below is what keeps
+       it from crashing the pool *)
+    Chaos.probe "pool.task";
+    match trace_dir with
+    | None ->
+        process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir file
+    | Some dir ->
+        (* one event stream per input: the trace is created in (and private
+           to) whichever pool domain runs this file, installed as that
+           domain's ambient context for the duration, and serialized next to
+           the other per-file reports.  Tracing is observation only, so the
+           deobfuscated output is byte-identical to an untraced run. *)
+        let trace = T.create () in
+        let outcome =
+          T.with_trace trace (fun () ->
+              T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
+                  process_file_inner ?options ?timeout_s ?max_output_bytes
+                    ?out_dir file))
+        in
+        let path = Filename.concat dir (Filename.basename file ^ ".trace.jsonl") in
+        ignore (Guard.protect (fun () -> write_file path (T.to_jsonl trace)));
+        outcome
+  in
+  (* backstop: Pool.map re-raises worker exceptions at join, so anything
+     escaping the per-file pipeline (an injected pool fault, a bug in
+     report writing) must be converted here into a structured outcome
+     rather than aborting the whole batch *)
+  match Guard.protect task with
+  | Ok outcome -> outcome
+  | Error failure ->
+      { file; output_file = None; wall_ms = 0.0; phase_ms = [];
+        iterations = 0; changed = false;
+        failures = [ { Engine.phase = "task"; failure } ];
+        stats = Recover.new_stats (); degraded_mode = Full; retries = 0;
+        regions_total = 0; regions_recovered = 0 }
 
 (* mkdir -p semantics: creates missing ancestors, accepts an existing
    directory, and fails when any component exists as a non-directory. *)
@@ -203,7 +314,8 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
           (fun file ->
             { file; output_file = None; wall_ms = 0.0; phase_ms = [];
               iterations = 0; changed = false; failures = [ site ];
-              stats = Recover.new_stats () })
+              stats = Recover.new_stats (); degraded_mode = Full; retries = 0;
+              regions_total = 0; regions_recovered = 0 })
           files
     | None ->
         (* outcomes come back input-ordered regardless of which domain ran
@@ -214,7 +326,14 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
               ?trace_dir file)
           files
   in
-  let clean = List.length (List.filter (fun o -> o.failures = []) outcomes) in
+  (* clean means clean at full strength: no contained failures and no trip
+     down the retry ladder (retries > 0 implies failures <> [], since
+     failures accumulate across attempts, but the predicate states the
+     contract explicitly) *)
+  let clean =
+    List.length
+      (List.filter (fun o -> o.failures = [] && o.retries = 0) outcomes)
+  in
   {
     total = List.length outcomes;
     clean;
@@ -286,6 +405,23 @@ let metrics_json s =
            (List.map
               (fun (p, ms) -> Printf.sprintf "%s: %.1f" (Report.json_string p) ms)
               (phase_totals s.outcomes)));
+      (* how far down the ladder the run had to go, and how much text the
+         partial-parse recovery salvaged *)
+      Printf.sprintf "  \"degraded_modes\": {%s},"
+        (String.concat ", "
+           (List.map
+              (fun m ->
+                Printf.sprintf "%s: %d"
+                  (Report.json_string (mode_name m))
+                  (List.length
+                     (List.filter (fun o -> o.degraded_mode = m) s.outcomes)))
+              [ Full; Static; Token_only; Passthrough ]));
+      Printf.sprintf "  \"retries_total\": %d,"
+        (List.fold_left (fun acc o -> acc + o.retries) 0 s.outcomes);
+      Printf.sprintf
+        "  \"regions\": {\"total\": %d, \"recovered\": %d},"
+        (List.fold_left (fun acc o -> acc + o.regions_total) 0 s.outcomes)
+        (List.fold_left (fun acc o -> acc + o.regions_recovered) 0 s.outcomes);
       Printf.sprintf "  \"metrics\": %s"
         (T.Metrics.snapshot_to_json (T.Metrics.snapshot ()));
       "}";

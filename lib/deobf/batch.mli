@@ -5,6 +5,21 @@
     parallel on a fixed-size domain pool ({!Pscommon.Pool}); outcomes stay
     in input order and outputs are byte-identical to a sequential run. *)
 
+(** The degraded-mode retry ladder, strongest first.  When an attempt
+    degrades for any reason a weaker mode could dodge (anything but a parse
+    failure), the file is retried one rung down with a fresh deadline:
+    {!Static} drops the dynamic recovery fixpoint (no piece execution),
+    {!Token_only} additionally drops renaming and reformatting, and
+    {!Passthrough} does not run the engine at all — the unconditional
+    floor, so every file always yields an output and a classified report. *)
+type mode = Full | Static | Token_only | Passthrough
+
+val mode_name : mode -> string
+(** ["full"], ["static"], ["token-only"], ["passthrough"] — the JSON tags. *)
+
+val weaker : mode -> mode option
+(** The next rung down, [None] below {!Passthrough}. *)
+
 type outcome = {
   file : string;  (** input path *)
   output_file : string option;  (** where the recovered text was written *)
@@ -13,14 +28,22 @@ type outcome = {
       (** per-phase wall milliseconds from {!Engine.run_guarded} *)
   iterations : int;
   changed : bool;
-  failures : Engine.failure_site list;  (** empty when the file ran clean *)
+  failures : Engine.failure_site list;
+      (** empty when the file ran clean; accumulated across every ladder
+          attempt, so a retried file shows its whole descent *)
   stats : Recover.stats;
+  degraded_mode : mode;  (** the rung that produced the final output *)
+  retries : int;  (** ladder steps taken; 0 means full strength *)
+  regions_total : int;  (** {!Engine.guarded} partial-parse region count *)
+  regions_recovered : int;
 }
 
 type summary = {
   total : int;
-  clean : int;  (** files with no contained failures *)
-  degraded : int;  (** files that finished with contained failures *)
+  clean : int;
+      (** files with no contained failures {e and} no ladder retries —
+          clean at full strength *)
+  degraded : int;  (** files that degraded or walked the retry ladder *)
   wall_ms : float;
   outcomes : outcome list;  (** in processing order *)
 }
@@ -33,9 +56,15 @@ val process_file :
   ?trace_dir:string ->
   string ->
   outcome
-(** Run one file through {!Engine.run_guarded} under its own deadline.
-    Never raises: unreadable files and crashing samples come back as an
-    outcome with failures.  With [out_dir], the recovered text is written
+(** Run one file through {!Engine.run_guarded} under its own deadline,
+    descending the retry ladder on non-parse degradations.  Never raises:
+    unreadable files and crashing samples come back as an outcome with
+    failures, and anything escaping the per-file pipeline (including
+    injected {!Pscommon.Chaos} pool faults) is contained by a backstop
+    guard as a ["task"] failure site.  Under chaos injection the file is
+    processed in a {!Pscommon.Chaos.with_scope} keyed by its basename, so
+    faults replay identically across [--jobs] levels and traced/untraced
+    runs.  With [out_dir], the recovered text is written
     to [out_dir/<basename>] and, when the file degraded, a failure report
     to [out_dir/<basename>.failures.json].  A failed output write is
     recorded as a ["write"] failure site.  With [trace_dir], the file runs
@@ -79,7 +108,9 @@ val summary_to_json : summary -> string
 val metrics_json : summary -> string
 (** The run-level rollup written as [metrics.json]: contained-failure
     counts keyed ["phase/kind"], piece-cache hit rate, per-phase wall-time
-    totals, and the current {!Pscommon.Telemetry.Metrics} snapshot
+    totals, per-rung [degraded_modes] counts with [retries_total], the
+    partial-parse [regions] totals, and the current
+    {!Pscommon.Telemetry.Metrics} snapshot
     (counters, gauges and latency histograms aggregated across all pool
     domains).  Meaningful right after {!run_files}/{!run_dir}, which reset
     the registry at the start of the run. *)

@@ -11,6 +11,9 @@ type options = {
   rename : bool;
   reformat : bool;
   max_iterations : int;  (** fixpoint bound for the recovery loop *)
+  partial : bool;
+      (** when the whole file fails to parse, segment it into maximal
+          parseable regions and deobfuscate each independently *)
 }
 
 and recovery_options = Recover.options = {
@@ -25,7 +28,7 @@ and recovery_options = Recover.options = {
 
 let default_options =
   { token_phase = true; recovery = Recover.default_options; rename = true;
-    reformat = true; max_iterations = 8 }
+    reformat = true; max_iterations = 8; partial = true }
 
 type result = {
   output : string;
@@ -216,6 +219,11 @@ type guarded = {
       (** wall milliseconds per phase, {e summed} per phase name in
           first-execution order — keys are unique, so the list is a valid
           JSON object; the per-pass breakdown lives in telemetry spans *)
+  regions_total : int;
+      (** segments produced by partial-parse recovery; 0 when the input
+          parsed whole (or [partial] is off) *)
+  regions_recovered : int;
+      (** parseable regions that ran the pipeline to completion *)
 }
 
 (* Sum [ms] into the entry for [phase], preserving first-use order — a
@@ -275,6 +283,8 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
     timings := add_timing !timings phase ms;
     r
   in
+  let regions_total = ref 0 in
+  let regions_recovered = ref 0 in
   let finish output iterations =
     let changed = not (String.equal output src) in
     if run_sid <> 0 then
@@ -285,7 +295,106 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
             ("bytes_out", T.I (String.length output)) ];
     { result = { output; stats; iterations; changed };
       failures = List.rev !failures;
-      timings = !timings }
+      timings = !timings;
+      regions_total = !regions_total;
+      regions_recovered = !regions_recovered }
+  in
+  (* Partial-parse recovery: the whole file failed to parse, so segment it
+     into maximal parseable regions at statement-boundary sync points and
+     run each region through the normal fixpoint on its own, reassembling
+     with the opaque / binary fragments passed through verbatim.  Renaming
+     is disabled for regions — an opaque fragment may reference variables a
+     parseable region defines by their original names, and renaming only
+     the visible half would desynchronise them (the residual-encoded
+     reasoning, applied across regions). *)
+  let recover_regions () =
+    let segments =
+      match
+        timed "segment" (fun () ->
+            Guard.protect ~deadline (fun () -> Psparse.Segment.segment src))
+      with
+      | Ok segs -> segs
+      | Error failure ->
+          record "segment" failure;
+          []
+    in
+    regions_total := List.length segments;
+    T.Metrics.incr ~by:!regions_total (T.Metrics.counter "engine.regions.total");
+    if
+      not
+        (List.exists (fun r -> r.Psparse.Segment.kind = Psparse.Segment.Parseable) segments)
+    then
+      (* nothing recoverable: pass through, but still report how many
+         segments the scanner saw *)
+      finish src 0
+    else begin
+      let ropts = { options with rename = false } in
+      let buf = Buffer.create (String.length src) in
+      let iters = ref 0 in
+      let timed_out = ref false in
+      List.iter
+        (fun (r : Psparse.Segment.region) ->
+          let text = String.sub src r.Psparse.Segment.start
+              (r.Psparse.Segment.stop - r.Psparse.Segment.start)
+          in
+          match r.Psparse.Segment.kind with
+          | Psparse.Segment.Opaque | Psparse.Segment.Binary ->
+              Buffer.add_string buf text
+          | Psparse.Segment.Parseable when Guard.expired deadline ->
+              (* out of budget: pass the rest through, one Timeout recorded
+                 below instead of one per remaining region *)
+              timed_out := true;
+              Buffer.add_string buf text
+          | Psparse.Segment.Parseable -> (
+              let sid =
+                if T.active () then
+                  T.span_begin "engine.region"
+                    ~attrs:
+                      [ ("start", T.I r.Psparse.Segment.start);
+                        ("bytes", T.I (String.length text)) ]
+                else 0
+              in
+              match
+                timed "region" (fun () ->
+                    Guard.protect ~deadline ~max_output_bytes
+                      ~measure:(fun (s, _) -> String.length s)
+                      (fun () ->
+                        let recovered, it =
+                          deobfuscate_at ~opts:ropts ~stats ~cache ~depth:0 text
+                        in
+                        (finalize ~options:ropts recovered, it)))
+              with
+              | Ok (out, it) ->
+                  incr regions_recovered;
+                  iters := !iters + it;
+                  (* keep the statement boundary: a region that ended on a
+                     newline must not fuse with the next fragment *)
+                  let out =
+                    if
+                      String.length text > 0
+                      && text.[String.length text - 1] = '\n'
+                      && (String.length out = 0
+                         || out.[String.length out - 1] <> '\n')
+                    then out ^ "\n"
+                    else out
+                  in
+                  if sid <> 0 then
+                    T.span_end sid
+                      ~attrs:[ ("changed", T.B (not (String.equal out text))) ];
+                  Buffer.add_string buf out
+              | Error failure ->
+                  record "region" failure;
+                  if sid <> 0 then
+                    T.span_end sid
+                      ~attrs:[ ("failed", T.S (Guard.failure_label failure)) ];
+                  Buffer.add_string buf text))
+        segments;
+      if !timed_out && not (List.exists (fun s -> s.failure = Guard.Timeout) !failures)
+      then record "region" Guard.Timeout;
+      T.Metrics.incr ~by:!regions_recovered
+        (T.Metrics.counter "engine.regions.recovered");
+      finish (Buffer.contents buf) !iters
+    end
   in
   match
     timed "parse" (fun () ->
@@ -293,10 +402,10 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
   with
   | Ok false ->
       record "parse" Guard.Parse_failure;
-      finish src 0
+      if options.partial then recover_regions () else finish src 0
   | Error failure ->
       record "parse" failure;
-      finish src 0
+      if options.partial then recover_regions () else finish src 0
   | Ok true ->
       let recovered, iterations =
         match

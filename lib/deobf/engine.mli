@@ -17,6 +17,13 @@ type options = {
   rename : bool;  (** rename randomised identifiers to [var{n}] (§III-C) *)
   reformat : bool;  (** normalise whitespace and indentation *)
   max_iterations : int;  (** fixpoint bound for the recovery loop *)
+  partial : bool;
+      (** partial-parse recovery (default on): when the whole file fails to
+          parse, segment it with {!Psparse.Segment} into maximal parseable
+          regions, deobfuscate each through the normal fixpoint
+          independently (renaming disabled — opaque fragments may reference
+          original names), and reassemble with unparseable fragments passed
+          through verbatim *)
 }
 
 and recovery_options = Recover.options = {
@@ -39,13 +46,15 @@ type result = {
 }
 
 val run : ?options:options -> string -> result
-(** Deobfuscate a script.  Never raises; scripts that fail to lex or parse
-    are returned unchanged with [changed = false]. *)
+(** Deobfuscate a script.  Never raises.  A script that fails to lex or
+    parse goes through partial-parse recovery (see {!options.partial});
+    when nothing at all is recoverable it comes back unchanged with
+    [changed = false]. *)
 
 type failure_site = { phase : string; failure : Pscommon.Guard.failure }
 (** One contained degradation: which pipeline phase gave up and why.
-    Phases, in degradation order: ["parse"], ["recovery"], ["rename"],
-    ["reformat"]. *)
+    Phases, in degradation order: ["parse"], ["segment"], ["region"],
+    ["recovery"], ["rename"], ["reformat"]. *)
 
 type guarded = {
   result : result;
@@ -56,6 +65,11 @@ type guarded = {
           order — keys are unique, so the list renders directly as a JSON
           object.  The per-pass breakdown is exposed as [engine.pass]
           telemetry spans instead. *)
+  regions_total : int;
+      (** segments produced by partial-parse recovery (parseable, opaque
+          and binary); 0 when the input parsed whole or [partial] is off *)
+  regions_recovered : int;
+      (** parseable regions whose sub-pipeline ran to completion *)
 }
 
 val run_guarded :

@@ -201,6 +201,7 @@ let invoke_piece ?(kind = "piece") st text =
         let t0 = Guard.now () in
         let result =
           guarded st (fun () ->
+              Pscommon.Chaos.probe "recover.piece";
               let env = fresh_env ~for_bytes:(String.length text) st in
               Pseval.Interp.invoke_piece env text)
         in

@@ -22,6 +22,8 @@ type t = {
   wall_ms : float;
   phase_ms : (string * float) list;
   metrics : Pscommon.Telemetry.Metrics.snapshot;
+  regions_total : int;
+  regions_recovered : int;
   urls : string list;
   ips : string list;
   ps1_files : string list;
@@ -57,6 +59,8 @@ let analyze ?options src =
     wall_ms = (Pscommon.Guard.now () -. started) *. 1000.0;
     phase_ms = guarded.Engine.timings;
     metrics = Pscommon.Telemetry.Metrics.snapshot ();
+    regions_total = guarded.Engine.regions_total;
+    regions_recovered = guarded.Engine.regions_recovered;
     urls = info.Keyinfo.urls;
     ips = info.Keyinfo.ips;
     ps1_files = info.Keyinfo.ps1_files;
@@ -107,6 +111,8 @@ let to_json t =
               t.phase_ms));
       Printf.sprintf "  \"metrics\": %s,"
         (Pscommon.Telemetry.Metrics.snapshot_to_json t.metrics);
+      Printf.sprintf "  \"regions_total\": %d," t.regions_total;
+      Printf.sprintf "  \"regions_recovered\": %d," t.regions_recovered;
       Printf.sprintf "  \"urls\": %s," (json_list t.urls);
       Printf.sprintf "  \"ips\": %s," (json_list t.ips);
       Printf.sprintf "  \"ps1_files\": %s," (json_list t.ps1_files);

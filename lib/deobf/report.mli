@@ -27,6 +27,10 @@ type t = {
           (see {!Engine.guarded}) *)
   metrics : Pscommon.Telemetry.Metrics.snapshot;
       (** process metrics captured right after the run *)
+  regions_total : int;
+      (** partial-parse recovery segments (see {!Engine.guarded}); 0 when
+          the input parsed whole *)
+  regions_recovered : int;
   urls : string list;
   ips : string list;
   ps1_files : string list;
@@ -43,7 +47,8 @@ val to_json : t -> string
 (** Render the report as a JSON object.  Field order is stable: the
     pre-existing fields come first (the CLI contract pins the opening
     lines), the observability fields ([cache_hits], [iterations],
-    [wall_ms], [phase_ms], [metrics]) precede ["output"]. *)
+    [wall_ms], [phase_ms], [metrics], [regions_total],
+    [regions_recovered]) precede ["output"]. *)
 
 val json_escape : string -> string
 val json_string : string -> string

@@ -4,6 +4,7 @@ type failure =
   | Parse_failure
   | Stack_exhausted
   | Timeout
+  | Oom
   | Output_too_large
   | Interpreter_limit of string
   | Unexpected of string
@@ -12,6 +13,7 @@ let failure_label = function
   | Parse_failure -> "parse-failure"
   | Stack_exhausted -> "stack-exhausted"
   | Timeout -> "timeout"
+  | Oom -> "out-of-memory"
   | Output_too_large -> "output-too-large"
   | Interpreter_limit _ -> "interpreter-limit"
   | Unexpected _ -> "unexpected"
@@ -20,11 +22,15 @@ let failure_to_string = function
   | Parse_failure -> "parse failure"
   | Stack_exhausted -> "stack exhausted"
   | Timeout -> "wall-clock deadline exceeded"
+  | Oom -> "out of memory"
   | Output_too_large -> "output too large"
   | Interpreter_limit m -> "interpreter limit: " ^ m
   | Unexpected m -> "unexpected exception: " ^ m
 
 exception Deadline_exceeded
+
+(* let Chaos inject the real deadline exception without a module cycle *)
+let () = Chaos.set_deadline_exn Deadline_exceeded
 
 type deadline = float
 
@@ -59,7 +65,8 @@ let classify_exn e =
   match e with
   | Deadline_exceeded -> Timeout
   | Stack_overflow -> Stack_exhausted
-  | Out_of_memory -> Unexpected "out of memory"
+  | Out_of_memory -> Oom
+  | Chaos.Injected site -> Unexpected ("chaos injection at " ^ site)
   | e -> (
       match List.find_map (fun f -> f e) (Atomic.get classifiers) with
       | Some failure -> failure
@@ -71,7 +78,12 @@ let protect ?(deadline = no_deadline) ?max_output_bytes ?measure f =
   else begin
     Domain.DLS.set ambient (effective :: Domain.DLS.get ambient);
     let result =
-      match f () with
+      (* the chaos probe fires inside the guarded extent, so an injected
+         fault is classified exactly like a real one *)
+      match
+        Chaos.probe "guard";
+        f ()
+      with
       | v -> Ok v
       | exception e -> Error (classify_exn e)
     in

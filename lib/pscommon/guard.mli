@@ -15,6 +15,10 @@ type failure =
   | Parse_failure  (** the input never parsed; nothing to work on *)
   | Stack_exhausted  (** recursion blew the stack (deeply nested input) *)
   | Timeout  (** the wall-clock deadline passed *)
+  | Oom
+      (** the allocator gave up ([Out_of_memory]) — kept distinct from
+          {!Unexpected} so failure-site counters and batch reports can
+          separate memory exhaustion from genuine bugs *)
   | Output_too_large  (** the result exceeded the output byte cap *)
   | Interpreter_limit of string
       (** a cooperative evaluator limit fired (steps, string bytes,

@@ -1186,6 +1186,10 @@ let run_ast env ~src ast =
   try eval_statement ctx ast with Return_exc out -> out | Exit_exc -> []
 
 let run_script env src =
+  (* chaos probe: an injected fault here propagates out of the interpreter
+     exactly like a genuine evaluation blow-up, exercising the enclosing
+     guards' containment paths *)
+  Pscommon.Chaos.probe "interp.eval";
   match Psparse.Parser.parse src with
   | exception Stack_overflow -> Error "stack exhausted while parsing"
   | Error e ->

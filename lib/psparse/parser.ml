@@ -1114,7 +1114,7 @@ and parse_expandable st tok quote_kind =
       let c2 = raw.[!i + 1] in
       if c2 = '(' then begin
         (* find matching close paren *)
-        let close = find_matching_paren raw (!i + 1) n in
+        let close = find_matching_paren ~err_pos:(abs !i) raw (!i + 1) n in
         flush_text ();
         let inner_start = !i + 2 in
         let fragment = String.sub raw inner_start (close - inner_start) in
@@ -1201,8 +1201,11 @@ and is_ident_char_local c =
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
   | _ -> false
 
-and find_matching_paren raw start limit =
-  (* raw.[start] = '('; returns index of matching ')' *)
+and find_matching_paren ~err_pos raw start limit =
+  (* raw.[start] = '('; returns index of matching ')'.  [err_pos] is the
+     offset of the opening [$(] in the original source: an unterminated
+     subexpression must surface at its real site, not position 0, so region
+     segmentation and error reports point at the break. *)
   let depth = ref 0 in
   let i = ref start in
   let result = ref (-1) in
@@ -1230,7 +1233,7 @@ and find_matching_paren raw start limit =
     | _ -> ());
     incr i
   done;
-  if !result < 0 then failwith "unterminated $( in expandable string"
+  if !result < 0 then err err_pos "unterminated $( in expandable string"
   else !result
 
 (* ---------- fragment parsing ---------- *)

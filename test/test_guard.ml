@@ -51,6 +51,12 @@ let test_interpreter_limit_classified () =
     (Guard.protect (fun () -> raise (Pseval.Env.Limit_exceeded "steps"))
     = Error (Guard.Interpreter_limit "steps"))
 
+let test_oom_classified () =
+  (* memory exhaustion gets its own taxon, distinct from Unexpected *)
+  check_b "Out_of_memory contained as Oom" true
+    (Guard.protect (fun () -> raise Out_of_memory) = Error Guard.Oom);
+  check_b "oom label" true (Guard.failure_label Guard.Oom = "out-of-memory")
+
 (* ---------- adversarial engine inputs ---------- *)
 
 let deep_nesting n =
@@ -116,8 +122,10 @@ let prop_random_bytes_total =
     QCheck.(string_of_size Gen.(int_range 0 120))
     (fun s ->
       let guarded = Deobf.Engine.run_guarded ~timeout_s:10.0 s in
-      (* a structured verdict either way: clean run or recorded failure *)
+      (* a structured verdict either way: clean run, partial-parse recovery
+         of at least one region, or unchanged input with recorded failure *)
       guarded.Deobf.Engine.failures = []
+      || guarded.Deobf.Engine.regions_recovered >= 1
       || String.equal guarded.Deobf.Engine.result.Deobf.Engine.output s)
 
 let prop_mutants_total =
@@ -288,6 +296,7 @@ let suite =
     Alcotest.test_case "protect nests ambient" `Quick test_protect_nests_ambient;
     Alcotest.test_case "interpreter limit classified" `Quick
       test_interpreter_limit_classified;
+    Alcotest.test_case "oom classified" `Quick test_oom_classified;
     Alcotest.test_case "deep nesting total" `Quick test_deep_nesting_total;
     Alcotest.test_case "decode bomb deadline" `Quick test_decode_bomb_deadline;
     Alcotest.test_case "string bomb capped" `Quick test_string_bomb_capped;

@@ -10,6 +10,7 @@ let () =
       ("psvalue", Test_psvalue.suite);
       ("pseval", Test_pseval.suite);
       ("guard", Test_guard.suite);
+      ("resilience", Test_resilience.suite);
       ("telemetry", Test_telemetry.suite);
       ("parallel", Test_parallel.suite);
       ("ops", Test_ops.suite);

@@ -207,6 +207,19 @@ let test_parse_errors () =
         (not (Psparse.Parser.is_valid_syntax src)))
     [ "if (1) 2"; "function"; "$x ="; "foreach ($x in) {}"; ")"; "{ 1" ]
 
+(* an unterminated $( inside an expandable string must surface as a
+   structured parse error carrying the real source offset — not an
+   uncontained Failure from the subexpression scanner *)
+let test_unterminated_subexpr_position () =
+  let src = "Write-Output \"abc $(oops\"" in
+  match Psparse.Parser.parse src with
+  | Ok _ -> Alcotest.fail "unterminated $( parsed"
+  | Error e ->
+      let dollar = String.index src '$' in
+      check_b "position at or after the $(" true (e.Psparse.Parser.position >= dollar);
+      check_b "position inside the source" true
+        (e.Psparse.Parser.position <= String.length src)
+
 let test_fragment_offsets () =
   let src = "xx$(1+2)yy" in
   match Psparse.Parser.parse_fragment ~src ~offset:4 "1+2" with
@@ -323,6 +336,7 @@ let suite =
     ("extents in place", `Quick, test_extents_in_place);
     ("newline handling", `Quick, test_newline_handling);
     ("parse errors", `Quick, test_parse_errors);
+    ("unterminated subexpr position", `Quick, test_unterminated_subexpr_position);
     ("fragment offsets", `Quick, test_fragment_offsets);
     ("paper case parses", `Quick, test_paper_case_parses);
     QCheck_alcotest.to_alcotest prop_node_extents_nested;

@@ -1,0 +1,499 @@
+(* Tests for the resilience layer: statement-boundary segmentation and
+   partial-parse recovery, seeded chaos injection with its mutation fuzzer,
+   and the degraded-mode retry ladder.  The standing contracts: no input —
+   truncated, binary-prefixed, fault-injected — ever crashes a run; every
+   file yields a classified outcome; and injection is a pure function of
+   (seed, scope, probe order), so outputs replay byte-identically. *)
+
+open Pscommon
+module Seg = Psparse.Segment
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+(* every chaos test restores the disabled state, even on failure: the
+   config is process-global and must not leak into later suites *)
+let with_chaos cfg f =
+  Chaos.set (Some cfg);
+  Fun.protect ~finally:(fun () -> Chaos.set None) f
+
+let cfg ?(rate = 0.0) ?(site_rates = []) seed = { Chaos.seed; rate; site_rates }
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "resilience-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let write_file path content =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* ---------- segmentation ---------- *)
+
+let test_segment_valid_single_region () =
+  let src = "$a = 1\nWrite-Output $a\nif ($a) { $a + 1 }\n" in
+  match Seg.segment src with
+  | [ r ] ->
+      check_b "single parseable region" true (r.Seg.kind = Seg.Parseable);
+      check_i "covers whole input from 0" 0 r.Seg.start;
+      check_i "covers whole input to end" (String.length src) r.Seg.stop
+  | rs -> Alcotest.failf "expected one region, got %d" (List.length rs)
+
+let test_segment_empty () = check_i "empty input, no regions" 0 (List.length (Seg.segment ""))
+
+let regions_cover src regions =
+  let rec walk pos = function
+    | [] -> pos = String.length src
+    | r -> (
+        match r with
+        | { Seg.start; stop; _ } :: rest -> start = pos && stop > start && walk stop rest
+        | [] -> false)
+  in
+  walk 0 regions
+
+let test_segment_covers_damaged_input () =
+  let src = "$a = 'x'\nif (1) { broken\n$b = 2\n\255\254\000 blob \000\n$c = 3\n" in
+  let regions = Seg.segment src in
+  check_b "contiguous cover" true (regions_cover src regions);
+  check_b "has a parseable region" true
+    (List.exists (fun r -> r.Seg.kind = Seg.Parseable) regions);
+  check_b "has a binary region" true
+    (List.exists (fun r -> r.Seg.kind = Seg.Binary) regions)
+
+let test_sync_points_respect_strings () =
+  (* the ; and newline inside the double-quoted string are not boundaries *)
+  let src = "$a = \"x;\ny\"; $b = 1\n" in
+  let quote_open = String.index src '"' in
+  let quote_close = String.rindex src '"' in
+  List.iter
+    (fun p ->
+      check_b
+        (Printf.sprintf "sync point %d outside the string literal" p)
+        true
+        (p <= quote_open || p > quote_close))
+    (Seg.sync_points src)
+
+let test_sync_points_unbalanced_closer_clamped () =
+  (* a stray } must not swallow the rest of the file: depth clamps at 0 and
+     the following newline is still a boundary *)
+  let src = "}\n$a = 1\n$b = 2\n" in
+  let pts = Seg.sync_points src in
+  check_b "boundary after stray closer" true (List.mem 2 pts);
+  check_b "boundary between statements" true (List.mem 9 pts)
+
+(* ---------- partial-parse recovery in the engine ---------- *)
+
+let concat_script = "$p = 'al' + 'pha'\nWrite-Output $p\n"
+
+let test_truncated_tail_recovers () =
+  (* a partial download: valid statements, then a statement cut mid-token *)
+  let src = concat_script ^ "$q = ('be' + 'ta'\n" in
+  let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+  check_b "parse failure recorded" true
+    (List.exists
+       (fun (s : Deobf.Engine.failure_site) -> s.failure = Guard.Parse_failure)
+       g.Deobf.Engine.failures);
+  check_b "at least one region recovered" true (g.Deobf.Engine.regions_recovered >= 1);
+  check_b "prefix deobfuscated" true
+    (let out = g.Deobf.Engine.result.Deobf.Engine.output in
+     let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+       at 0
+     in
+     contains out "'alpha'");
+  check_b "damaged tail passed through verbatim" true
+    (let out = g.Deobf.Engine.result.Deobf.Engine.output in
+     String.length out >= 18
+     && String.sub out (String.length out - 18) 18 = "$q = ('be' + 'ta'\n")
+
+let test_binary_prefix_recovers () =
+  (* the unbalanced ( in the blob both breaks the whole-file parse and
+     stresses the depth-insensitive refinement pass *)
+  let blob = "\000\001\255\254(PE\000\000junk\000\n" in
+  let src = blob ^ concat_script in
+  let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+  check_b "recovered past the blob" true (g.Deobf.Engine.regions_recovered >= 1);
+  check_b "blob preserved verbatim" true
+    (String.length g.Deobf.Engine.result.Deobf.Engine.output >= String.length blob
+    && String.sub g.Deobf.Engine.result.Deobf.Engine.output 0 (String.length blob)
+       = blob)
+
+let test_mid_here_string_cut () =
+  (* the here-string never terminates: its opener must not drag the valid
+     prefix down with it *)
+  let src = concat_script ^ "$h = @\"\npayload line\n" in
+  let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+  check_b "prefix recovered" true (g.Deobf.Engine.regions_recovered >= 1)
+
+let test_valid_input_identical_with_partial_off () =
+  (* partial recovery must be invisible on inputs that parse whole *)
+  let src = "$a = 'x' + 'y'\nWrite-Output $a\n" in
+  let on = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+  let off =
+    Deobf.Engine.run_guarded
+      ~options:{ Deobf.Engine.default_options with partial = false }
+      ~timeout_s:10.0 src
+  in
+  check_s "same output either way"
+    off.Deobf.Engine.result.Deobf.Engine.output
+    on.Deobf.Engine.result.Deobf.Engine.output;
+  check_i "no regions on a valid file" 0 on.Deobf.Engine.regions_total
+
+let test_partial_off_returns_unchanged () =
+  let src = "if (1) { broken\n$b = 1 + 2\n" in
+  let off =
+    Deobf.Engine.run_guarded
+      ~options:{ Deobf.Engine.default_options with partial = false }
+      ~timeout_s:10.0 src
+  in
+  check_s "passthrough with partial off" src
+    off.Deobf.Engine.result.Deobf.Engine.output
+
+let test_recovery_fixpoint_stable () =
+  (* re-running the engine on a partially recovered output changes nothing:
+     recovered regions are already at their fixpoint, damage is verbatim *)
+  let src = concat_script ^ "if (1) { broken\n$b = 1 + 2\n" in
+  let once = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+  let out1 = once.Deobf.Engine.result.Deobf.Engine.output in
+  let twice = Deobf.Engine.run_guarded ~timeout_s:10.0 out1 in
+  check_s "second pass is identity" out1
+    twice.Deobf.Engine.result.Deobf.Engine.output
+
+let test_truncated_majority_recovers () =
+  (* the acceptance bar: truncating a small varied corpus at mid-file must
+     leave a majority of the now-unparseable files partially recovered
+     rather than passed through whole *)
+  let sample i =
+    Printf.sprintf
+      "$a%d = 'p' + 'q%d'\nWrite-Output $a%d\n$s%d = \"lit%d\"\n$b%d = %d + 1\nWrite-Output ($b%d)\n"
+      i i i i i i i i
+  in
+  let attempted = ref 0 and recovered = ref 0 in
+  for i = 1 to 8 do
+    let src = Chaos.Mutate.truncate_at 0.45 (sample i) in
+    let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+    if
+      List.exists
+        (fun (s : Deobf.Engine.failure_site) -> s.Deobf.Engine.phase = "parse")
+        g.Deobf.Engine.failures
+    then begin
+      incr attempted;
+      if g.Deobf.Engine.regions_recovered >= 1 then incr recovered
+    end
+  done;
+  check_b "some truncations made files unparseable" true (!attempted >= 3);
+  check_b
+    (Printf.sprintf "majority recovered (%d of %d)" !recovered !attempted)
+    true
+    (2 * !recovered > !attempted)
+
+(* ---------- chaos: determinism and containment ---------- *)
+
+let test_probe_disabled_is_silent () =
+  Chaos.set None;
+  Chaos.reset_draws ();
+  for _ = 1 to 1000 do
+    Chaos.probe "anywhere"
+  done;
+  check_i "disabled probes draw nothing" 0 (Chaos.draws ())
+
+let fault_trace seed =
+  (* which of 100 scoped probe calls fire, and as what *)
+  with_chaos (cfg ~rate:0.3 seed) (fun () ->
+      Chaos.with_scope "trace" (fun () ->
+          List.init 100 (fun i ->
+              match Chaos.probe "site" with
+              | () -> (i, "ok")
+              | exception Chaos.Injected _ -> (i, "injected")
+              | exception Guard.Deadline_exceeded -> (i, "deadline")
+              | exception Stack_overflow -> (i, "stack")
+              | exception Out_of_memory -> (i, "oom"))))
+
+let test_chaos_deterministic_replay () =
+  let a = fault_trace 11 in
+  let b = fault_trace 11 in
+  check_b "same seed, same faults" true (a = b);
+  let c = fault_trace 12 in
+  check_b "different seed, different faults" true (a <> c)
+
+let test_chaos_faults_classified () =
+  (* at rate 1.0 every probe fires; whatever it throws, Guard.protect must
+     map it into the containment taxonomy *)
+  with_chaos (cfg ~rate:1.0 21) (fun () ->
+      Chaos.with_scope "classify" (fun () ->
+          for _ = 1 to 50 do
+            match Guard.protect (fun () -> Chaos.probe "site") with
+            | Ok _ -> Alcotest.fail "probe at rate 1.0 did not fire"
+            | Error
+                ( Guard.Timeout | Guard.Stack_exhausted | Guard.Oom
+                | Guard.Unexpected _ ) ->
+                ()
+            | Error f ->
+                Alcotest.failf "unclassified fault %s" (Guard.failure_label f)
+          done))
+
+let test_chaos_engine_total () =
+  (* injection at every engine-internal site: runs never escape, and every
+     degradation comes back as a classified failure site *)
+  let src = concat_script ^ "$z = [char]98 + 'x'\n" in
+  List.iter
+    (fun seed ->
+      with_chaos
+        (cfg seed
+           ~site_rates:
+             [ ("recover.piece", 0.5); ("interp.eval", 0.3); ("guard", 0.05) ])
+        (fun () ->
+          Chaos.with_scope "engine" (fun () ->
+              let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+              ignore g.Deobf.Engine.result.Deobf.Engine.output)))
+    [ 1; 2; 3; 5; 8; 13 ]
+
+let chaos_batch_sites =
+  [ ("recover.piece", 0.4); ("interp.eval", 0.2); ("pool.task", 0.2);
+    ("batch.read", 0.1); ("batch.write", 0.1) ]
+
+let batch_corpus dir =
+  let files =
+    [ ("good.ps1", "$a = 'x' + 'y'\nWrite-Output $a\n");
+      ("frag.ps1", "$a = 'he' + 'llo'\nif (1) { broken\n$b = 1 + 2\n");
+      ("pieces.ps1", "$p = ('a' + 'b') + ('c' + 'd')\nWrite-Output $p\n");
+      ("blob.bin", "\000\001\002\255binary\000\n") ]
+  in
+  List.map
+    (fun (name, src) ->
+      let path = Filename.concat dir name in
+      write_file path src;
+      path)
+    files
+
+let test_chaos_batch_never_crashes () =
+  (* several seeds, both sequential and parallel: every file always yields
+     a classified outcome and the deobfuscated bytes are identical across
+     jobs levels — injection is scheduling-independent *)
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      Sys.mkdir in_dir 0o755;
+      let files = batch_corpus in_dir in
+      List.iter
+        (fun seed ->
+          with_chaos (cfg seed ~site_rates:chaos_batch_sites) (fun () ->
+              let run jobs out =
+                let summary =
+                  Deobf.Batch.run_files ~timeout_s:10.0
+                    ~out_dir:(Filename.concat dir out) ~jobs files
+                in
+                check_i
+                  (Printf.sprintf "seed %d jobs %d: all files reported" seed jobs)
+                  (List.length files) summary.Deobf.Batch.total;
+                summary
+              in
+              let s1 = run 1 (Printf.sprintf "out1-%d" seed) in
+              let s4 = run 4 (Printf.sprintf "out4-%d" seed) in
+              List.iter2
+                (fun (o1 : Deobf.Batch.outcome) (o4 : Deobf.Batch.outcome) ->
+                  check_s "same file order" o1.Deobf.Batch.file o4.Deobf.Batch.file;
+                  match (o1.Deobf.Batch.output_file, o4.Deobf.Batch.output_file) with
+                  | Some p1, Some p4 ->
+                      check_s
+                        (Printf.sprintf "seed %d: %s byte-identical across jobs"
+                           seed
+                           (Filename.basename o1.Deobf.Batch.file))
+                        (read_file p1) (read_file p4)
+                  | None, None -> ()
+                  | _ ->
+                      Alcotest.failf "seed %d: %s written in one run only" seed
+                        o1.Deobf.Batch.file)
+                s1.Deobf.Batch.outcomes s4.Deobf.Batch.outcomes))
+        [ 3; 7; 31 ])
+
+let test_chaos_traced_untraced_identical () =
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      Sys.mkdir in_dir 0o755;
+      let files = batch_corpus in_dir in
+      with_chaos (cfg 17 ~site_rates:chaos_batch_sites) (fun () ->
+          let plain =
+            Deobf.Batch.run_files ~timeout_s:10.0
+              ~out_dir:(Filename.concat dir "plain") files
+          in
+          let traced =
+            Deobf.Batch.run_files ~timeout_s:10.0
+              ~out_dir:(Filename.concat dir "traced")
+              ~trace_dir:(Filename.concat dir "traces") files
+          in
+          List.iter2
+            (fun (a : Deobf.Batch.outcome) (b : Deobf.Batch.outcome) ->
+              match (a.Deobf.Batch.output_file, b.Deobf.Batch.output_file) with
+              | Some pa, Some pb ->
+                  check_s "tracing does not perturb injection" (read_file pa)
+                    (read_file pb)
+              | None, None -> ()
+              | _ -> Alcotest.fail "output written in one mode only")
+            plain.Deobf.Batch.outcomes traced.Deobf.Batch.outcomes))
+
+let test_chaos_task_fault_contained () =
+  (* a fault in the pool worker itself, outside every engine guard, must
+     come back as a "task" failure site, not abort the batch *)
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "a.ps1" in
+      write_file path "$a = 1\n";
+      with_chaos (cfg 5 ~site_rates:[ ("pool.task", 1.0) ]) (fun () ->
+          let o = Deobf.Batch.process_file ~timeout_s:5.0 path in
+          check_b "task failure recorded" true
+            (List.exists
+               (fun (s : Deobf.Engine.failure_site) ->
+                 s.Deobf.Engine.phase = "task")
+               o.Deobf.Batch.failures)))
+
+(* ---------- mutation fuzzer ---------- *)
+
+let prop_mutate_total =
+  QCheck.Test.make ~name:"resilience: mutations are total" ~count:200
+    QCheck.(pair small_nat (string_of_size QCheck.Gen.(int_range 0 200)))
+    (fun (seed, s) ->
+      let rng = Rng.of_int seed in
+      List.for_all
+        (fun kind ->
+          let out = Chaos.Mutate.apply rng kind s in
+          (* usable output: a string, possibly empty only for empty-ish input *)
+          String.length out >= 0)
+        Chaos.Mutate.kinds)
+
+let prop_mutated_scripts_contained =
+  (* fuzz the engine with corrupted real-ish scripts: always a structured
+     verdict, never an escape *)
+  QCheck.Test.make ~name:"resilience: engine total on mutated scripts" ~count:60
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, pick) ->
+      let rng = Rng.of_int (seed + 1) in
+      let base =
+        "$u = 'http://example.com/a.ps1'\n$p = 'pay' + 'load'\nWrite-Output $p\n"
+      in
+      let kind = List.nth Chaos.Mutate.kinds (pick mod List.length Chaos.Mutate.kinds) in
+      let src = Chaos.Mutate.apply rng kind base in
+      let g = Deobf.Engine.run_guarded ~timeout_s:10.0 src in
+      g.Deobf.Engine.failures = []
+      || g.Deobf.Engine.regions_recovered >= 1
+      || String.equal g.Deobf.Engine.result.Deobf.Engine.output src)
+
+(* ---------- the retry ladder ---------- *)
+
+let test_ladder_rungs () =
+  check_b "full -> static" true (Deobf.Batch.weaker Deobf.Batch.Full = Some Deobf.Batch.Static);
+  check_b "static -> token-only" true
+    (Deobf.Batch.weaker Deobf.Batch.Static = Some Deobf.Batch.Token_only);
+  check_b "token-only -> passthrough" true
+    (Deobf.Batch.weaker Deobf.Batch.Token_only = Some Deobf.Batch.Passthrough);
+  check_b "passthrough is the floor" true
+    (Deobf.Batch.weaker Deobf.Batch.Passthrough = None);
+  check_s "mode tags" "full,static,token-only,passthrough"
+    (String.concat ","
+       (List.map Deobf.Batch.mode_name
+          [ Deobf.Batch.Full; Deobf.Batch.Static; Deobf.Batch.Token_only;
+            Deobf.Batch.Passthrough ]))
+
+let bomb_options =
+  { Deobf.Engine.default_options with
+    recovery =
+      { Deobf.Recover.default_options with
+        piece_step_budget = 1_000_000_000;
+        piece_timeout_s = 60.0 } }
+
+let test_ladder_degrades_decode_bomb () =
+  (* the bomb times out at Full; Static (no piece execution) succeeds, so
+     the ladder settles one rung down with the whole descent on record *)
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "bomb.ps1" in
+      write_file path "$x = $(while (1 -lt 2) { 1 }; 'done')\n";
+      let o =
+        Deobf.Batch.process_file ~options:bomb_options ~timeout_s:0.4 path
+      in
+      check_b "walked the ladder" true (o.Deobf.Batch.retries >= 1);
+      check_b "settled below full strength" true
+        (o.Deobf.Batch.degraded_mode <> Deobf.Batch.Full);
+      check_b "timeout on record" true
+        (List.exists
+           (fun (s : Deobf.Engine.failure_site) -> s.failure = Guard.Timeout)
+           o.Deobf.Batch.failures))
+
+let test_ladder_parse_failure_no_retry () =
+  (* no rung parses better than a stronger one: a pure parse failure stops
+     the ladder at Full with partial recovery's best effort *)
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "frag.ps1" in
+      write_file path "$a = 'he' + 'llo'\nif (1) { broken\n";
+      let o = Deobf.Batch.process_file ~timeout_s:5.0 path in
+      check_i "no retries on parse failure" 0 o.Deobf.Batch.retries;
+      check_b "stays at full strength" true
+        (o.Deobf.Batch.degraded_mode = Deobf.Batch.Full);
+      check_b "partial recovery still ran" true (o.Deobf.Batch.regions_total >= 1))
+
+let test_clean_means_full_strength () =
+  with_temp_dir (fun dir ->
+      let good = Filename.concat dir "good.ps1" in
+      let bomb = Filename.concat dir "bomb.ps1" in
+      write_file good "$a = 'x' + 'y'\nWrite-Output $a\n";
+      write_file bomb "$x = $(while (1 -lt 2) { 1 }; 'done')\n";
+      let s =
+        Deobf.Batch.run_files ~options:bomb_options ~timeout_s:0.4
+          [ good; bomb ]
+      in
+      check_i "only the untouched file counts as clean" 1 s.Deobf.Batch.clean;
+      check_i "the laddered file counts as degraded" 1 s.Deobf.Batch.degraded)
+
+let suite =
+  [
+    Alcotest.test_case "segment: valid file is one region" `Quick
+      test_segment_valid_single_region;
+    Alcotest.test_case "segment: empty input" `Quick test_segment_empty;
+    Alcotest.test_case "segment: damaged input covered" `Quick
+      test_segment_covers_damaged_input;
+    Alcotest.test_case "sync points respect strings" `Quick
+      test_sync_points_respect_strings;
+    Alcotest.test_case "sync points clamp stray closers" `Quick
+      test_sync_points_unbalanced_closer_clamped;
+    Alcotest.test_case "truncated tail recovers" `Quick test_truncated_tail_recovers;
+    Alcotest.test_case "binary prefix recovers" `Quick test_binary_prefix_recovers;
+    Alcotest.test_case "mid-here-string cut recovers" `Quick test_mid_here_string_cut;
+    Alcotest.test_case "valid input identical with partial off" `Quick
+      test_valid_input_identical_with_partial_off;
+    Alcotest.test_case "partial off returns unchanged" `Quick
+      test_partial_off_returns_unchanged;
+    Alcotest.test_case "recovery fixpoint stable" `Quick test_recovery_fixpoint_stable;
+    Alcotest.test_case "truncated majority recovers" `Quick
+      test_truncated_majority_recovers;
+    Alcotest.test_case "disabled probes silent" `Quick test_probe_disabled_is_silent;
+    Alcotest.test_case "chaos deterministic replay" `Quick
+      test_chaos_deterministic_replay;
+    Alcotest.test_case "chaos faults classified" `Quick test_chaos_faults_classified;
+    Alcotest.test_case "chaos engine total" `Quick test_chaos_engine_total;
+    Alcotest.test_case "chaos batch never crashes" `Slow
+      test_chaos_batch_never_crashes;
+    Alcotest.test_case "chaos traced/untraced identical" `Quick
+      test_chaos_traced_untraced_identical;
+    Alcotest.test_case "chaos task fault contained" `Quick
+      test_chaos_task_fault_contained;
+    QCheck_alcotest.to_alcotest prop_mutate_total;
+    QCheck_alcotest.to_alcotest prop_mutated_scripts_contained;
+    Alcotest.test_case "ladder rungs" `Quick test_ladder_rungs;
+    Alcotest.test_case "ladder degrades decode bomb" `Quick
+      test_ladder_degrades_decode_bomb;
+    Alcotest.test_case "ladder parse failure no retry" `Quick
+      test_ladder_parse_failure_no_retry;
+    Alcotest.test_case "clean means full strength" `Quick
+      test_clean_means_full_strength;
+  ]
