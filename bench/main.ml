@@ -2,7 +2,7 @@
 
    One target per table/figure of the paper:
      table1 table2 fig5 fig6 table3 table4 table5 case ablate
-     throughput obs resilience micro
+     throughput obs resilience verify micro
    No argument runs everything except throughput (the parallel-batch
    scaling run, writes BENCH_batch.json) and micro (the Bechamel
    suite) — both take a while on their own.  obs (in the default run,
@@ -10,7 +10,10 @@
    non-zero if the disabled path costs more than 5%.  resilience (in
    the default run, writes BENCH_resilience.json) measures how much of
    a truncated corpus partial-parse recovery salvages and what the
-   disabled chaos probes cost, with the same 5% budget. *)
+   disabled chaos probes cost, with the same 5% budget.  verify (in
+   the default run, writes BENCH_verify.json) measures the semantic
+   gate's batch overhead against a 25% budget and fails on any
+   unrepaired divergence. *)
 
 let line () = print_endline (String.make 78 '-')
 
@@ -452,6 +455,155 @@ let run_resilience () =
     exit 1
   end
 
+(* ---------- semantic-verification overhead (the --verify gate) ---------- *)
+
+(* What does the differential gate cost on the corpus a batch run actually
+   processes, and does it hold its own contract?  Runs the fixed-seed
+   corpus through the batch pipeline with verification off and on,
+   reporting samples/s for both, the verdict histogram, and the rollback
+   rate.
+
+   Two costs are kept apart.  Differential verification irreducibly
+   executes the original and the output once each in the sandbox — that is
+   the price of admission, measured directly and reported as
+   [reference_runs_s] (on interpreted micro-samples it is comparable to
+   deobfuscation itself, so raw [overhead_pct] lands well above any small
+   budget).  Everything the gate adds {e beyond} those two executions —
+   journal bookkeeping, log comparison, bisection replays, rollback
+   re-runs, verdict plumbing — is the machinery this bench regresses on:
+   [gate_overhead_pct], budgeted at 25% of the unverified wall.  Fails
+   loudly when the machinery exceeds that budget, or when any sample ends
+   [diverged] — a divergence the bisection could not repair means either an
+   engine rewrite or the gate itself regressed. *)
+let run_verify () =
+  line ();
+  let module Guard = Pscommon.Guard in
+  let count = 32 in
+  let seed = 42 in
+  let samples = Corpus.Generator.generate ~seed ~count in
+  let dir = Filename.temp_dir "bench_verify" "" in
+  let files =
+    List.map
+      (fun (s : Corpus.Generator.sample) ->
+        let path = Filename.concat dir (Printf.sprintf "sample_%04d.ps1" s.id) in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc s.obfuscated);
+        path)
+      samples
+  in
+  Printf.printf "semantic verification: %d samples (seed %d), gate off vs on\n"
+    count seed;
+  let run ~verify tag =
+    let out_dir = Filename.concat dir ("out_" ^ tag) in
+    (* best of 3: these walls are tens of milliseconds, where a single GC
+       major slice or scheduler blip reads as tens of percent *)
+    let best = ref infinity and last = ref None in
+    for rep = 1 to 3 do
+      let t0 = Guard.now () in
+      let summary =
+        Deobf.Batch.run_files ~timeout_s:30.0
+          ~out_dir:(Printf.sprintf "%s_r%d" out_dir rep) ~jobs:1 ~verify files
+      in
+      let wall = Guard.now () -. t0 in
+      if wall < !best then best := wall;
+      last := Some summary
+    done;
+    (Option.get !last, !best)
+  in
+  let _s_off, wall_off = run ~verify:false "plain" in
+  let s_on, wall_on = run ~verify:true "verified" in
+  (* the irreducible reference executions, mirrored outside the gate: for
+     every file the gate actually verified (output differs from the
+     input), one sandbox run of each side *)
+  let reference_runs_s =
+    let t0 = Guard.now () in
+    List.iter
+      (fun (o : Deobf.Batch.outcome) ->
+        match o.Deobf.Batch.output_file with
+        | Some out_file when o.Deobf.Batch.changed ->
+            let read p = In_channel.with_open_bin p In_channel.input_all in
+            ignore (Sandbox.run_for_verify (read o.Deobf.Batch.file));
+            ignore (Sandbox.run_for_verify (read out_file))
+        | _ -> ())
+      s_on.Deobf.Batch.outcomes;
+    Guard.now () -. t0
+  in
+  let tally v =
+    List.length
+      (List.filter
+         (fun (o : Deobf.Batch.outcome) ->
+           match o.Deobf.Batch.verdict with
+           | Some verdict -> Deobf.Verify.verdict_name verdict = v
+           | None -> false)
+         s_on.Deobf.Batch.outcomes)
+  in
+  let equivalent = tally "equivalent" in
+  let rolled_back = tally "rolled_back" in
+  let diverged = tally "diverged" in
+  let unverifiable = tally "unverifiable" in
+  let rollback_rate = float_of_int rolled_back /. float_of_int count in
+  let overhead_pct =
+    if wall_off > 0.0 then 100.0 *. (wall_on -. wall_off) /. wall_off else 0.0
+  in
+  let gate_overhead_pct =
+    if wall_off > 0.0 then
+      Float.max 0.0
+        (100.0 *. (wall_on -. wall_off -. reference_runs_s) /. wall_off)
+    else 0.0
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"samples\": %d," count;
+        Printf.sprintf "  \"seed\": %d," seed;
+        Printf.sprintf "  \"wall_s_unverified\": %.3f," wall_off;
+        Printf.sprintf "  \"wall_s_verified\": %.3f," wall_on;
+        Printf.sprintf "  \"samples_per_s_unverified\": %.2f,"
+          (float_of_int count /. wall_off);
+        Printf.sprintf "  \"samples_per_s_verified\": %.2f,"
+          (float_of_int count /. wall_on);
+        Printf.sprintf "  \"overhead_pct\": %.1f," overhead_pct;
+        Printf.sprintf "  \"reference_runs_s\": %.3f," reference_runs_s;
+        Printf.sprintf "  \"gate_overhead_pct\": %.1f," gate_overhead_pct;
+        Printf.sprintf
+          "  \"verdicts\": {\"equivalent\": %d, \"rolled_back\": %d, \
+           \"diverged\": %d, \"unverifiable\": %d},"
+          equivalent rolled_back diverged unverifiable;
+        Printf.sprintf "  \"rollback_rate\": %.3f" rollback_rate;
+        "}";
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_verify.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf
+    "  unverified: %.2fs (%.1f samples/s)\n  verified:   %.2fs (%.1f \
+     samples/s, +%.1f%% raw)\n"
+    wall_off
+    (float_of_int count /. wall_off)
+    wall_on
+    (float_of_int count /. wall_on)
+    overhead_pct;
+  Printf.printf
+    "  reference executions: %.2fs; gate machinery beyond them: +%.1f%%\n"
+    reference_runs_s gate_overhead_pct;
+  Printf.printf
+    "  verdicts: %d equivalent, %d rolled_back, %d diverged, %d \
+     unverifiable (rollback rate %.1f%%)\n"
+    equivalent rolled_back diverged unverifiable (100.0 *. rollback_rate);
+  print_endline "  wrote BENCH_verify.json";
+  if gate_overhead_pct > 25.0 then begin
+    Printf.eprintf
+      "FAIL: gate-machinery overhead %.1f%% exceeds the 25%% budget\n"
+      gate_overhead_pct;
+    exit 1
+  end;
+  if diverged > 0 then begin
+    Printf.eprintf
+      "FAIL: %d sample(s) diverged without a successful rollback\n" diverged;
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro_tests () =
@@ -514,7 +666,8 @@ let registry =
     ("table5", run_table5); ("case", run_case); ("ablate", run_ablate);
     ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
     ("funnel", run_funnel); ("throughput", run_throughput);
-    ("obs", run_obs); ("resilience", run_resilience); ("micro", run_micro) ]
+    ("obs", run_obs); ("resilience", run_resilience); ("verify", run_verify);
+    ("micro", run_micro) ]
 
 let () =
   match Array.to_list Sys.argv with

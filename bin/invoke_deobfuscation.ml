@@ -102,7 +102,7 @@ let print_batch_summary (s : Deobf.Batch.summary) =
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
       no_reformat no_token_phase no_piece_cache no_partial chaos stats batch
-      jobs timeout trace log_level summary_flag =
+      jobs timeout trace log_level summary_flag verify_flag no_verify resume =
     Option.iter (fun l -> T.Log.set_level (Some l)) log_level;
     (match
        match chaos with Some s -> Some s | None -> Sys.getenv_opt "INVOKE_DEOBF_CHAOS"
@@ -160,7 +160,8 @@ let deobfuscate_cmd =
         | Some dir -> Some dir
       in
       let summary =
-        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ?trace_dir ~jobs dir
+        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ?trace_dir ~jobs
+          ~verify:(not no_verify) ~resume dir
       in
       print_endline (Deobf.Batch.summary_to_json summary);
       T.Log.info (fun () ->
@@ -169,24 +170,38 @@ let deobfuscate_cmd =
             summary.Deobf.Batch.degraded out_dir);
       if summary_flag then print_batch_summary summary;
       (* exit 0 only when every file came through clean at full strength;
-         2 signals that at least one file degraded or needed the retry
-         ladder, so callers scripting over corpora can detect it *)
-      if summary.Deobf.Batch.degraded > 0 then exit 2
+         2 signals that at least one file degraded, needed the retry
+         ladder, or failed the semantic gate without a successful rollback,
+         so callers scripting over corpora can detect it *)
+      if summary.Deobf.Batch.degraded > 0
+         || Deobf.Batch.diverged_count summary > 0
+      then exit 2
     end
     else begin
       let src = read_input input in
       let file_trace =
         match trace with None -> None | Some path -> Some (path, T.create ())
       in
-      let run_once () =
+      let run_once ?(suppress = []) () =
         Deobf.Engine.run_guarded ~options
           ~timeout_s:(Option.value timeout ~default:infinity)
-          src
+          ~suppress src
       in
-      let guarded =
+      let compute () =
+        let guarded = run_once () in
+        if verify_flag then
+          let g, o =
+            Deobf.Verify.gate
+              ~rerun:(fun ~suppress -> run_once ~suppress ())
+              ~src guarded
+          in
+          (g, Some o)
+        else (guarded, None)
+      in
+      let guarded, verify_outcome =
         match file_trace with
-        | None -> run_once ()
-        | Some (_, tr) -> T.with_trace tr run_once
+        | None -> compute ()
+        | Some (_, tr) -> T.with_trace tr compute
       in
       (match file_trace with
       | None -> ()
@@ -196,6 +211,14 @@ let deobfuscate_cmd =
               Out_channel.output_string oc (T.to_jsonl tr)));
       let result = guarded.Deobf.Engine.result in
       write_output result.Deobf.Engine.output output;
+      (match verify_outcome with
+      | None -> ()
+      | Some o ->
+          Printf.eprintf "verify: %s%s\n"
+            (Deobf.Verify.verdict_name o.Deobf.Verify.verdict)
+            (match Deobf.Verify.verdict_detail o.Deobf.Verify.verdict with
+            | None -> ""
+            | Some d -> " (" ^ d ^ ")"));
       List.iter
         (fun (site : Deobf.Engine.failure_site) ->
           T.Log.warn (fun () ->
@@ -287,7 +310,23 @@ let deobfuscate_cmd =
       $ flag [ "summary" ]
           "Print a one-screen digest to stderr: scores, pieces \
            recovered/blocked, layers unwrapped, cache hit-rate, per-phase \
-           milliseconds.")
+           milliseconds."
+      $ flag [ "verify" ]
+          "Single-file mode: run the semantic-equivalence gate — execute \
+           original and result in the behaviour sandbox, compare canonical \
+           effect logs, and on divergence bisect the edit journal and roll \
+           the offending rewrites back.  Prints the verdict to stderr.  \
+           (In --batch mode the gate is on by default; see --no-verify.)"
+      $ flag [ "no-verify" ]
+          "Batch mode: disable the semantic-equivalence gate (ablation). \
+           Outputs are then emitted unverified and verdicts are null."
+      $ flag [ "resume" ]
+          "Batch mode: resume an interrupted run.  Reads manifest.jsonl \
+           from the output directory and skips every file whose recorded \
+           clean result matches the current input digest and options and \
+           whose output file still exists; everything else is \
+           (re)processed.  Outputs are byte-identical to an uninterrupted \
+           run.")
 
 (* ---------- score ---------- *)
 
@@ -422,14 +461,23 @@ let keyinfo_cmd =
 (* ---------- report ---------- *)
 
 let report_cmd =
-  let run input output =
+  let run input output verify =
     let src = read_input input in
-    write_output (Deobf.Report.to_json (Deobf.Report.analyze src) ^ "\n") output
+    write_output
+      (Deobf.Report.to_json (Deobf.Report.analyze ~verify src) ^ "\n")
+      output
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Deobfuscate and emit a JSON analysis report (scores, stats, indicators).")
-    Term.(const run $ input_arg $ output_arg)
+    Term.(
+      const run $ input_arg $ output_arg
+      $ Arg.(
+          value & flag
+          & info [ "verify" ]
+              ~doc:
+                "Run the semantic-equivalence gate and include the verdict \
+                 in the report."))
 
 (* ---------- format ---------- *)
 

@@ -44,6 +44,8 @@ type outcome = {
   retries : int;
   regions_total : int;
   regions_recovered : int;
+  verdict : Verify.verdict option;
+  resumed : bool;
 }
 
 type summary = {
@@ -93,6 +95,15 @@ let outcome_to_json o =
       Printf.sprintf "  \"degraded_mode\": %s,"
         (Report.json_string (mode_name o.degraded_mode));
       Printf.sprintf "  \"retries\": %d," o.retries;
+      Printf.sprintf "  \"verdict\": %s,"
+        (match o.verdict with
+        | None -> "null"
+        | Some v -> Report.json_string (Verify.verdict_name v));
+      Printf.sprintf "  \"verdict_detail\": %s,"
+        (match Option.bind o.verdict Verify.verdict_detail with
+        | None -> "null"
+        | Some d -> Report.json_string d);
+      Printf.sprintf "  \"resumed\": %b," o.resumed;
       Printf.sprintf "  \"regions_total\": %d," o.regions_total;
       Printf.sprintf "  \"regions_recovered\": %d," o.regions_recovered;
       Printf.sprintf "  \"failures\": [%s],"
@@ -118,6 +129,231 @@ let summary_to_json s =
       "}";
     ]
 
+(* ---------- crash-safe resume journal ---------- *)
+
+(* [manifest.jsonl]: one JSON object per line, appended under a lock —
+   "started" when a file begins processing, "done" when its outcome is
+   decided.  A later [--resume] run skips files whose "done" entry matches
+   the current input digest and options fingerprint, was clean, and whose
+   output file still exists — an interrupted batch picks up where it died
+   without recomputing (or rewriting) anything already produced, so the
+   output directory ends up byte-identical to an uninterrupted run. *)
+
+let manifest_name = "manifest.jsonl"
+
+type done_entry = {
+  d_digest : string;
+  d_options : string;
+  d_clean : bool;
+  d_changed : bool;
+  d_verdict : string option;
+  d_detail : string option;
+  d_rolled : int;
+  d_mode : string;
+  d_output : string option;
+}
+
+type journal = {
+  j_path : string;
+  j_lock : Mutex.t;
+  j_options : string;  (* fingerprint of this run's options *)
+  j_done : (string, done_entry) Hashtbl.t;  (* basename -> last done entry *)
+}
+
+(* any knob that can change an output byte or a verdict participates *)
+let options_fingerprint ~options ~timeout_s ~max_output_bytes ~verify =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (options, timeout_s, max_output_bytes, verify) []))
+
+(* minimal field extraction for our own single-line manifest entries
+   (flat objects, strings escaped by {!Report.json_escape}); not a general
+   JSON parser, and a malformed line simply fails to match *)
+let index_of hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let scan_string line i =
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec go i =
+    if i >= n then None
+    else
+      match line.[i] with
+      | '"' -> Some (Buffer.contents buf)
+      | '\\' when i + 1 < n -> (
+          match line.[i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+          | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+          | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+          | 'u' when i + 5 < n ->
+              (match int_of_string_opt ("0x" ^ String.sub line (i + 2) 4) with
+              | Some c when c < 0x100 -> Buffer.add_char buf (Char.chr c)
+              | _ -> ());
+              go (i + 6)
+          | c -> Buffer.add_char buf c; go (i + 2))
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go i
+
+let field_start line key =
+  match index_of line ("\"" ^ key ^ "\":") with
+  | None -> None
+  | Some i ->
+      let j = ref (i + String.length key + 3) in
+      let n = String.length line in
+      while !j < n && line.[!j] = ' ' do incr j done;
+      if !j >= n then None else Some !j
+
+let string_field line key =
+  match field_start line key with
+  | Some j when line.[j] = '"' -> scan_string line (j + 1)
+  | _ -> None
+
+let int_field line key =
+  match field_start line key with
+  | None -> None
+  | Some j ->
+      let n = String.length line in
+      let k = ref j in
+      while
+        !k < n && (line.[!k] = '-' || (line.[!k] >= '0' && line.[!k] <= '9'))
+      do
+        incr k
+      done;
+      int_of_string_opt (String.sub line j (!k - j))
+
+let bool_field line key =
+  match field_start line key with
+  | Some j when j + 4 <= String.length line && String.sub line j 4 = "true" ->
+      Some true
+  | Some j when j + 5 <= String.length line && String.sub line j 5 = "false"
+    ->
+      Some false
+  | _ -> None
+
+let journal_load path =
+  let tbl = Hashtbl.create 64 in
+  (match
+     Guard.protect (fun () ->
+         In_channel.with_open_bin path In_channel.input_all)
+   with
+  | Error _ -> ()
+  | Ok text ->
+      List.iter
+        (fun line ->
+          if string_field line "status" = Some "done" then
+            match
+              ( string_field line "file",
+                string_field line "digest",
+                string_field line "options" )
+            with
+            | Some f, Some d, Some o ->
+                (* replace: the last entry for a file wins *)
+                Hashtbl.replace tbl f
+                  {
+                    d_digest = d;
+                    d_options = o;
+                    d_clean =
+                      Option.value ~default:false (bool_field line "clean");
+                    d_changed =
+                      Option.value ~default:false (bool_field line "changed");
+                    d_verdict = string_field line "verdict";
+                    d_detail = string_field line "verdict_detail";
+                    d_rolled =
+                      Option.value ~default:0 (int_field line "rolled_back");
+                    d_mode =
+                      Option.value ~default:"full"
+                        (string_field line "degraded_mode");
+                    d_output = string_field line "output_file";
+                  }
+            | _ -> ())
+        (String.split_on_char '\n' text));
+  tbl
+
+(* direct append, not [write_file]: journaling must not draw chaos probes,
+   so injection stays a pure function of the probe sites the real work hits *)
+let journal_append j line =
+  ignore
+    (Guard.protect (fun () ->
+         Mutex.lock j.j_lock;
+         Fun.protect
+           ~finally:(fun () -> Mutex.unlock j.j_lock)
+           (fun () ->
+             let oc =
+               open_out_gen
+                 [ Open_wronly; Open_append; Open_creat; Open_binary ]
+                 0o644 j.j_path
+             in
+             Fun.protect
+               ~finally:(fun () -> close_out oc)
+               (fun () ->
+                 output_string oc line;
+                 output_char oc '\n'))))
+
+let started_line j ~file ~digest =
+  Printf.sprintf
+    "{\"status\": \"started\", \"file\": %s, \"digest\": %s, \"options\": %s}"
+    (Report.json_string file) (Report.json_string digest)
+    (Report.json_string j.j_options)
+
+let outcome_clean o =
+  o.failures = [] && o.retries = 0 && o.verdict <> Some Verify.Diverged
+
+let done_line j ~digest (o : outcome) =
+  Printf.sprintf
+    "{\"status\": \"done\", \"file\": %s, \"digest\": %s, \"options\": %s, \
+     \"clean\": %b, \"changed\": %b, \"verdict\": %s, \"verdict_detail\": \
+     %s, \"rolled_back\": %d, \"degraded_mode\": %s, \"output_file\": %s}"
+    (Report.json_string (Filename.basename o.file))
+    (Report.json_string digest)
+    (Report.json_string j.j_options)
+    (outcome_clean o) o.changed
+    (match o.verdict with
+    | None -> "null"
+    | Some v -> Report.json_string (Verify.verdict_name v))
+    (match o.verdict with
+    | Some (Verify.Unverifiable reason) -> Report.json_string reason
+    | _ -> "null")
+    (match o.verdict with Some (Verify.Rolled_back n) -> n | _ -> 0)
+    (Report.json_string (mode_name o.degraded_mode))
+    (match o.output_file with
+    | Some p -> Report.json_string p
+    | None -> "null")
+
+let verdict_of_entry (e : done_entry) =
+  match e.d_verdict with
+  | Some "equivalent" -> Some Verify.Equivalent
+  | Some "rolled_back" -> Some (Verify.Rolled_back e.d_rolled)
+  | Some "diverged" -> Some Verify.Diverged
+  | Some "unverifiable" ->
+      Some (Verify.Unverifiable (Option.value ~default:"" e.d_detail))
+  | Some _ | None -> None
+
+let mode_of_name = function
+  | "static" -> Static
+  | "token-only" -> Token_only
+  | "passthrough" -> Passthrough
+  | _ -> Full
+
+let resume_hit journal ~file ~digest =
+  match journal with
+  | None -> None
+  | Some j -> (
+      match Hashtbl.find_opt j.j_done (Filename.basename file) with
+      | Some e
+        when e.d_digest = digest && e.d_options = j.j_options && e.d_clean
+             && (match e.d_output with
+                | Some p -> Sys.file_exists p
+                | None -> true) ->
+          Some e
+      | _ -> None)
+
 (* ---------- per-file isolation ---------- *)
 
 let write_file path content =
@@ -130,7 +366,8 @@ let passthrough_guarded src =
   { Engine.result =
       { Engine.output = src; stats = Recover.new_stats (); iterations = 0;
         changed = false };
-    failures = []; timings = []; regions_total = 0; regions_recovered = 0 }
+    failures = []; timings = []; regions_total = 0; regions_recovered = 0;
+    edit_log = [] }
 
 (* Walk the ladder: run an attempt, and when it degrades for any reason a
    weaker mode could dodge (anything but [Parse_failure] — no rung parses
@@ -169,13 +406,15 @@ let run_ladder ?options ~timeout_s ?max_output_bytes src =
   walk Full 0 []
 
 let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
-    file =
+    ?(verify = false) ?verify_opts ?journal file =
   let started = Guard.now () in
   let finish ?output_file ?(phase_ms = []) ?(degraded_mode = Full)
-      ?(retries = 0) ?(regions = (0, 0)) ~iterations ~changed ~stats failures =
+      ?(retries = 0) ?(regions = (0, 0)) ?(verdict = None) ?(resumed = false)
+      ~iterations ~changed ~stats failures =
     { file; output_file; wall_ms = (Guard.now () -. started) *. 1000.0;
       phase_ms; iterations; changed; failures; stats; degraded_mode; retries;
-      regions_total = fst regions; regions_recovered = snd regions }
+      regions_total = fst regions; regions_recovered = snd regions;
+      verdict; resumed }
   in
   match
     Guard.protect (fun () ->
@@ -186,10 +425,40 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
       finish ~iterations:0 ~changed:false ~stats:(Recover.new_stats ())
         [ { Engine.phase = "read"; failure } ]
   | Ok src -> (
+      let digest = Digest.to_hex (Digest.string src) in
+      match resume_hit journal ~file ~digest with
+      | Some e ->
+          (* journaled clean result with matching input and options, output
+             still on disk: keep it, byte for byte *)
+          T.Metrics.incr (T.Metrics.counter "batch.resume.skipped");
+          finish ?output_file:e.d_output ~degraded_mode:(mode_of_name e.d_mode)
+            ~verdict:(verdict_of_entry e) ~resumed:true ~iterations:0
+            ~changed:e.d_changed ~stats:(Recover.new_stats ()) []
+      | None ->
+      Option.iter
+        (fun j ->
+          journal_append j (started_line j ~file:(Filename.basename file) ~digest))
+        journal;
       (* the guarded engine is total; the outer protect is the backstop for
          anything outside it (e.g. report writing) *)
       let mode, retries, ladder_failures, guarded =
         run_ladder ?options ~timeout_s ?max_output_bytes src
+      in
+      (* the semantic gate verifies (and on divergence rolls back) the rung
+         that produced the output; its re-runs repeat that same rung *)
+      let guarded, verdict =
+        if not verify then (guarded, None)
+        else
+          let base = Option.value options ~default:Engine.default_options in
+          let rerun ~suppress =
+            match mode with
+            | Passthrough -> passthrough_guarded src
+            | m ->
+                Engine.run_guarded ~options:(mode_options base m) ~timeout_s
+                  ?max_output_bytes ~suppress src
+          in
+          let g, o = Verify.gate ?opts:verify_opts ~rerun ~src guarded in
+          (g, Some o.Verify.verdict)
       in
       let result = guarded.Engine.result in
       let output_file, write_failure =
@@ -209,9 +478,11 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
         finish ?output_file ~phase_ms:guarded.Engine.timings
           ~degraded_mode:mode ~retries
           ~regions:(guarded.Engine.regions_total, guarded.Engine.regions_recovered)
+          ~verdict
           ~iterations:result.Engine.iterations ~changed:result.Engine.changed
           ~stats:result.Engine.stats failures
       in
+      Option.iter (fun j -> journal_append j (done_line j ~digest outcome)) journal;
       (match (out_dir, failures) with
       | Some dir, _ :: _ ->
           let report_path =
@@ -223,8 +494,8 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
       | _ -> ());
       outcome)
 
-let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir file
-    =
+let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
+    ?verify ?verify_opts ?journal file =
   (* Scope the chaos stream to the file: injection becomes a pure function
      of (seed, basename, probe order), so a file draws the same faults no
      matter which pool domain ran it or in what order — outputs under
@@ -239,7 +510,8 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir file
     Chaos.probe "pool.task";
     match trace_dir with
     | None ->
-        process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir file
+        process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir
+          ?verify ?verify_opts ?journal file
     | Some dir ->
         (* one event stream per input: the trace is created in (and private
            to) whichever pool domain runs this file, installed as that
@@ -251,7 +523,7 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir file
           T.with_trace trace (fun () ->
               T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
                   process_file_inner ?options ?timeout_s ?max_output_bytes
-                    ?out_dir file))
+                    ?out_dir ?verify ?verify_opts ?journal file))
         in
         let path = Filename.concat dir (Filename.basename file ^ ".trace.jsonl") in
         ignore (Guard.protect (fun () -> write_file path (T.to_jsonl trace)));
@@ -268,7 +540,8 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir file
         iterations = 0; changed = false;
         failures = [ { Engine.phase = "task"; failure } ];
         stats = Recover.new_stats (); degraded_mode = Full; retries = 0;
-        regions_total = 0; regions_recovered = 0 }
+        regions_total = 0; regions_recovered = 0; verdict = None;
+        resumed = false }
 
 (* mkdir -p semantics: creates missing ancestors, accepts an existing
    directory, and fails when any component exists as a non-directory. *)
@@ -287,7 +560,7 @@ let rec ensure_dir dir =
   end
 
 let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
-    ?(jobs = 1) files =
+    ?(jobs = 1) ?(verify = true) ?verify_opts ?(resume = false) files =
   let started = Guard.now () in
   (* the process-global metrics registry becomes a per-run rollup: zeroed
      here, aggregated across every pool domain, snapshotted by metrics_json *)
@@ -304,6 +577,30 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
     | Some site -> Some site
     | None -> ensure_failure trace_dir
   in
+  (* the journal lives next to the outputs; without an output directory
+     there is nothing durable to resume onto *)
+  let journal =
+    match (out_dir, dir_failure) with
+    | Some dir, None ->
+        let path = Filename.concat dir manifest_name in
+        let j_done =
+          if resume then journal_load path
+          else begin
+            (* a fresh run starts a fresh journal *)
+            ignore
+              (Guard.protect (fun () ->
+                   Out_channel.with_open_bin path (fun _ -> ())));
+            Hashtbl.create 1
+          end
+        in
+        Some
+          { j_path = path; j_lock = Mutex.create ();
+            j_options =
+              options_fingerprint ~options ~timeout_s ~max_output_bytes
+                ~verify;
+            j_done }
+    | _ -> None
+  in
   let outcomes =
     match dir_failure with
     | Some site ->
@@ -315,7 +612,8 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
             { file; output_file = None; wall_ms = 0.0; phase_ms = [];
               iterations = 0; changed = false; failures = [ site ];
               stats = Recover.new_stats (); degraded_mode = Full; retries = 0;
-              regions_total = 0; regions_recovered = 0 })
+              regions_total = 0; regions_recovered = 0; verdict = None;
+              resumed = false })
           files
     | None ->
         (* outcomes come back input-ordered regardless of which domain ran
@@ -323,7 +621,7 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
         Pool.map ~jobs
           (fun file ->
             process_file ?options ?timeout_s ?max_output_bytes ?out_dir
-              ?trace_dir file)
+              ?trace_dir ~verify ?verify_opts ?journal file)
           files
   in
   (* clean means clean at full strength: no contained failures and no trip
@@ -346,6 +644,28 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
 
 let sum_stats f outcomes =
   List.fold_left (fun acc o -> acc + f o.stats) 0 outcomes
+
+let diverged_count s =
+  List.length
+    (List.filter (fun o -> o.verdict = Some Verify.Diverged) s.outcomes)
+
+let verdict_counts outcomes =
+  let count name =
+    List.length
+      (List.filter
+         (fun o ->
+           match o.verdict with
+           | Some v -> Verify.verdict_name v = name
+           | None -> false)
+         outcomes)
+  in
+  [
+    ("equivalent", count "equivalent");
+    ("rolled_back", count "rolled_back");
+    ("diverged", count "diverged");
+    ("unverifiable", count "unverifiable");
+    ("off", List.length (List.filter (fun o -> o.verdict = None) outcomes));
+  ]
 
 (* counts of contained failures keyed "phase/kind", sorted *)
 let failure_site_counts outcomes =
@@ -418,6 +738,15 @@ let metrics_json s =
               [ Full; Static; Token_only; Passthrough ]));
       Printf.sprintf "  \"retries_total\": %d,"
         (List.fold_left (fun acc o -> acc + o.retries) 0 s.outcomes);
+      (* the semantic gate's verdict distribution and how much of the run
+         was answered from the resume journal *)
+      Printf.sprintf "  \"verify\": {%s},"
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s: %d" (Report.json_string k) n)
+              (verdict_counts s.outcomes)));
+      Printf.sprintf "  \"resumed\": %d,"
+        (List.length (List.filter (fun o -> o.resumed) s.outcomes));
       Printf.sprintf
         "  \"regions\": {\"total\": %d, \"recovered\": %d},"
         (List.fold_left (fun acc o -> acc + o.regions_total) 0 s.outcomes)
@@ -427,8 +756,8 @@ let metrics_json s =
       "}";
     ]
 
-let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs dir
-    =
+let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs
+    ?verify ?verify_opts ?resume dir =
   let files =
     match Guard.protect (fun () -> Sys.readdir dir) with
     | Error _ -> []
@@ -442,7 +771,7 @@ let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs dir
   in
   let summary =
     run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs
-      files
+      ?verify ?verify_opts ?resume files
   in
   (match out_dir with
   | Some out ->

@@ -36,6 +36,11 @@ type outcome = {
   retries : int;  (** ladder steps taken; 0 means full strength *)
   regions_total : int;  (** {!Engine.guarded} partial-parse region count *)
   regions_recovered : int;
+  verdict : Verify.verdict option;
+      (** semantic-equivalence verdict; [None] when verification was off *)
+  resumed : bool;
+      (** answered from the resume journal — the previous run's output was
+          kept and the pipeline did not run again *)
 }
 
 type summary = {
@@ -48,12 +53,19 @@ type summary = {
   outcomes : outcome list;  (** in processing order *)
 }
 
+type journal
+(** Handle on the [manifest.jsonl] resume journal of one batch run; created
+    internally by {!run_files} when there is an output directory. *)
+
 val process_file :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
   ?trace_dir:string ->
+  ?verify:bool ->
+  ?verify_opts:Verify.opts ->
+  ?journal:journal ->
   string ->
   outcome
 (** Run one file through {!Engine.run_guarded} under its own deadline,
@@ -70,7 +82,15 @@ val process_file :
     recorded as a ["write"] failure site.  With [trace_dir], the file runs
     under an ambient {!Pscommon.Telemetry} trace and the event stream is
     written to [trace_dir/<basename>.trace.jsonl] — one stream per input,
-    even across pool domains. *)
+    even across pool domains.
+
+    With [verify] (default off here, on in {!run_files}), the {!Verify}
+    gate executes original and output in the sandbox after the ladder
+    settles and the outcome carries the verdict; a divergence is rolled
+    back by re-running the same rung with the offending edits suppressed.
+    With [journal], the file is skipped when a matching clean ["done"]
+    entry exists (resume), and ["started"]/["done"] entries are appended
+    as it is processed. *)
 
 val run_files :
   ?options:Engine.options ->
@@ -79,6 +99,9 @@ val run_files :
   ?out_dir:string ->
   ?trace_dir:string ->
   ?jobs:int ->
+  ?verify:bool ->
+  ?verify_opts:Verify.opts ->
+  ?resume:bool ->
   string list ->
   summary
 (** Process the given files, [jobs] at a time (default 1, sequential).
@@ -87,7 +110,15 @@ val run_files :
     carries a structured ["write"] failure instead of the batch crashing.
     The process-global {!Pscommon.Telemetry.Metrics} registry is reset at
     the start of the call, so a snapshot taken afterwards (and the
-    [metrics.json] rollup from {!run_dir}) covers exactly this run. *)
+    [metrics.json] rollup from {!run_dir}) covers exactly this run.
+
+    [verify] (default on) runs the {!Verify} semantic gate on every file.
+    With an [out_dir], the run keeps an append-only [manifest.jsonl]
+    journal there (truncated at the start of a fresh run); [resume]
+    (default off) loads it first and skips every file whose clean ["done"]
+    entry matches the current input digest and options fingerprint and
+    whose output file still exists — a restarted batch converges to the
+    same output bytes without redoing finished work. *)
 
 val run_dir :
   ?options:Engine.options ->
@@ -96,11 +127,18 @@ val run_dir :
   ?out_dir:string ->
   ?trace_dir:string ->
   ?jobs:int ->
+  ?verify:bool ->
+  ?verify_opts:Verify.opts ->
+  ?resume:bool ->
   string ->
   summary
 (** Process every regular file in a directory, in sorted order.  With
     [out_dir], also writes [out_dir/batch_report.json] and the run-level
     observability rollup [out_dir/metrics.json]. *)
+
+val diverged_count : summary -> int
+(** Files whose verdict is {!Verify.Diverged} — outputs kept but flagged
+    untrusted; callers should treat any nonzero count as a failure. *)
 
 val outcome_to_json : outcome -> string
 val summary_to_json : summary -> string

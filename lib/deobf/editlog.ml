@@ -1,0 +1,127 @@
+(** Structured edit journal for the semantic-equivalence gate.
+
+    Every in-place extent edit the pipeline lands — token-phase rewrites,
+    piece recoveries, variable substitutions, layer unwraps, paren
+    simplifications — is recorded as a [(site, kind, before, after)]
+    record, grouped into {e stages}: one stage per successful application
+    of a phase to a concrete input text.  Because the pipeline threads each
+    stage's output into the next stage's input, replaying a {e prefix} of
+    the flattened edit sequence is exact: whole stages reproduce the
+    recorded intermediate texts byte for byte, and a partial stage is a
+    plain {!Pscommon.Patch.apply} of the first [k] normalized edits.  That
+    exactness is what lets {!Verify} bisect the journal to the first
+    behaviour-changing edit. *)
+
+open Pscommon
+
+type edit = {
+  phase : string;  (** producing phase: ["token"], ["recover"], ["simplify"] *)
+  kind : string;  (** finer site label: ["piece"], ["substitute"], ["unwrap"], … *)
+  pass : int;  (** fixpoint pass index; [-1] for the entry token phase *)
+  start : int;
+  stop : int;  (** byte extent in the stage's input text *)
+  before : string;
+  after : string;
+}
+
+type stage = {
+  s_phase : string;
+  s_pass : int;
+  s_edits : edit list;  (** in application order (sorted, nesting resolved) *)
+}
+
+type t = { mutable stages_rev : stage list; mutable total : int }
+
+let create () = { stages_rev = []; total = 0 }
+
+let record_stage t ~phase ~pass ~src pairs =
+  (* record exactly what Patch.apply performs: sorted, nested edits dropped.
+     normalize returns the input records themselves, so kinds correlate by
+     physical identity. *)
+  let applied = Patch.normalize (List.map fst pairs) in
+  let kind_of e =
+    match List.find_opt (fun (e', _) -> e' == e) pairs with
+    | Some (_, k) -> k
+    | None -> "edit"
+  in
+  let edits =
+    List.map
+      (fun (e : Patch.edit) ->
+        let start = e.Patch.extent.Extent.start
+        and stop = e.Patch.extent.Extent.stop in
+        {
+          phase;
+          kind = kind_of e;
+          pass;
+          start;
+          stop;
+          before = String.sub src start (stop - start);
+          after = e.Patch.replacement;
+        })
+      applied
+  in
+  if edits <> [] then begin
+    t.stages_rev <- { s_phase = phase; s_pass = pass; s_edits = edits } :: t.stages_rev;
+    t.total <- t.total + List.length edits
+  end
+
+let stages t = List.rev t.stages_rev
+let total t = t.total
+
+let flatten stages = Array.of_list (List.concat_map (fun s -> s.s_edits) stages)
+
+let to_patch e =
+  Patch.edit { Extent.start = e.start; stop = e.stop } e.after
+
+(* Apply the first [n] edits of the flattened sequence to [src].  Whole
+   stages chain exactly (each stage's input is the previous stage's
+   output); a trailing partial stage applies a prefix of its normalized,
+   non-overlapping edits.  Stages after the cut are dropped entirely. *)
+let replay_prefix ~src stages n =
+  let rec go text remaining = function
+    | [] -> text
+    | st :: rest ->
+        let k = List.length st.s_edits in
+        if remaining <= 0 then text
+        else if remaining >= k then
+          go (Patch.apply text (List.map to_patch st.s_edits)) (remaining - k) rest
+        else
+          Patch.apply text
+            (List.map to_patch (List.filteri (fun i _ -> i < remaining) st.s_edits))
+  in
+  go src n stages
+
+(* ---------- suppression (rollback) ---------- *)
+
+(* Rollback is content-based, not position-based: a re-run of the pipeline
+   recomputes every downstream offset, so the suppressed edit is matched by
+   what it did, not where.  All textually identical edits are suppressed
+   together — conservative (a divergent rewrite is unsafe wherever it
+   lands) and deterministic. *)
+type suppression = { sup_phase : string; sup_before : string; sup_after : string }
+
+let suppress_edit e = { sup_phase = e.phase; sup_before = e.before; sup_after = e.after }
+
+(* pseudo-suppression for the finalization phase (rename + reformat): those
+   rewrites are not extent edits, so divergence attributed to them rolls
+   back the whole phase *)
+let suppress_finalize = { sup_phase = "finalize"; sup_before = ""; sup_after = "" }
+
+let finalize_suppressed sups =
+  List.exists (fun s -> String.equal s.sup_phase "finalize") sups
+
+let suppressed sups ~phase ~before ~after =
+  List.exists
+    (fun s ->
+      String.equal s.sup_phase phase
+      && String.equal s.sup_before before
+      && String.equal s.sup_after after)
+    sups
+
+let describe s =
+  if String.equal s.sup_phase "finalize" then "finalize"
+  else
+    let clip t =
+      if String.length t <= 40 then t else String.sub t 0 37 ^ "..."
+    in
+    Printf.sprintf "%s: %S -> %S" s.sup_phase (clip s.sup_before) (clip s.sup_after)

@@ -1,0 +1,74 @@
+(** Structured edit journal for the semantic-equivalence gate.
+
+    The pipeline records every in-place extent edit it lands, grouped into
+    stages (one per successful phase application).  Stage outputs chain —
+    each stage's input is the previous stage's output — so replaying a
+    prefix of the flattened edit sequence reproduces the recorded
+    intermediate texts exactly; {!Verify} bisects on that. *)
+
+type edit = {
+  phase : string;  (** producing phase: ["token"], ["recover"], ["simplify"] *)
+  kind : string;  (** finer site label: ["piece"], ["substitute"], ["unwrap"], … *)
+  pass : int;  (** fixpoint pass index; [-1] for the entry token phase *)
+  start : int;
+  stop : int;  (** byte extent in the stage's input text *)
+  before : string;
+  after : string;
+}
+
+type stage = {
+  s_phase : string;
+  s_pass : int;
+  s_edits : edit list;  (** in application order (sorted, nesting resolved) *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_stage :
+  t -> phase:string -> pass:int -> src:string ->
+  (Pscommon.Patch.edit * string) list -> unit
+(** Record one applied stage: [(edit, kind)] pairs against stage input
+    [src].  Normalizes exactly as {!Pscommon.Patch.apply} does (sorted,
+    nested edits dropped) so the journal reflects what was actually
+    performed.  Call only after the stage's output was accepted
+    (syntax-validated) — rejected stages must not be journaled. *)
+
+val stages : t -> stage list
+(** Chronological. *)
+
+val total : t -> int
+(** Total recorded edits across all stages. *)
+
+val flatten : stage list -> edit array
+(** Edits in global application order. *)
+
+val replay_prefix : src:string -> stage list -> int -> string
+(** [replay_prefix ~src stages n] applies the first [n] flattened edits to
+    [src]: whole stages reproduce recorded intermediate texts byte for
+    byte; a trailing partial stage applies a prefix of its edits; later
+    stages are dropped.  The result may not parse — callers treat that as
+    a divergent state. *)
+
+(** {2 Suppression (rollback)}
+
+    Rollback re-runs the pipeline with offending edits suppressed by
+    content [(phase, before, after)], not position — a re-run recomputes
+    all downstream offsets, and a divergent rewrite is unsafe wherever the
+    same text recurs. *)
+
+type suppression = { sup_phase : string; sup_before : string; sup_after : string }
+
+val suppress_edit : edit -> suppression
+
+val suppress_finalize : suppression
+(** Pseudo-suppression rolling back the finalization phase (rename +
+    reformat), whose rewrites are not extent edits. *)
+
+val finalize_suppressed : suppression list -> bool
+
+val suppressed : suppression list -> phase:string -> before:string -> after:string -> bool
+
+val describe : suppression -> string
+(** Short human-readable form for logs and telemetry. *)

@@ -103,16 +103,23 @@ let residual_dynamic_iex src =
    parse of their own patched output), Token_phase tokenizes the one time
    its phase needs tokens, and Simplify plus the syntax re-check are skipped
    outright when no stage produced an edit. *)
-let rec deobfuscate_at ~opts ~stats ~cache ~depth src =
+let rec deobfuscate_at ~opts ~stats ~cache ~depth ?log ?(suppress = []) src =
   (* Phase 1: token parsing *)
-  let src1 = if opts.token_phase then Token_phase.run src else src in
-  fixpoint_from ~opts ~stats ~cache ~depth src1
+  let src1 =
+    if opts.token_phase then Token_phase.run ?log ~pass:(-1) ~suppress src
+    else src
+  in
+  fixpoint_from ~opts ~stats ~cache ~depth ?log ~suppress src1
 
-and fixpoint_from ~opts ~stats ~cache ~depth src1 =
+and fixpoint_from ~opts ~stats ~cache ~depth ?log ?(suppress = []) src1 =
   let deobfuscate ~depth payload =
     (* recursive entry used by multi-layer unwrapping; shares the piece
-       cache — unwrapped layers repeat the outer layers' decode pieces *)
-    fst (deobfuscate_at ~opts ~stats ~cache ~depth payload)
+       cache — unwrapped layers repeat the outer layers' decode pieces.
+       Suppressions apply at any depth (a rolled-back rewrite is unsafe
+       wherever its text recurs), but only depth-0 stages are journaled:
+       a nested layer's edits land inside the outer unwrap edit's [after]
+       text, which is the unit the gate bisects. *)
+    fst (deobfuscate_at ~opts ~stats ~cache ~depth ~suppress payload)
   in
   (* [ast] is always the parse of [current]; [simplify_pending] records
      whether the previous pass's Simplify landed edits (its output has not
@@ -143,13 +150,17 @@ and fixpoint_from ~opts ~stats ~cache ~depth src1 =
       let cur1, ast1, recover_changed =
         match
           Recover.run_pass ~opts:opts.recovery ~stats ~cache ~deobfuscate
-            ~depth ~ast current
+            ~depth ?log ~pass:i ~suppress ~ast current
         with
         | Some (patched, patched_ast) -> (patched, patched_ast, true)
         | None -> (current, ast, false)
       in
       let cur2, ast2, token_changed =
-        match if opts.token_phase then Token_phase.run_shared cur1 else None with
+        match
+          if opts.token_phase then
+            Token_phase.run_shared ?log ~pass:i ~suppress cur1
+          else None
+        with
         | Some (patched, patched_ast) -> (patched, patched_ast, true)
         | None -> (cur1, ast1, false)
       in
@@ -159,7 +170,7 @@ and fixpoint_from ~opts ~stats ~cache ~depth src1 =
         finish_pass ~changed:false (current, i + 1)
       else
         let cur3, ast3, simplify_changed =
-          match Simplify.run_shared ~ast:ast2 cur2 with
+          match Simplify.run_shared ?log ~pass:i ~suppress ~ast:ast2 cur2 with
           | Some (patched, patched_ast) -> (patched, patched_ast, true)
           | None -> (cur2, ast2, false)
         in
@@ -224,6 +235,10 @@ type guarded = {
           parsed whole (or [partial] is off) *)
   regions_recovered : int;
       (** parseable regions that ran the pipeline to completion *)
+  edit_log : Editlog.stage list;
+      (** journal of every extent edit the run applied, in stage order;
+          empty for the partial-parse (region) path, whose edits are local
+          to region texts and cannot be replayed against the whole file *)
 }
 
 (* Sum [ms] into the entry for [phase], preserving first-use order — a
@@ -243,12 +258,13 @@ let add_timing timings phase ms =
     overruns, or over-produces degrades to the best text the earlier phases
     produced, and the failure is recorded — the run itself always returns. *)
 let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
-    ?(max_output_bytes = 32 * 1024 * 1024) src =
+    ?(max_output_bytes = 32 * 1024 * 1024) ?(suppress = []) src =
   let module Guard = Pscommon.Guard in
   let module T = Pscommon.Telemetry in
   let deadline = Guard.deadline_after timeout_s in
   let stats = Recover.new_stats () in
   let cache = Recover.Cache.create () in
+  let log = Editlog.create () in
   let run_sid =
     if T.active () then
       T.span_begin "engine.run" ~attrs:[ ("bytes", T.I (String.length src)) ]
@@ -297,7 +313,8 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
       failures = List.rev !failures;
       timings = !timings;
       regions_total = !regions_total;
-      regions_recovered = !regions_recovered }
+      regions_recovered = !regions_recovered;
+      edit_log = Editlog.stages log }
   in
   (* Partial-parse recovery: the whole file failed to parse, so segment it
      into maximal parseable regions at statement-boundary sync points and
@@ -412,7 +429,9 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
           timed "recovery" (fun () ->
               Guard.protect ~deadline ~max_output_bytes
                 ~measure:(fun (s, _) -> String.length s)
-                (fun () -> deobfuscate_at ~opts:options ~stats ~cache ~depth:0 src))
+                (fun () ->
+                  deobfuscate_at ~opts:options ~stats ~cache ~depth:0 ~log
+                    ~suppress src))
         with
         | Ok r -> r
         | Error failure ->
@@ -427,6 +446,13 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
         finish recovered iterations
       end
       else begin
+        (* a finalize pseudo-suppression (semantic gate attributing the
+           divergence to rename/reformat) rolls back the whole phase *)
+        let options =
+          if Editlog.finalize_suppressed suppress then
+            { options with rename = false; reformat = false }
+          else options
+        in
         let renamed =
           if not options.rename then recovered
           else

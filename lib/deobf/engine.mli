@@ -70,12 +70,18 @@ type guarded = {
           and binary); 0 when the input parsed whole or [partial] is off *)
   regions_recovered : int;
       (** parseable regions whose sub-pipeline ran to completion *)
+  edit_log : Editlog.stage list;
+      (** journal of every extent edit the run applied, in stage order —
+          what {!Verify} bisects on divergence.  Empty for the
+          partial-parse (region) path, whose edits are local to region
+          texts and cannot be replayed against the whole file. *)
 }
 
 val run_guarded :
   ?options:options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
+  ?suppress:Editlog.suppression list ->
   string ->
   guarded
 (** Totalised pipeline for hostile input: every phase runs under
@@ -83,7 +89,11 @@ val run_guarded :
     run.  Deeply nested scripts, decode bombs and random bytes each come
     back as a structured {!failure_site} — the call itself always returns,
     degrading phase-by-phase to the best text produced so far (partial
-    recovery is kept on timeout). *)
+    recovery is kept on timeout).
+
+    [suppress] re-runs the pipeline with the matching edits rolled back
+    (content-matched at every depth; {!Editlog.suppress_finalize} disables
+    rename + reformat) — the semantic gate's rollback mechanism. *)
 
 val run_with_scores : ?options:options -> string -> result * int * int
 (** [run_with_scores src] also returns the obfuscation score before and

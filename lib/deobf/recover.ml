@@ -54,11 +54,15 @@ type stats = {
   mutable pieces_attempted : int;
   mutable pieces_blocked : int;
   mutable cache_hits : int;
+  mutable edits_recorded : int;
+      (** extent edits actually applied (post-normalization), summed over
+          passes — the size of the journal the semantic gate bisects *)
 }
 
 let new_stats () =
   { pieces_recovered = 0; variables_substituted = 0; layers_unwrapped = 0;
-    pieces_attempted = 0; pieces_blocked = 0; cache_hits = 0 }
+    pieces_attempted = 0; pieces_blocked = 0; cache_hits = 0;
+    edits_recorded = 0 }
 
 (* Memoizes piece invocation: obfuscators emit the same decode piece
    hundreds of times per script, and the fixpoint loop re-attempts
@@ -87,13 +91,25 @@ type pass_state = {
   cache : Cache.t;  (** shared across passes and layers of one engine run *)
   src : string;
   table : Tracer.t;
-  mutable edits : Patch.edit list;
+  mutable edits : (Patch.edit * string) list;  (** with their kind labels *)
+  suppress : Editlog.suppression list;
+      (** edits rolled back by the semantic gate; matched by content *)
   deobfuscate : depth:int -> string -> string;  (** full engine, for layers *)
   depth : int;
 }
 
-let add_edit st extent replacement =
-  st.edits <- Patch.edit extent replacement :: st.edits
+(* [false] when the gate suppressed this edit on a rollback re-run — the
+   caller then skips its stats/telemetry notes and falls back to whatever
+   it would have done had the edit not been possible *)
+let add_edit st ~kind extent replacement =
+  let keep =
+    st.suppress = []
+    || not
+         (Editlog.suppressed st.suppress ~phase:"recover"
+            ~before:(Extent.text st.src extent) ~after:replacement)
+  in
+  if keep then st.edits <- (Patch.edit extent replacement, kind) :: st.edits;
+  keep
 
 (* one variable usage replaced by its traced literal value *)
 let note_substitute st name =
@@ -434,9 +450,11 @@ let rec recover_in_node st (node : A.t) =
     in
     match recovered with
     | Some rendered ->
-        st.stats.pieces_recovered <- st.stats.pieces_recovered + 1;
-        T.Metrics.incr m_recovered;
-        add_edit st node.A.extent rendered
+        if add_edit st ~kind:"piece" node.A.extent rendered then begin
+          st.stats.pieces_recovered <- st.stats.pieces_recovered + 1;
+          T.Metrics.incr m_recovered
+        end
+        else descend st node
     | None -> descend st node
   end
   else descend st node
@@ -459,8 +477,8 @@ and substitute_variable st node v =
     | Some ((Value.Str _ | Value.Int _ | Value.Float _ | Value.Char _) as value) -> (
         match Value.to_source_opt value with
         | Some rendered ->
-            note_substitute st v.A.var_name;
-            add_edit st node.A.extent rendered
+            if add_edit st ~kind:"substitute" node.A.extent rendered then
+              note_substitute st v.A.var_name
         | None -> ())
     | Some _ | None -> ()
 
@@ -478,9 +496,10 @@ and substitute_in_string st extent v =
                    true
                | _ -> false)
              s ->
-        note_substitute st v.A.var_name;
-        add_edit st extent s
-    | Some (Value.Int n) -> add_edit st extent (string_of_int n)
+        if add_edit st ~kind:"substitute" extent s then
+          note_substitute st v.A.var_name
+    | Some (Value.Int n) ->
+        ignore (add_edit st ~kind:"substitute" extent (string_of_int n))
     | Some _ | None -> ()
 
 (* record/evict symbol-table entries for an assignment statement *)
@@ -536,22 +555,31 @@ let rec process_statement st ~in_guard (stmt : A.t) =
          else None
        with
       | Some payload ->
-          note_unwrap st payload;
           let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
-          add_edit st rhs.A.extent (inline_form recovered)
+          if add_edit st ~kind:"unwrap" rhs.A.extent (inline_form recovered) then
+            note_unwrap st payload
+          else recover_in_node st rhs
       | None -> recover_in_node st rhs);
       trace_assignment st ~in_guard stmt
   | A.Pipeline elems -> (
-      match
-        if st.opts.use_multilayer && st.depth < st.opts.max_depth then
-          multilayer_payload st stmt
-        else None
-      with
-      | Some payload ->
-          note_unwrap st payload;
-          let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
-          add_edit st stmt.A.extent recovered
-      | None ->
+      let unwrapped_whole =
+        match
+          if st.opts.use_multilayer && st.depth < st.opts.max_depth then
+            multilayer_payload st stmt
+          else None
+        with
+        | Some payload ->
+            let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
+            if add_edit st ~kind:"unwrap" stmt.A.extent recovered then begin
+              note_unwrap st payload;
+              true
+            end
+            else false
+        | None -> false
+      in
+      match unwrapped_whole with
+      | true -> ()
+      | false ->
           (* an IEX invocation that is one element of a longer pipe is
              replaced element-wise: iex(<enc>) | out-null *)
           let unwrapped_any = ref false in
@@ -564,10 +592,12 @@ let rec process_statement st ~in_guard (stmt : A.t) =
                 | A.Command cmd -> (
                     match payload_of_command st cmd ~piped_input:None with
                     | Some payload ->
-                        note_unwrap st payload;
                         let recovered = st.deobfuscate ~depth:(st.depth + 1) payload in
-                        add_edit st elem.A.extent (inline_form recovered);
-                        unwrapped_any := true
+                        if add_edit st ~kind:"unwrap" elem.A.extent (inline_form recovered)
+                        then begin
+                          note_unwrap st payload;
+                          unwrapped_any := true
+                        end
                     | None -> ())
                 | _ -> ())
               elems;
@@ -630,9 +660,10 @@ and process_block st ~in_guard (block : A.t) =
     Returns [None] when the pass changed nothing (no edits, or edits that
     would break the script) and [Some (patched, ast)] — the new text with
     its validated parse, ready to thread into the next stage — otherwise. *)
-let run_pass ~opts ~stats ~cache ~deobfuscate ~depth ~ast src =
+let run_pass ~opts ~stats ~cache ~deobfuscate ~depth ?log ?(pass = 0)
+    ?(suppress = []) ~ast src =
   let st =
-    { opts; stats; cache; src; table = Tracer.create (); edits = [];
+    { opts; stats; cache; src; table = Tracer.create (); edits = []; suppress;
       deobfuscate; depth }
   in
   (match ast.A.node with
@@ -641,10 +672,19 @@ let run_pass ~opts ~stats ~cache ~deobfuscate ~depth ~ast src =
   | _ -> process_statement st ~in_guard:false ast);
   if st.edits = [] then None
   else
-    match Patch.apply src st.edits with
+    let pairs = List.rev st.edits in
+    match Patch.apply src (List.map fst pairs) with
     | patched when not (String.equal patched src) -> (
         match Psparse.Parser.parse patched with
-        | Ok patched_ast -> Some (patched, patched_ast)
+        | Ok patched_ast ->
+            (* journal only what was applied and validated *)
+            stats.edits_recorded <-
+              stats.edits_recorded
+              + List.length (Patch.normalize (List.map fst pairs));
+            Option.iter
+              (fun l -> Editlog.record_stage l ~phase:"recover" ~pass ~src pairs)
+              log;
+            Some (patched, patched_ast)
         | Error _ -> None)
     | _ -> None
     | exception Invalid_argument _ -> None

@@ -30,6 +30,9 @@ type stats = {
   mutable cache_hits : int;
       (** piece invocations answered from the memo cache (counted inside
           [pieces_attempted]) *)
+  mutable edits_recorded : int;
+      (** extent edits actually applied (post-normalization), summed over
+          passes — the size of the journal the semantic gate bisects *)
 }
 
 val new_stats : unit -> stats
@@ -54,6 +57,9 @@ val run_pass :
   cache:Cache.t ->
   deobfuscate:(depth:int -> string -> string) ->
   depth:int ->
+  ?log:Editlog.t ->
+  ?pass:int ->
+  ?suppress:Editlog.suppression list ->
   ast:Psast.Ast.t ->
   string ->
   (string * Psast.Ast.t) option
@@ -62,4 +68,6 @@ val run_pass :
     recursively on unwrapped layer payloads.  [None] when the pass changed
     nothing or its edits would break the script; [Some (patched, ast')]
     carries the validated parse of the patched text so the caller never
-    re-parses. *)
+    re-parses.  [log] journals the applied edits (phase ["recover"], pass
+    [pass]) once the patch is validated; [suppress] skips edits the
+    semantic gate rolled back, matched by content. *)

@@ -28,15 +28,24 @@ type t = {
   ips : string list;
   ps1_files : string list;
   powershell_commands : string list;
+  verify : Verify.outcome option;
+      (** semantic-equivalence verdict, when the gate ran *)
 }
 
-let analyze ?options src =
+let analyze ?options ?(verify = false) src =
   let started = Pscommon.Guard.now () in
   (* guarded pipeline with no deadline: same phases and timings as batch,
      but a single file is allowed to run to completion *)
-  let guarded =
+  let run ~suppress =
     Engine.run_guarded ?options ~timeout_s:infinity ~max_output_bytes:max_int
-      src
+      ~suppress src
+  in
+  let guarded = run ~suppress:[] in
+  let guarded, verify_outcome =
+    if verify then
+      let g, o = Verify.gate ~rerun:run ~src guarded in
+      (g, Some o)
+    else (guarded, None)
   in
   let result = guarded.Engine.result in
   let before = Score.detect src in
@@ -65,6 +74,7 @@ let analyze ?options src =
     ips = info.Keyinfo.ips;
     ps1_files = info.Keyinfo.ps1_files;
     powershell_commands = info.Keyinfo.powershell_commands;
+    verify = verify_outcome;
   }
 
 let json_escape s =
@@ -117,6 +127,19 @@ let to_json t =
       Printf.sprintf "  \"ips\": %s," (json_list t.ips);
       Printf.sprintf "  \"ps1_files\": %s," (json_list t.ps1_files);
       Printf.sprintf "  \"powershell_commands\": %s," (json_list t.powershell_commands);
+      Printf.sprintf "  \"verify\": %s,"
+        (match t.verify with
+        | None -> "null"
+        | Some v ->
+            Printf.sprintf
+              "{\"verdict\": %s, \"detail\": %s, \"rolled_back\": %d, \
+               \"sandbox_runs\": %d, \"verify_ms\": %.1f}"
+              (json_string (Verify.verdict_name v.Verify.verdict))
+              (match Verify.verdict_detail v.Verify.verdict with
+              | None -> "null"
+              | Some d -> json_string d)
+              (List.length v.Verify.suppressed)
+              v.Verify.sandbox_runs v.Verify.verify_ms);
       Printf.sprintf "  \"output\": %s" (json_string t.output);
       "}";
     ]

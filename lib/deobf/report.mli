@@ -35,20 +35,26 @@ type t = {
   ips : string list;
   ps1_files : string list;
   powershell_commands : string list;
+  verify : Verify.outcome option;
+      (** semantic-equivalence verdict when [analyze ~verify:true]; the
+          report's [output] is the verified (possibly rolled-back) text *)
 }
 
-val analyze : ?options:Engine.options -> string -> t
+val analyze : ?options:Engine.options -> ?verify:bool -> string -> t
 (** Analyze one script.  Runs the guarded pipeline with no deadline, so
     the report carries the same phase timings and contained-failure
     accounting as a batch run while a single file is still allowed to run
-    to completion.  Never raises. *)
+    to completion.  With [verify] (default off), the {!Verify} gate
+    executes original and output in the sandbox, rolls back divergent
+    rewrites, and the report carries the verdict.  Never raises. *)
 
 val to_json : t -> string
 (** Render the report as a JSON object.  Field order is stable: the
     pre-existing fields come first (the CLI contract pins the opening
     lines), the observability fields ([cache_hits], [iterations],
     [wall_ms], [phase_ms], [metrics], [regions_total],
-    [regions_recovered]) precede ["output"]. *)
+    [regions_recovered]) and the ["verify"] object (or [null]) precede
+    ["output"]. *)
 
 val json_escape : string -> string
 val json_string : string -> string

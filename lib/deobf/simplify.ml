@@ -19,8 +19,16 @@ let literal_inside (paren_body : A.t) =
     [None] when nothing reduces or the reduction would break the script;
     [Some (patched, ast')] carries the validated parse of the result so a
     fixpoint driver can thread it onward without re-parsing. *)
-let run_shared ~ast src =
+let run_shared ?log ?(pass = 0) ?(suppress = []) ~ast src =
   let edits = ref [] in
+  let add node replacement =
+    if
+      suppress = []
+      || not
+           (Editlog.suppressed suppress ~phase:"simplify"
+              ~before:(A.text src node) ~after:replacement)
+    then edits := Pscommon.Patch.edit node.A.extent replacement :: !edits
+  in
   ignore
     (A.fold_post_order_with_ancestors
        (fun ancestors () node ->
@@ -44,10 +52,7 @@ let run_shared ~ast src =
                    | _, ({ A.node = A.Command _; _ } :: _) -> true
                    | _ -> false
                  in
-                 if not parent_needs_parens then
-                   edits :=
-                     Pscommon.Patch.edit node.A.extent (A.text src inner)
-                     :: !edits
+                 if not parent_needs_parens then add node (A.text src inner)
              | None -> ())
          | _ -> ())
        () ast);
@@ -56,7 +61,13 @@ let run_shared ~ast src =
     match Pscommon.Patch.apply src !edits with
     | patched when not (String.equal patched src) -> (
         match Psparse.Parser.parse patched with
-        | Ok patched_ast -> Some (patched, patched_ast)
+        | Ok patched_ast ->
+            Option.iter
+              (fun l ->
+                Editlog.record_stage l ~phase:"simplify" ~pass ~src
+                  (List.map (fun e -> (e, "paren")) !edits))
+              log;
+            Some (patched, patched_ast)
         | Error _ -> None)
     | _ -> None
     | exception Invalid_argument _ -> None

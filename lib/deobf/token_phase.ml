@@ -71,31 +71,35 @@ let token_edit t =
   match t.T.kind with
   | T.Command -> (
       match recover_command t with
-      | Some replacement -> Some (Patch.edit t.T.extent replacement)
+      | Some replacement -> Some (Patch.edit t.T.extent replacement, "command")
       | None -> None)
   | T.Keyword ->
       (* keywords canonicalise to lowercase; content is already lowered *)
-      if t.T.content <> t.T.text then Some (Patch.edit t.T.extent t.T.content)
+      if t.T.content <> t.T.text then
+        Some (Patch.edit t.T.extent t.T.content, "keyword")
       else None
   | T.Command_parameter ->
       let lowered = Strcase.lower t.T.text in
-      if lowered <> t.T.text then Some (Patch.edit t.T.extent lowered) else None
+      if lowered <> t.T.text then
+        Some (Patch.edit t.T.extent lowered, "parameter")
+      else None
   | T.Operator ->
       (* dash-word operators: content is the lowercase spelling *)
       if
         String.length t.T.content > 1
         && t.T.content.[0] = '-'
         && t.T.content <> t.T.text
-      then Some (Patch.edit t.T.extent t.T.content)
+      then Some (Patch.edit t.T.extent t.T.content, "operator")
       else None
   | T.Member ->
       let canonical = canonical_member t.T.content in
-      if canonical <> t.T.text then Some (Patch.edit t.T.extent canonical)
+      if canonical <> t.T.text then
+        Some (Patch.edit t.T.extent canonical, "member")
       else None
   | T.Type_name ->
       let canonical = canonical_type t.T.content in
       if "[" ^ canonical ^ "]" <> t.T.text then
-        Some (Patch.edit t.T.extent ("[" ^ canonical ^ "]"))
+        Some (Patch.edit t.T.extent ("[" ^ canonical ^ "]"), "type")
       else None
   | T.Variable ->
       (* variable names are case-insensitive; lowercase unifies them.
@@ -104,9 +108,9 @@ let token_edit t =
         String.length t.T.text > 1
         && t.T.text.[1] <> '{'
         && Strcase.lower t.T.text <> t.T.text
-      then Some (Patch.edit t.T.extent (Strcase.lower t.T.text))
+      then Some (Patch.edit t.T.extent (Strcase.lower t.T.text), "variable")
       else None
-  | T.Line_continuation -> Some (Patch.edit t.T.extent " ")
+  | T.Line_continuation -> Some (Patch.edit t.T.extent " ", "continuation")
   | T.Command_argument ->
       (* barewords also carry ticks; well-known type-name arguments (e.g.
          [New-Object Net.WebClient]) additionally canonicalise their case *)
@@ -115,7 +119,8 @@ let token_edit t =
         | Some canonical -> canonical
         | None -> t.T.content
       in
-      if recovered <> t.T.text then Some (Patch.edit t.T.extent recovered)
+      if recovered <> t.T.text then
+        Some (Patch.edit t.T.extent recovered, "argument")
       else None
   | T.Comment | T.Group_start | T.Group_end
   | T.Index_start | T.Index_end | T.New_line | T.Number
@@ -129,21 +134,39 @@ let token_edit t =
     parse (paper §IV-A: skip a step that introduces syntax errors).
     [Some (patched, ast)] carries the validated parse of the result so the
     caller can thread it into the next stage without re-parsing. *)
-let run_shared src =
+let run_shared ?log ?(pass = 0) ?(suppress = []) src =
   match Pslex.Lexer.tokenize src with
   | Error _ -> None
   | Ok toks -> (
-      let edits = List.filter_map token_edit toks in
+      let keep (e, _kind) =
+        suppress = []
+        ||
+        let start = e.Patch.extent.Extent.start
+        and stop = e.Patch.extent.Extent.stop in
+        not
+          (Editlog.suppressed suppress ~phase:"token"
+             ~before:(String.sub src start (stop - start))
+             ~after:e.Patch.replacement)
+      in
+      let pairs = List.filter keep (List.filter_map token_edit toks) in
+      let edits = List.map fst pairs in
       if edits = [] then None
       else
         match Patch.apply src edits with
         | patched when not (String.equal patched src) -> (
             match Psparse.Parser.parse patched with
-            | Ok ast -> Some (patched, ast)
+            | Ok ast ->
+                Option.iter
+                  (fun l -> Editlog.record_stage l ~phase:"token" ~pass ~src pairs)
+                  log;
+                Some (patched, ast)
             | Error _ -> None)
         | _ -> None
         | exception Invalid_argument _ -> None)
 
 (** Run the token phase.  The result is checked for syntactic validity; on
     any breakage the input is returned unchanged. *)
-let run src = match run_shared src with Some (patched, _) -> patched | None -> src
+let run ?log ?pass ?suppress src =
+  match run_shared ?log ?pass ?suppress src with
+  | Some (patched, _) -> patched
+  | None -> src

@@ -2,11 +2,17 @@
     token attributes — ticking, aliases, random case, line continuations —
     replaced strictly in place. *)
 
-val run : string -> string
+val run :
+  ?log:Editlog.t -> ?pass:int -> ?suppress:Editlog.suppression list ->
+  string -> string
 (** Returns the input unchanged when it does not lex, or when the patched
-    result would not parse (paper §IV-A). *)
+    result would not parse (paper §IV-A).  [log] journals every applied
+    edit (phase ["token"]) once the result is validated; [suppress] skips
+    edits rolled back by the semantic gate. *)
 
-val run_shared : string -> (string * Psast.Ast.t) option
+val run_shared :
+  ?log:Editlog.t -> ?pass:int -> ?suppress:Editlog.suppression list ->
+  string -> (string * Psast.Ast.t) option
 (** Like {!run}, but distinguishes "changed nothing" ([None]) and returns
     the validated parse of the changed result, so a fixpoint driver can
     skip its own re-parse and re-check. *)

@@ -1,0 +1,160 @@
+(** Semantic-equivalence gate: differential effect-log verification with
+    edit-log bisection rollback.  See the interface for the contract. *)
+
+module Guard = Pscommon.Guard
+module Chaos = Pscommon.Chaos
+module T = Pscommon.Telemetry
+
+type verdict =
+  | Equivalent
+  | Rolled_back of int
+  | Diverged
+  | Unverifiable of string
+
+let verdict_name = function
+  | Equivalent -> "equivalent"
+  | Rolled_back _ -> "rolled_back"
+  | Diverged -> "diverged"
+  | Unverifiable _ -> "unverifiable"
+
+let verdict_detail = function
+  | Equivalent | Diverged -> None
+  | Rolled_back n -> Some (Printf.sprintf "%d edit(s) rolled back" n)
+  | Unverifiable reason -> Some reason
+
+type opts = { max_steps : int; timeout_s : float; max_rounds : int }
+
+let default_opts = { max_steps = 400_000; timeout_s = 5.0; max_rounds = 4 }
+
+type outcome = {
+  verdict : verdict;
+  sandbox_runs : int;
+  suppressed : Editlog.suppression list;
+  verify_ms : float;
+}
+
+let run_log ~opts ~runs text =
+  incr runs;
+  Sandbox.run_for_verify ~max_steps:opts.max_steps ~timeout_s:opts.timeout_s
+    text
+
+(* The chaos probe sits inside the comparison itself, so an injected fault
+   surfaces as a (spurious) divergence and drives the rollback machinery —
+   never an escaped exception.  "verify.diff" is the site name in the
+   --chaos grammar. *)
+let logs_equal a b =
+  match
+    Chaos.probe "verify.diff";
+    List.equal String.equal a b
+  with
+  | equal -> equal
+  | exception _ -> false
+
+(* Prefix 0 is the original text itself — equivalent by definition and
+   never re-evaluated, so an injected diff fault cannot flip the bisection
+   anchor.  A prefix whose sandbox run is contained, or that no longer
+   parses, counts as divergent. *)
+let prefix_equivalent ~opts ~runs ~orig_log ~src stages n =
+  match Editlog.replay_prefix ~src stages n with
+  | text -> (
+      match run_log ~opts ~runs text with
+      | Error _ -> false
+      | Ok log -> logs_equal orig_log log)
+  | exception _ -> false
+
+(* Find one offending rewrite to suppress: binary-search the flattened
+   journal for the first edit whose prefix diverges (invariant: lo
+   equivalent, hi divergent).  When every journaled edit checks out — or
+   there is nothing journaled at all — the remaining rewrite is
+   finalization (rename + reformat), which is not an extent edit and gets
+   the pseudo-suppression. *)
+let culprit ~opts ~runs ~orig_log ~src (guarded : Engine.guarded) =
+  let stages = guarded.Engine.edit_log in
+  let flat = Editlog.flatten stages in
+  let total = Array.length flat in
+  if total = 0 || prefix_equivalent ~opts ~runs ~orig_log ~src stages total
+  then Editlog.suppress_finalize
+  else begin
+    let lo = ref 0 and hi = ref total in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if prefix_equivalent ~opts ~runs ~orig_log ~src stages mid then lo := mid
+      else hi := mid
+    done;
+    Editlog.suppress_edit flat.(!hi - 1)
+  end
+
+let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
+  T.span "verify.gate" @@ fun () ->
+  let started = Guard.now () in
+  let runs = ref 0 in
+  let finish guarded verdict suppressed =
+    let verify_ms = (Guard.now () -. started) *. 1000.0 in
+    T.Metrics.incr (T.Metrics.counter ("verify." ^ verdict_name verdict));
+    T.Metrics.incr ~by:!runs (T.Metrics.counter "verify.sandbox_runs");
+    T.Metrics.observe (T.Metrics.histogram "verify.ms") verify_ms;
+    if T.active () then
+      T.event "verify.verdict"
+        ~attrs:
+          [ ("verdict", T.S (verdict_name verdict));
+            ("sandbox_runs", T.I !runs);
+            ("rolled_back", T.I (List.length suppressed)) ];
+    (guarded, { verdict; sandbox_runs = !runs; suppressed; verify_ms })
+  in
+  if String.equal guarded.Engine.result.Engine.output src then
+    (* unchanged output is trivially equivalent; skip the sandbox *)
+    finish guarded Equivalent []
+  else
+    match Psparse.Parser.parse src with
+    | Error _ ->
+        (* covers the partial-parse (region) path too, whose edits are not
+           journaled and could not be bisected *)
+        finish guarded (Unverifiable "original does not parse") []
+    | Ok _ -> (
+        match run_log ~opts ~runs src with
+        | Error reason ->
+            finish guarded (Unverifiable ("original: " ^ reason)) []
+        | Ok orig_log ->
+            let rec round guarded suppressed rounds_left =
+              let diverged () =
+                if rounds_left = 0 then finish guarded Diverged suppressed
+                else
+                  let sup = culprit ~opts ~runs ~orig_log ~src guarded in
+                  if List.mem sup suppressed then
+                    (* the suppression did not remove the divergence (or
+                       chaos keeps forcing one): stop rather than loop *)
+                    finish guarded Diverged suppressed
+                  else begin
+                    if T.active () then
+                      T.event "verify.rollback"
+                        ~attrs:[ ("edit", T.S (Editlog.describe sup)) ];
+                    let suppressed = sup :: suppressed in
+                    round (rerun ~suppress:suppressed) suppressed
+                      (rounds_left - 1)
+                  end
+              in
+              let equal_now =
+                (* an output equal to the input (everything rolled back) is
+                   trivially equivalent — decided without the sandbox or
+                   the (possibly fault-injected) differ *)
+                String.equal guarded.Engine.result.Engine.output src
+                ||
+                match
+                  run_log ~opts ~runs guarded.Engine.result.Engine.output
+                with
+                | Ok out_log -> logs_equal orig_log out_log
+                | Error _ -> false
+              in
+              if equal_now then
+                if suppressed = [] then finish guarded Equivalent []
+                else
+                  finish guarded (Rolled_back (List.length suppressed)) suppressed
+              else diverged ()
+            in
+            round guarded [] opts.max_rounds)
+
+let run_guarded ?options ?timeout_s ?max_output_bytes ?opts src =
+  let rerun ~suppress =
+    Engine.run_guarded ?options ?timeout_s ?max_output_bytes ~suppress src
+  in
+  gate ?opts ~rerun ~src (rerun ~suppress:[])

@@ -36,8 +36,9 @@ let apply_resolved src edits =
   Buffer.add_substring buf src pos (String.length src - pos);
   Buffer.contents buf
 
-let apply src edits =
-  apply_resolved src (resolve_nesting ~allow_nested:true (sort_edits edits))
+let normalize edits = resolve_nesting ~allow_nested:true (sort_edits edits)
+
+let apply src edits = apply_resolved src (normalize edits)
 
 let apply_exn_on_nested src edits =
   apply_resolved src (resolve_nesting ~allow_nested:false (sort_edits edits))

@@ -9,6 +9,13 @@ type edit = { extent : Extent.t; replacement : string }
 
 val edit : Extent.t -> string -> edit
 
+val normalize : edit list -> edit list
+(** The edits {!apply} would actually perform, in application order: sorted
+    by start offset, with edits nested inside an earlier (outer) edit
+    dropped.  The returned records are physically the input records, so
+    callers can correlate auxiliary data by identity.
+    @raise Invalid_argument on partially overlapping edits. *)
+
 val apply : string -> edit list -> string
 (** [apply src edits] replaces every extent with its replacement.  Edits may
     be given in any order; they are sorted by start offset.  Overlapping

@@ -76,6 +76,11 @@ type t = {
   mutable steps : int;
   mutable invoke_depth : int;
   mutable events : event list;  (** reverse order *)
+  mutable command_log : string list;
+      (** commands the interpreter could not resolve, with stringified args
+          (reverse order).  [Sandbox] only: recovery-mode piece execution
+          must stay effect-free so memoized piece results never carry (or
+          replay) observations — see {!log_command}. *)
   mutable output_sink : Psvalue.Value.t list;  (** Write-Host capture, reverse *)
   mutable downloads_fail : bool;
       (** wild samples' C2 servers are dead: when set, network fetches
@@ -150,6 +155,7 @@ let create ?(mode = Recovery) ?(limits = default_limits) () =
     steps = 0;
     invoke_depth = 0;
     events = [];
+    command_log = [];
     output_sink = [];
     downloads_fail = false;
     iex_hook = None;
@@ -185,6 +191,22 @@ let record env ev =
   | Recovery -> raise (Blocked (event_to_string ev))
 
 let events env = List.rev env.events
+
+(* Sandbox-only by construction: in Recovery mode unknown commands fail the
+   piece instead, so a cached piece result can never hold a command
+   observation that a cache hit would fail to (or doubly) replay. *)
+let log_command env name args =
+  match env.mode with
+  | Sandbox ->
+      let line =
+        match args with
+        | [] -> name
+        | args -> name ^ " " ^ String.concat " " args
+      in
+      env.command_log <- line :: env.command_log
+  | Recovery -> ()
+
+let commands env = List.rev env.command_log
 
 (* ---------- variables ---------- *)
 
@@ -271,6 +293,30 @@ let find_function env name = Hashtbl.find_opt env.functions (Strcase.lower name)
 
 let sink env v = env.output_sink <- v :: env.output_sink
 let sunk_output env = List.rev env.output_sink
+
+(* ---------- final bindings (verification) ---------- *)
+
+(* Global bindings the script itself established, sorted by name.  Automatic
+   variables are skipped unless the script overwrote them — the comparison
+   baseline of an empty session is noise, a changed preference variable is a
+   behaviour. *)
+let global_bindings env =
+  match List.rev env.scopes with
+  | [] -> []
+  | global :: _ ->
+      Hashtbl.fold
+        (fun name value acc ->
+          if name = "_" || name = "input" then
+            (* pipeline cursors ($_, $input): interpreter plumbing whose
+               residue depends on whether a pipeline was folded away, not
+               script state *)
+            acc
+          else
+            match List.assoc_opt name automatic_variables with
+            | Some seeded when seeded = value -> acc
+            | Some _ | None -> (name, value) :: acc)
+        global.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ---------- binding fingerprints (recovery memoization) ---------- *)
 

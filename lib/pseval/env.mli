@@ -54,6 +54,9 @@ type t = {
   mutable steps : int;
   mutable invoke_depth : int;
   mutable events : event list;
+  mutable command_log : string list;
+      (** unresolved commands with stringified args, reverse order;
+          [Sandbox] mode only (see {!log_command}) *)
   mutable output_sink : Psvalue.Value.t list;  (** Write-Host capture *)
   mutable downloads_fail : bool;
       (** dead-C2 simulation: network fetches record their event, then
@@ -88,6 +91,19 @@ val record : t -> event -> unit
 
 val events : t -> event list
 (** Events in occurrence order. *)
+
+val log_command : t -> string -> string list -> unit
+(** Note an unresolved command invocation ([name], stringified args) for the
+    effect log.  No-op in [Recovery] mode by design: piece execution must
+    stay observation-free so memoized piece results never carry effects a
+    cache hit would drop or replay. *)
+
+val commands : t -> string list
+(** Logged command lines in invocation order. *)
+
+val global_bindings : t -> (string * Psvalue.Value.t) list
+(** Global-scope bindings the script established, sorted by name; automatic
+    variables appear only if the script overwrote them. *)
 
 val get_var : t -> string -> Psvalue.Value.t option
 (** Scope-chain lookup; [$env:*] reads the simulated environment;

@@ -1068,6 +1068,11 @@ and run_builtin ctx ~lname ~original_name ~elements ~input ~literal =
       (match env.Env.mode with
       | Env.Recovery -> eval_fail "unknown command '%s'" original_name
       | Env.Sandbox ->
+          (* unresolved commands are otherwise invisible to the sandbox;
+             the effect log needs them so a rewrite that drops or alters
+             one shows up as a behavioural divergence *)
+          Env.log_command env (Strcase.lower original_name)
+            (List.map Value.to_string (positional ()));
           if Strcase.ends_with ~suffix:".exe" lname then
             Env.record env (Env.Process_start original_name));
       []

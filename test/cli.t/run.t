@@ -71,3 +71,24 @@ JSON analysis report:
     "score_after": 0,
     "techniques_before": ["alias", "concatenate"],
     "techniques_after": [],
+
+Semantic verification executes original and output in the sandbox and
+prints the verdict on stderr:
+
+  $ echo "iex ('write'+'-host hi')" | invoke_deobfuscation deobfuscate --verify -
+  Write-Host hi
+  verify: equivalent
+
+A loop-carried fold that would change behaviour is caught, bisected and
+rolled back — the output returns to the original text:
+
+  $ printf '$x = %s\nforeach ($i in 1..3) { $x = $x + %s }\nWrite-Output $x\n' "'a'" "'b'" | invoke_deobfuscation deobfuscate --verify -
+  $x = 'a'
+  foreach ($i in 1..3) { $x = $x + 'b' }
+  Write-Output $x
+  verify: rolled_back (2 edit(s) rolled back)
+
+The report carries the verdict as JSON:
+
+  $ echo "iex ('write-host '+'hi')" | invoke_deobfuscation report --verify - | grep -c '"verify": {"verdict": "equivalent"'
+  1

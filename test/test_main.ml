@@ -16,6 +16,7 @@ let () =
       ("ops", Test_ops.suite);
       ("obfuscator", Test_obfuscator.suite);
       ("deobf", Test_deobf.suite);
+      ("verify", Test_verify.suite);
       ("baselines", Test_baselines.suite);
       ("corpus", Test_corpus.suite);
       ("experiments", Test_experiments.suite);

@@ -455,6 +455,68 @@ let test_clean_means_full_strength () =
       check_i "only the untouched file counts as clean" 1 s.Deobf.Batch.clean;
       check_i "the laddered file counts as degraded" 1 s.Deobf.Batch.degraded)
 
+(* --- verify.diff chaos: faults inside the effect-log comparison --- *)
+
+(* a forced comparison fault reads as a (spurious) divergence: the gate
+   must drive bounded rollback to the input — never crash, never report
+   equivalent *)
+let test_chaos_verify_diff_forces_rollback () =
+  with_chaos (cfg 9 ~site_rates:[ ("verify.diff", 1.0) ]) (fun () ->
+      let src = "$a = ('te'+'st'); Write-Output $a" in
+      (* forced faults make every rewrite look divergent, so reaching the
+         all-rolled-back fixpoint needs one round per journaled rewrite —
+         give the gate headroom beyond the production default *)
+      let opts = { Deobf.Verify.default_opts with Deobf.Verify.max_rounds = 16 } in
+      let g, o = Deobf.Verify.run_guarded ~opts src in
+      (match o.Deobf.Verify.verdict with
+      | Deobf.Verify.Rolled_back _ -> ()
+      | v ->
+          Alcotest.failf "expected rolled_back under forced diff faults, got %s"
+            (Deobf.Verify.verdict_name v));
+      (* every rewrite looks divergent, so the safe fixpoint is the input *)
+      check_s "fully rolled back to input" src g.Deobf.Engine.result.Deobf.Engine.output)
+
+(* intermittent comparison faults: any verdict is acceptable except a
+   crash, and the output must always parse when the input does *)
+let test_chaos_verify_diff_contained () =
+  for seed = 1 to 6 do
+    with_chaos (cfg seed ~site_rates:[ ("verify.diff", 0.4) ]) (fun () ->
+        let src = "$x = 'a'\nforeach ($i in 1..3) { $x = $x + 'b' }\nWrite-Output $x" in
+        let g, _ = Deobf.Verify.run_guarded src in
+        check_b
+          (Printf.sprintf "seed %d output parses" seed)
+          true
+          (match Psparse.Parser.parse g.Deobf.Engine.result.Deobf.Engine.output with
+          | Ok _ -> true
+          | Error _ -> false))
+  done
+
+(* the batch gate under verify.diff chaos: verdicts degrade, outputs and
+   reports are still produced for every file *)
+let test_chaos_verify_batch_contained () =
+  with_temp_dir (fun dir ->
+      let files =
+        List.map
+          (fun (name, body) ->
+            let p = Filename.concat dir name in
+            write_file p body;
+            p)
+          [ ("a.ps1", "$a = ('o'+'ne'); Write-Output $a\n");
+            ("b.ps1", "Write-Output ('t'+'wo')\n") ]
+      in
+      let out_dir = Filename.concat dir "out" in
+      with_chaos (cfg 13 ~site_rates:[ ("verify.diff", 1.0) ]) (fun () ->
+          let s = Deobf.Batch.run_files ~timeout_s:20.0 ~out_dir ~verify:true files in
+          check_i "all files processed" 2 s.Deobf.Batch.total;
+          List.iter
+            (fun (o : Deobf.Batch.outcome) ->
+              check_b "outcome carries a verdict" true (o.Deobf.Batch.verdict <> None);
+              check_b "output written" true
+                (match o.Deobf.Batch.output_file with
+                | Some f -> Sys.file_exists f
+                | None -> false))
+            s.Deobf.Batch.outcomes))
+
 let suite =
   [
     Alcotest.test_case "segment: valid file is one region" `Quick
@@ -496,4 +558,10 @@ let suite =
       test_ladder_parse_failure_no_retry;
     Alcotest.test_case "clean means full strength" `Quick
       test_clean_means_full_strength;
+    Alcotest.test_case "chaos verify.diff forces rollback" `Quick
+      test_chaos_verify_diff_forces_rollback;
+    Alcotest.test_case "chaos verify.diff contained" `Quick
+      test_chaos_verify_diff_contained;
+    Alcotest.test_case "chaos verify.diff batch contained" `Quick
+      test_chaos_verify_batch_contained;
   ]

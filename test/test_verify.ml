@@ -1,0 +1,418 @@
+(* Tests for the semantic-equivalence gate: canonical effect logs, the
+   edit journal and its prefix replay, differential verification with
+   bisection rollback, the crash-safe batch resume journal, and the
+   cache/parallelism invariants the gate relies on. *)
+
+module V = Deobf.Verify
+module E = Deobf.Engine
+module El = Deobf.Editlog
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let parses src = match Psparse.Parser.parse src with Ok _ -> true | Error _ -> false
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "verify-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let write path content =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc content)
+
+let read path = In_channel.with_open_bin path In_channel.input_all
+
+(* ---------- canonical effect logs ---------- *)
+
+let test_effect_log_records_commands () =
+  match Sandbox.run_for_verify "Start-Sleep 5; nonexistent-cmd foo bar" with
+  | Error e -> Alcotest.failf "contained: %s" e
+  | Ok log ->
+      check_b "unresolved command logged with args" true
+        (List.mem "cmd:nonexistent-cmd foo bar" log)
+
+let test_effect_log_rename_invariant () =
+  (* same behaviour, different variable names: the var section is a value
+     multiset, so renaming must not register *)
+  let a = Sandbox.run_for_verify "$alpha = 'v'; Write-Output $alpha" in
+  let b = Sandbox.run_for_verify "$beta = 'v'; Write-Output $beta" in
+  match (a, b) with
+  | Ok la, Ok lb -> Alcotest.(check (list string)) "logs equal" la lb
+  | _ -> Alcotest.fail "contained"
+
+let test_effect_log_unwrap_invariant () =
+  (* unwrapping an iex layer removes the interpreter-invocation event but
+     must not change the canonical log *)
+  let a = Sandbox.run_for_verify "iex ('Write-Output 7')" in
+  let b = Sandbox.run_for_verify "Write-Output 7" in
+  match (a, b) with
+  | Ok la, Ok lb -> Alcotest.(check (list string)) "logs equal" la lb
+  | _ -> Alcotest.fail "contained"
+
+let test_effect_log_detects_output_change () =
+  let a = Sandbox.run_for_verify "Write-Output 'one'" in
+  let b = Sandbox.run_for_verify "Write-Output 'two'" in
+  match (a, b) with
+  | Ok la, Ok lb -> check_b "different outputs differ" false (la = lb)
+  | _ -> Alcotest.fail "contained"
+
+let test_pipeline_cursor_not_compared () =
+  (* $_ / $input residue depends on whether a pipeline was folded away *)
+  let a = Sandbox.run_for_verify "'x','y' | ForEach-Object { $_ } | Out-Null" in
+  let b = Sandbox.run_for_verify "" in
+  match (a, b) with
+  | Ok la, Ok lb -> Alcotest.(check (list string)) "no cursor residue" lb la
+  | _ -> Alcotest.fail "contained"
+
+(* ---------- edit journal ---------- *)
+
+let test_journal_records_stages () =
+  let src = "$a = ('te'+'st'); Write-Output $a" in
+  let g = E.run_guarded src in
+  check_b "edits journaled" true (Array.length (El.flatten g.E.edit_log) > 0);
+  check_b "stats count matches journal" true
+    (g.E.result.E.stats.Deobf.Recover.edits_recorded
+    = Array.length (El.flatten g.E.edit_log))
+
+let test_journal_prefix_replay () =
+  let src = "$a = ('te'+'st'); Write-Output $a" in
+  let g = E.run_guarded src in
+  let stages = g.E.edit_log in
+  let total = Array.length (El.flatten stages) in
+  check_s "prefix 0 is the original" src (El.replay_prefix ~src stages 0);
+  (* every prefix of the journal must parse: stages were validated and a
+     partial stage applies a prefix of non-overlapping extent edits *)
+  for n = 0 to total do
+    check_b
+      (Printf.sprintf "prefix %d parses" n)
+      true
+      (parses (El.replay_prefix ~src stages n))
+  done
+
+let test_suppression_matches_by_content () =
+  let sup = { El.sup_phase = "recover"; sup_before = "$x"; sup_after = "'a'" } in
+  check_b "matching edit suppressed" true
+    (El.suppressed [ sup ] ~phase:"recover" ~before:"$x" ~after:"'a'");
+  check_b "different content kept" false
+    (El.suppressed [ sup ] ~phase:"recover" ~before:"$y" ~after:"'a'");
+  check_b "different phase kept" false
+    (El.suppressed [ sup ] ~phase:"token" ~before:"$x" ~after:"'a'")
+
+(* ---------- the gate ---------- *)
+
+let test_verify_equivalent_simple () =
+  let _, o = V.run_guarded "$a = ('te'+'st'); Write-Output $a" in
+  check_s "verdict" "equivalent" (V.verdict_name o.V.verdict);
+  check_b "sandbox ran" true (o.V.sandbox_runs >= 2)
+
+let test_verify_unchanged_skips_sandbox () =
+  (* the engine's own fixpoint has nothing left to deobfuscate: trivially
+     equivalent without execution *)
+  let fixed = (E.run "Write-Output 'plain'").E.output in
+  let g, o = V.run_guarded fixed in
+  check_s "verdict" "equivalent" (V.verdict_name o.V.verdict);
+  check_b "output unchanged" true (String.equal g.E.result.E.output fixed);
+  check_i "no sandbox runs" 0 o.V.sandbox_runs
+
+let test_verify_unparseable_original () =
+  (* partial-parse recovery rewrites the parseable region, so the output
+     differs from an original that never parsed — nothing to execute or
+     bisect against *)
+  let g, o = V.run_guarded "$a = ('te'+'st'); Write-Output $a\nif ({{{" in
+  check_b "partial recovery changed the text" true g.E.result.E.changed;
+  check_s "verdict" "unverifiable" (V.verdict_name o.V.verdict);
+  check_i "no sandbox runs" 0 o.V.sandbox_runs
+
+(* the end-to-end demo: piece recovery folds a loop-carried update
+   ($x = $x + 'b' with $x traced as 'a' from before the loop), changing
+   behaviour from "abbb" to "ab".  The gate must catch the divergence,
+   bisect the journal to the offending edits, roll them back, and
+   re-verify the repaired output as equivalent. *)
+let loop_fold_src = "$x = 'a'\nforeach ($i in 1..3) { $x = $x + 'b' }\nWrite-Output $x"
+
+let test_divergent_fold_caught_and_rolled_back () =
+  let g, o = V.run_guarded loop_fold_src in
+  (match o.V.verdict with
+  | V.Rolled_back n -> check_b "rolled back at least one edit" true (n >= 1)
+  | v -> Alcotest.failf "expected rolled_back, got %s" (V.verdict_name v));
+  check_b "offending rewrites recorded" true (o.V.suppressed <> []);
+  let out = g.E.result.E.output in
+  check_b "verified output parses" true (parses out);
+  (* the repaired output must actually behave like the original *)
+  (match (Sandbox.run_for_verify loop_fold_src, Sandbox.run_for_verify out) with
+  | Ok a, Ok b -> Alcotest.(check (list string)) "behaviour restored" a b
+  | _ -> Alcotest.fail "contained");
+  (* and the unverified engine really does break this script — the gate is
+     load-bearing, not vacuous *)
+  let plain = (E.run loop_fold_src).E.output in
+  match (Sandbox.run_for_verify loop_fold_src, Sandbox.run_for_verify plain) with
+  | Ok a, Ok b -> check_b "unverified output diverges" false (a = b)
+  | _ -> Alcotest.fail "contained"
+
+let test_gate_with_custom_rerun () =
+  (* bisection pinpoints a synthetic bad stage injected on top of a benign
+     pipeline: only the malicious edit is suppressed, the benign one kept *)
+  let src = "Write-Output ('ke'+'ep'); Write-Output 'safe'" in
+  let bad_before = "'safe'" and bad_after = "'EVIL'" in
+  let rerun ~suppress =
+    let g = E.run_guarded ~suppress src in
+    let out = g.E.result.E.output in
+    if El.suppressed suppress ~phase:"evil" ~before:bad_before ~after:bad_after
+    then g
+    else
+      (* splice in a behaviour-changing edit, journaled like a real pass *)
+      let idx =
+        match Pscommon.Strcase.index_opt ~needle:bad_before out with
+        | Some i -> i
+        | None -> 0
+      in
+      let edit =
+        Pscommon.Patch.edit
+          (Pscommon.Extent.make ~start:idx ~stop:(idx + String.length bad_before))
+          bad_after
+      in
+      let patched = Pscommon.Patch.apply out [ edit ] in
+      let stage_log = El.create () in
+      El.record_stage stage_log ~phase:"evil" ~pass:99 ~src:out [ (edit, "evil") ];
+      {
+        g with
+        E.result = { g.E.result with E.output = patched; changed = true };
+        edit_log = g.E.edit_log @ El.stages stage_log;
+      }
+  in
+  let g, o = V.gate ~rerun ~src (rerun ~suppress:[]) in
+  (match o.V.verdict with
+  | V.Rolled_back 1 -> ()
+  | v -> Alcotest.failf "expected rolled_back 1, got %s" (V.verdict_name v));
+  (match o.V.suppressed with
+  | [ s ] ->
+      check_s "culprit phase" "evil" s.El.sup_phase;
+      check_s "culprit before" bad_before s.El.sup_before;
+      check_s "culprit after" bad_after s.El.sup_after
+  | l -> Alcotest.failf "expected one suppression, got %d" (List.length l));
+  check_b "benign rewrite kept" true
+    (Pscommon.Strcase.contains ~needle:"'keep'" g.E.result.E.output);
+  check_b "injected rewrite gone" true
+    (Pscommon.Strcase.contains ~needle:"'safe'" g.E.result.E.output)
+
+(* ---------- piece cache soundness ---------- *)
+
+let test_verdict_identical_with_and_without_piece_cache () =
+  (* a memoized piece result must never carry or replay effects: the
+     verdict (and output) with the cache on equals the --no-piece-cache
+     ablation on a script that hits the cache heavily *)
+  let src = "Write-Host ('f'+'oo') ('f'+'oo') ('f'+'oo') ('f'+'oo')" in
+  let cached = E.default_options in
+  let uncached =
+    { cached with
+      E.recovery = { cached.E.recovery with Deobf.Recover.use_piece_cache = false } }
+  in
+  let gc, oc = V.run_guarded ~options:cached src in
+  let gu, ou = V.run_guarded ~options:uncached src in
+  check_b "cache actually exercised" true
+    (gc.E.result.E.stats.Deobf.Recover.cache_hits > 0);
+  check_s "same verdict" (V.verdict_name ou.V.verdict) (V.verdict_name oc.V.verdict);
+  check_s "same output" gu.E.result.E.output gc.E.result.E.output;
+  check_s "verdict is equivalent" "equivalent" (V.verdict_name oc.V.verdict)
+
+(* ---------- batch: verify, resume, parallel identity ---------- *)
+
+let sample_files dir n =
+  let samples = Corpus.Generator.generate ~seed:23 ~count:n in
+  List.map
+    (fun (s : Corpus.Generator.sample) ->
+      let path = Filename.concat dir (Printf.sprintf "s%04d.ps1" s.id) in
+      write path s.obfuscated;
+      path)
+    samples
+
+let test_batch_verify_jobs_byte_identical () =
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      Sys.mkdir in_dir 0o755;
+      let files = sample_files in_dir 10 in
+      let out1 = Filename.concat dir "out1" in
+      let out4 = Filename.concat dir "out4" in
+      let s1 =
+        Deobf.Batch.run_files ~timeout_s:20.0 ~out_dir:out1 ~jobs:1 ~verify:true files
+      in
+      let s4 =
+        Deobf.Batch.run_files ~timeout_s:20.0 ~out_dir:out4 ~jobs:4 ~verify:true files
+      in
+      check_i "all processed" 10 s1.Deobf.Batch.total;
+      List.iter2
+        (fun (a : Deobf.Batch.outcome) (b : Deobf.Batch.outcome) ->
+          check_s "same verdict across jobs"
+            (match a.Deobf.Batch.verdict with
+            | Some v -> V.verdict_name v
+            | None -> "off")
+            (match b.Deobf.Batch.verdict with
+            | Some v -> V.verdict_name v
+            | None -> "off"))
+        s1.Deobf.Batch.outcomes s4.Deobf.Batch.outcomes;
+      List.iter
+        (fun file ->
+          let base = Filename.basename file in
+          check_s
+            (Printf.sprintf "%s identical across jobs" base)
+            (read (Filename.concat out1 base))
+            (read (Filename.concat out4 base)))
+        files)
+
+let test_batch_resume_skips_and_preserves_outputs () =
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      Sys.mkdir in_dir 0o755;
+      let files = sample_files in_dir 6 in
+      let out_dir = Filename.concat dir "out" in
+      let s1 = Deobf.Batch.run_files ~timeout_s:20.0 ~out_dir files in
+      check_i "first run clean" 6 s1.Deobf.Batch.clean;
+      let outputs =
+        List.map (fun f -> read (Filename.concat out_dir (Filename.basename f))) files
+      in
+      (* restart: everything is answered from the journal, bytes untouched *)
+      let s2 = Deobf.Batch.run_files ~timeout_s:20.0 ~out_dir ~resume:true files in
+      check_i "all resumed" 6
+        (List.length
+           (List.filter (fun o -> o.Deobf.Batch.resumed) s2.Deobf.Batch.outcomes));
+      List.iter2
+        (fun f expected ->
+          check_s "output byte-identical after resume" expected
+            (read (Filename.concat out_dir (Filename.basename f))))
+        files outputs;
+      (* verdicts survive the round-trip through manifest.jsonl *)
+      List.iter2
+        (fun (a : Deobf.Batch.outcome) (b : Deobf.Batch.outcome) ->
+          check_s "verdict preserved"
+            (match a.Deobf.Batch.verdict with Some v -> V.verdict_name v | None -> "off")
+            (match b.Deobf.Batch.verdict with Some v -> V.verdict_name v | None -> "off"))
+        s1.Deobf.Batch.outcomes s2.Deobf.Batch.outcomes)
+
+let test_batch_resume_reprocesses_changed_input () =
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      Sys.mkdir in_dir 0o755;
+      let a = Filename.concat in_dir "a.ps1" in
+      let b = Filename.concat in_dir "b.ps1" in
+      write a "Write-Output ('o'+'ne')";
+      write b "Write-Output ('t'+'wo')";
+      let out_dir = Filename.concat dir "out" in
+      let _ = Deobf.Batch.run_files ~out_dir [ a; b ] in
+      (* edit one input: its digest no longer matches the journal entry *)
+      write b "Write-Output ('TW'+'O-changed')";
+      let s2 = Deobf.Batch.run_files ~out_dir ~resume:true [ a; b ] in
+      (match s2.Deobf.Batch.outcomes with
+      | [ oa; ob ] ->
+          check_b "unchanged input resumed" true oa.Deobf.Batch.resumed;
+          check_b "changed input reprocessed" false ob.Deobf.Batch.resumed
+      | _ -> Alcotest.fail "expected two outcomes");
+      check_b "new output written" true
+        (Pscommon.Strcase.contains ~needle:"TWO-changed"
+           (read (Filename.concat out_dir "b.ps1"))))
+
+let test_batch_resume_ignores_other_options () =
+  with_temp_dir (fun dir ->
+      let in_dir = Filename.concat dir "in" in
+      Sys.mkdir in_dir 0o755;
+      let a = Filename.concat in_dir "a.ps1" in
+      write a "Write-Output ('o'+'k')";
+      let out_dir = Filename.concat dir "out" in
+      let _ = Deobf.Batch.run_files ~out_dir [ a ] in
+      (* different engine options: the fingerprint differs, no skipping *)
+      let options = { E.default_options with E.rename = false } in
+      let s2 = Deobf.Batch.run_files ~options ~out_dir ~resume:true [ a ] in
+      match s2.Deobf.Batch.outcomes with
+      | [ o ] -> check_b "options change defeats resume" false o.Deobf.Batch.resumed
+      | _ -> Alcotest.fail "expected one outcome")
+
+(* ---------- properties ---------- *)
+
+(* every generator sample round-trips through the verified pipeline as
+   equivalent: the tool's rewrites preserve sandbox-observable behaviour
+   on the whole synthetic wild corpus *)
+let prop_generator_samples_verify_equivalent =
+  QCheck.Test.make ~name:"verify: generator samples all equivalent" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      match Corpus.Generator.generate ~seed:(seed * 17 + 3) ~count:1 with
+      | [ s ] ->
+          let _, o = V.run_guarded s.Corpus.Generator.obfuscated in
+          o.V.verdict = V.Equivalent
+      | _ -> false)
+
+(* rollback never produces unparseable output, and the gate never reports
+   a divergence it could have repaired on loop-carried folds of varying
+   shape *)
+let prop_rollback_output_parses =
+  QCheck.Test.make ~name:"verify: rollback output always parses" ~count:25
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let word = Printf.sprintf "w%d" (a mod 7) in
+      let n = 2 + (b mod 4) in
+      let src =
+        Printf.sprintf
+          "$x = '%s'\nforeach ($i in 1..%d) { $x = $x + 'b' }\nWrite-Output $x"
+          word n
+      in
+      let g, o = V.run_guarded src in
+      let ok_verdict =
+        match o.V.verdict with
+        | V.Equivalent | V.Rolled_back _ -> true
+        | V.Diverged | V.Unverifiable _ -> false
+      in
+      ok_verdict && parses g.E.result.E.output)
+
+let suite =
+  [
+    Alcotest.test_case "effect log records unresolved commands" `Quick
+      test_effect_log_records_commands;
+    Alcotest.test_case "effect log is rename-invariant" `Quick
+      test_effect_log_rename_invariant;
+    Alcotest.test_case "effect log is unwrap-invariant" `Quick
+      test_effect_log_unwrap_invariant;
+    Alcotest.test_case "effect log detects output change" `Quick
+      test_effect_log_detects_output_change;
+    Alcotest.test_case "pipeline cursors not compared" `Quick
+      test_pipeline_cursor_not_compared;
+    Alcotest.test_case "journal records applied stages" `Quick
+      test_journal_records_stages;
+    Alcotest.test_case "journal prefixes replay and parse" `Quick
+      test_journal_prefix_replay;
+    Alcotest.test_case "suppression matches by content" `Quick
+      test_suppression_matches_by_content;
+    Alcotest.test_case "gate: simple recovery equivalent" `Quick
+      test_verify_equivalent_simple;
+    Alcotest.test_case "gate: unchanged output skips sandbox" `Quick
+      test_verify_unchanged_skips_sandbox;
+    Alcotest.test_case "gate: unparseable original unverifiable" `Quick
+      test_verify_unparseable_original;
+    Alcotest.test_case "gate: divergent loop fold caught and rolled back"
+      `Quick test_divergent_fold_caught_and_rolled_back;
+    Alcotest.test_case "gate: bisection pinpoints injected bad stage" `Quick
+      test_gate_with_custom_rerun;
+    Alcotest.test_case "verdict identical with and without piece cache"
+      `Quick test_verdict_identical_with_and_without_piece_cache;
+    Alcotest.test_case "batch --verify jobs=4 byte-identical" `Slow
+      test_batch_verify_jobs_byte_identical;
+    Alcotest.test_case "batch resume skips and preserves outputs" `Slow
+      test_batch_resume_skips_and_preserves_outputs;
+    Alcotest.test_case "batch resume reprocesses changed input" `Quick
+      test_batch_resume_reprocesses_changed_input;
+    Alcotest.test_case "batch resume keyed on options fingerprint" `Quick
+      test_batch_resume_ignores_other_options;
+    QCheck_alcotest.to_alcotest prop_generator_samples_verify_equivalent;
+    QCheck_alcotest.to_alcotest prop_rollback_output_parses;
+  ]
