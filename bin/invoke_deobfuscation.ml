@@ -102,7 +102,8 @@ let print_batch_summary (s : Deobf.Batch.summary) =
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
       no_reformat no_token_phase no_piece_cache no_partial chaos stats batch
-      jobs timeout trace log_level summary_flag verify_flag no_verify resume =
+      jobs timeout trace log_level summary_flag verify_flag no_verify resume
+      serve queue_cap cache_cap trace_sample metrics_out =
     Option.iter (fun l -> T.Log.set_level (Some l)) log_level;
     (match
        match chaos with Some s -> Some s | None -> Sys.getenv_opt "INVOKE_DEOBF_CHAOS"
@@ -129,6 +130,36 @@ let deobfuscate_cmd =
         partial = not no_partial;
       }
     in
+    (match serve with
+    | None -> ()
+    | Some addr -> (
+        (* daemon mode: serve NDJSON requests over a socket until
+           SIGTERM/SIGINT or a shutdown request drains the server *)
+        match Deobf.Serve.parse_bind addr with
+        | Error msg ->
+            Printf.eprintf "--serve: %s\n" msg;
+            exit 2
+        | Ok bind ->
+            let base = Deobf.Serve.default_config bind in
+            let cfg =
+              { base with
+                Deobf.Serve.jobs =
+                  (match jobs with
+                  | Some n -> max 1 n
+                  | None -> Pscommon.Pool.recommended_jobs ());
+                queue_cap = max 1 queue_cap;
+                default_timeout_s =
+                  Option.value timeout
+                    ~default:base.Deobf.Serve.default_timeout_s;
+                options;
+                verify = verify_flag && not no_verify;
+                cache_cap = max 1 cache_cap;
+                trace_dir =
+                  (match trace with None | Some "" -> None | d -> d);
+                trace_sample;
+                metrics_out }
+            in
+            exit (Deobf.Serve.run cfg)));
     if batch then begin
       (* per-file isolation: a hanging or crashing sample is contained by
          its own deadline and recorded; the batch continues *)
@@ -160,8 +191,8 @@ let deobfuscate_cmd =
         | Some dir -> Some dir
       in
       let summary =
-        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ?trace_dir ~jobs
-          ~verify:(not no_verify) ~resume dir
+        Deobf.Batch.run_dir ~options ~timeout_s ~out_dir ?trace_dir
+          ?trace_sample ~jobs ~verify:(not no_verify) ~resume dir
       in
       print_endline (Deobf.Batch.summary_to_json summary);
       T.Log.info (fun () ->
@@ -326,7 +357,54 @@ let deobfuscate_cmd =
            clean result matches the current input digest and options and \
            whose output file still exists; everything else is \
            (re)processed.  Outputs are byte-identical to an uninterrupted \
-           run.")
+           run."
+      $ Arg.(
+          value
+          & opt ~vopt:(Some "unix:invoke-deobf.sock") (some string) None
+          & info [ "serve" ] ~docv:"ADDR"
+              ~doc:
+                "Run as a long-lived daemon on $(docv) (unix:PATH or \
+                 tcp:HOST:PORT; bare $(b,--serve) binds \
+                 unix:invoke-deobf.sock).  Speaks NDJSON: one JSON request \
+                 per line (ops: deobfuscate, health, metrics, shutdown), \
+                 one JSON response line per request.  Honours --jobs, \
+                 --timeout (per-request default), --verify, --chaos, \
+                 --trace DIR and --log-level.  Requests beyond --queue-cap \
+                 are shed with an explicit overloaded response; \
+                 SIGTERM/SIGINT drain gracefully (exit 0).")
+      $ Arg.(
+          value
+          & opt int 64
+          & info [ "queue-cap" ] ~docv:"N"
+              ~doc:
+                "Serve mode: admission-control bound on queued requests; \
+                 beyond it requests are answered \
+                 {\"status\":\"overloaded\",\"retry_after_ms\":...} instead \
+                 of queueing unboundedly.")
+      $ Arg.(
+          value
+          & opt int 2048
+          & info [ "cache-cap" ] ~docv:"N"
+              ~doc:
+                "Serve mode: capacity of each worker's warm piece cache \
+                 (entries; the cache persists across requests).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "trace-sample" ] ~docv:"N"
+              ~doc:
+                "With --trace DIR: serialize only every $(docv)-th trace \
+                 (by input index in --batch mode, by request sequence in \
+                 --serve mode).  Unsampled runs still trace into a \
+                 reusable in-memory ring, shaving the serialization cost.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics-out" ] ~docv:"FILE"
+              ~doc:
+                "Serve mode: write a final metrics snapshot (counters, \
+                 gauges, latency histograms) to $(docv) when the daemon \
+                 drains."))
 
 (* ---------- score ---------- *)
 

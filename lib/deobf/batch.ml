@@ -166,76 +166,12 @@ let options_fingerprint ~options ~timeout_s ~max_output_bytes ~verify =
     (Digest.string
        (Marshal.to_string (options, timeout_s, max_output_bytes, verify) []))
 
-(* minimal field extraction for our own single-line manifest entries
-   (flat objects, strings escaped by {!Report.json_escape}); not a general
-   JSON parser, and a malformed line simply fails to match *)
-let index_of hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i =
-    if i + nn > nh then None
-    else if String.sub hay i nn = needle then Some i
-    else go (i + 1)
-  in
-  go 0
-
-let scan_string line i =
-  let buf = Buffer.create 16 in
-  let n = String.length line in
-  let rec go i =
-    if i >= n then None
-    else
-      match line.[i] with
-      | '"' -> Some (Buffer.contents buf)
-      | '\\' when i + 1 < n -> (
-          match line.[i + 1] with
-          | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
-          | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
-          | 't' -> Buffer.add_char buf '\t'; go (i + 2)
-          | 'u' when i + 5 < n ->
-              (match int_of_string_opt ("0x" ^ String.sub line (i + 2) 4) with
-              | Some c when c < 0x100 -> Buffer.add_char buf (Char.chr c)
-              | _ -> ());
-              go (i + 6)
-          | c -> Buffer.add_char buf c; go (i + 2))
-      | c -> Buffer.add_char buf c; go (i + 1)
-  in
-  go i
-
-let field_start line key =
-  match index_of line ("\"" ^ key ^ "\":") with
-  | None -> None
-  | Some i ->
-      let j = ref (i + String.length key + 3) in
-      let n = String.length line in
-      while !j < n && line.[!j] = ' ' do incr j done;
-      if !j >= n then None else Some !j
-
-let string_field line key =
-  match field_start line key with
-  | Some j when line.[j] = '"' -> scan_string line (j + 1)
-  | _ -> None
-
-let int_field line key =
-  match field_start line key with
-  | None -> None
-  | Some j ->
-      let n = String.length line in
-      let k = ref j in
-      while
-        !k < n && (line.[!k] = '-' || (line.[!k] >= '0' && line.[!k] <= '9'))
-      do
-        incr k
-      done;
-      int_of_string_opt (String.sub line j (!k - j))
-
-let bool_field line key =
-  match field_start line key with
-  | Some j when j + 4 <= String.length line && String.sub line j 4 = "true" ->
-      Some true
-  | Some j when j + 5 <= String.length line && String.sub line j 5 = "false"
-    ->
-      Some false
-  | _ -> None
+(* field extraction for our own single-line manifest entries lives in
+   {!Jsonl} (shared with the serve daemon's NDJSON protocol); a malformed
+   line simply fails to match *)
+let string_field = Jsonl.string_field
+let int_field = Jsonl.int_field
+let bool_field = Jsonl.bool_field
 
 let journal_load path =
   let tbl = Hashtbl.create 64 in
@@ -375,14 +311,14 @@ let passthrough_guarded src =
    effort on the parse), retry one rung down with a fresh deadline.
    Failures accumulate across attempts so the report shows the whole
    descent; [Passthrough] cannot fail, so the walk terminates clean. *)
-let run_ladder ?options ~timeout_s ?max_output_bytes src =
+let run_ladder ?options ?cache ~timeout_s ?max_output_bytes src =
   let base = Option.value options ~default:Engine.default_options in
   let rec walk mode retries acc_failures =
     let guarded =
       match mode with
       | Passthrough -> passthrough_guarded src
       | m ->
-          Engine.run_guarded ~options:(mode_options base m) ~timeout_s
+          Engine.run_guarded ~options:(mode_options base m) ?cache ~timeout_s
             ?max_output_bytes src
     in
     let failures = acc_failures @ guarded.Engine.failures in
@@ -404,6 +340,46 @@ let run_ladder ?options ~timeout_s ?max_output_bytes src =
     | _ -> (mode, retries, failures, guarded)
   in
   walk Full 0 []
+
+(* The shared request core: everything between "we have source text" and
+   "we have an outcome plus output text".  Batch file processing and the
+   serve daemon both go through it, so a service request walks the same
+   retry ladder and semantic gate as a batch file — one hardening path,
+   two transports. *)
+let run_source ?options ?(timeout_s = 30.0) ?max_output_bytes ?cache
+    ?(verify = false) ?verify_opts ~name src =
+  let started = Guard.now () in
+  let mode, retries, ladder_failures, guarded =
+    run_ladder ?options ?cache ~timeout_s ?max_output_bytes src
+  in
+  (* the semantic gate verifies (and on divergence rolls back) the rung
+     that produced the output; its re-runs repeat that same rung, with the
+     same piece cache, so replayed pieces stay byte-identical *)
+  let guarded, verdict =
+    if not verify then (guarded, None)
+    else
+      let base = Option.value options ~default:Engine.default_options in
+      let rerun ~suppress =
+        match mode with
+        | Passthrough -> passthrough_guarded src
+        | m ->
+            Engine.run_guarded ~options:(mode_options base m) ?cache
+              ~timeout_s ?max_output_bytes ~suppress src
+      in
+      let g, o = Verify.gate ?opts:verify_opts ~rerun ~src guarded in
+      (g, Some o.Verify.verdict)
+  in
+  let result = guarded.Engine.result in
+  ( { file = name; output_file = None;
+      wall_ms = (Guard.now () -. started) *. 1000.0;
+      phase_ms = guarded.Engine.timings;
+      iterations = result.Engine.iterations; changed = result.Engine.changed;
+      failures = ladder_failures; stats = result.Engine.stats;
+      degraded_mode = mode; retries;
+      regions_total = guarded.Engine.regions_total;
+      regions_recovered = guarded.Engine.regions_recovered;
+      verdict; resumed = false },
+    result.Engine.output )
 
 let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
     ?(verify = false) ?verify_opts ?journal file =
@@ -441,49 +417,31 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
         journal;
       (* the guarded engine is total; the outer protect is the backstop for
          anything outside it (e.g. report writing) *)
-      let mode, retries, ladder_failures, guarded =
-        run_ladder ?options ~timeout_s ?max_output_bytes src
+      let core, output =
+        run_source ?options ~timeout_s ?max_output_bytes ~verify ?verify_opts
+          ~name:file src
       in
-      (* the semantic gate verifies (and on divergence rolls back) the rung
-         that produced the output; its re-runs repeat that same rung *)
-      let guarded, verdict =
-        if not verify then (guarded, None)
-        else
-          let base = Option.value options ~default:Engine.default_options in
-          let rerun ~suppress =
-            match mode with
-            | Passthrough -> passthrough_guarded src
-            | m ->
-                Engine.run_guarded ~options:(mode_options base m) ~timeout_s
-                  ?max_output_bytes ~suppress src
-          in
-          let g, o = Verify.gate ?opts:verify_opts ~rerun ~src guarded in
-          (g, Some o.Verify.verdict)
-      in
-      let result = guarded.Engine.result in
       let output_file, write_failure =
         match out_dir with
         | None -> (None, None)
         | Some dir -> (
             let path = Filename.concat dir (Filename.basename file) in
-            match Guard.protect (fun () -> write_file path result.Engine.output) with
+            match Guard.protect (fun () -> write_file path output) with
             | Ok () -> (Some path, None)
             | Error failure ->
                 (* a failed write is a real degradation — surfaced as a
                    structured site, not a silent [None] *)
                 (None, Some { Engine.phase = "write"; failure }))
       in
-      let failures = ladder_failures @ Option.to_list write_failure in
       let outcome =
-        finish ?output_file ~phase_ms:guarded.Engine.timings
-          ~degraded_mode:mode ~retries
-          ~regions:(guarded.Engine.regions_total, guarded.Engine.regions_recovered)
-          ~verdict
-          ~iterations:result.Engine.iterations ~changed:result.Engine.changed
-          ~stats:result.Engine.stats failures
+        { core with
+          output_file;
+          failures = core.failures @ Option.to_list write_failure;
+          (* re-measured here so the file outcome also covers read + write *)
+          wall_ms = (Guard.now () -. started) *. 1000.0 }
       in
       Option.iter (fun j -> journal_append j (done_line j ~digest outcome)) journal;
-      (match (out_dir, failures) with
+      (match (out_dir, outcome.failures) with
       | Some dir, _ :: _ ->
           let report_path =
             Filename.concat dir (Filename.basename file ^ ".failures.json")
@@ -494,8 +452,16 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
       | _ -> ());
       outcome)
 
+(* Reusable per-domain ring for unsampled traced runs: spans still record
+   (ambient instrumentation stays exercised, and the trace could be dumped
+   from a debugger), but nothing serializes to JSONL — the dominant cost
+   of tracing — and the 64k-slot ring is allocated once per domain, not
+   once per file. *)
+let scratch_trace : T.trace Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> T.create ())
+
 let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
-    ?verify ?verify_opts ?journal file =
+    ?(sampled = true) ?verify ?verify_opts ?journal file =
   (* Scope the chaos stream to the file: injection becomes a pure function
      of (seed, basename, probe order), so a file draws the same faults no
      matter which pool domain ran it or in what order — outputs under
@@ -512,6 +478,16 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
     | None ->
         process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir
           ?verify ?verify_opts ?journal file
+    | Some _ when not sampled ->
+        (* unsampled: record into the domain's scratch ring, skip the
+           JSONL serialization — the trace machinery runs, the bytes
+           don't land *)
+        let trace = Domain.DLS.get scratch_trace in
+        T.reset trace;
+        T.with_trace trace (fun () ->
+            T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
+                process_file_inner ?options ?timeout_s ?max_output_bytes
+                  ?out_dir ?verify ?verify_opts ?journal file))
     | Some dir ->
         (* one event stream per input: the trace is created in (and private
            to) whichever pool domain runs this file, installed as that
@@ -560,7 +536,8 @@ let rec ensure_dir dir =
   end
 
 let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
-    ?(jobs = 1) ?(verify = true) ?verify_opts ?(resume = false) files =
+    ?trace_sample ?(jobs = 1) ?(verify = true) ?verify_opts ?(resume = false)
+    files =
   let started = Guard.now () in
   (* the process-global metrics registry becomes a per-run rollup: zeroed
      here, aggregated across every pool domain, snapshotted by metrics_json *)
@@ -617,12 +594,19 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
           files
     | None ->
         (* outcomes come back input-ordered regardless of which domain ran
-           which file, so reports and outputs are deterministic *)
+           which file, so reports and outputs are deterministic — and so is
+           trace sampling, which keys on the input index, not on which
+           domain or in what order a file happened to run *)
         Pool.map ~jobs
-          (fun file ->
+          (fun (i, file) ->
+            let sampled =
+              match trace_sample with
+              | Some n when n > 1 -> i mod n = 0
+              | _ -> true
+            in
             process_file ?options ?timeout_s ?max_output_bytes ?out_dir
-              ?trace_dir ~verify ?verify_opts ?journal file)
-          files
+              ?trace_dir ~sampled ~verify ?verify_opts ?journal file)
+          (List.mapi (fun i file -> (i, file)) files)
   in
   (* clean means clean at full strength: no contained failures and no trip
      down the retry ladder (retries > 0 implies failures <> [], since
@@ -756,8 +740,8 @@ let metrics_json s =
       "}";
     ]
 
-let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs
-    ?verify ?verify_opts ?resume dir =
+let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
+    ?trace_sample ?jobs ?verify ?verify_opts ?resume dir =
   let files =
     match Guard.protect (fun () -> Sys.readdir dir) with
     | Error _ -> []
@@ -770,8 +754,8 @@ let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs
                | Error _ -> false)
   in
   let summary =
-    run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir ?jobs
-      ?verify ?verify_opts ?resume files
+    run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
+      ?trace_sample ?jobs ?verify ?verify_opts ?resume files
   in
   (match out_dir with
   | Some out ->

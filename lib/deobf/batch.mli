@@ -57,12 +57,33 @@ type journal
 (** Handle on the [manifest.jsonl] resume journal of one batch run; created
     internally by {!run_files} when there is an output directory. *)
 
+val run_source :
+  ?options:Engine.options ->
+  ?timeout_s:float ->
+  ?max_output_bytes:int ->
+  ?cache:Recover.Cache.t ->
+  ?verify:bool ->
+  ?verify_opts:Verify.opts ->
+  name:string ->
+  string ->
+  outcome * string
+(** [run_source ~name src] is the shared request core between batch files
+    and serve-daemon requests: walk the retry ladder on the source text,
+    optionally run the {!Verify} gate on the winning rung, and return the
+    outcome (with [file = name], no output file, [wall_ms] covering just
+    the pipeline) alongside the recovered text.  [cache] supplies a
+    caller-owned piece cache, so a long-running service keeps recovered
+    pieces warm across requests; without it each call starts cold.  Never
+    raises on malicious input — every degradation is a structured failure
+    site in the outcome. *)
+
 val process_file :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
   ?out_dir:string ->
   ?trace_dir:string ->
+  ?sampled:bool ->
   ?verify:bool ->
   ?verify_opts:Verify.opts ->
   ?journal:journal ->
@@ -82,7 +103,9 @@ val process_file :
     recorded as a ["write"] failure site.  With [trace_dir], the file runs
     under an ambient {!Pscommon.Telemetry} trace and the event stream is
     written to [trace_dir/<basename>.trace.jsonl] — one stream per input,
-    even across pool domains.
+    even across pool domains.  With [sampled:false] (and a [trace_dir])
+    the file still runs traced, but into a reusable per-domain scratch
+    ring with no JSONL serialization — the sampling fast path.
 
     With [verify] (default off here, on in {!run_files}), the {!Verify}
     gate executes original and output in the sandbox after the ladder
@@ -98,6 +121,7 @@ val run_files :
   ?max_output_bytes:int ->
   ?out_dir:string ->
   ?trace_dir:string ->
+  ?trace_sample:int ->
   ?jobs:int ->
   ?verify:bool ->
   ?verify_opts:Verify.opts ->
@@ -118,7 +142,12 @@ val run_files :
     (default off) loads it first and skips every file whose clean ["done"]
     entry matches the current input digest and options fingerprint and
     whose output file still exists — a restarted batch converges to the
-    same output bytes without redoing finished work. *)
+    same output bytes without redoing finished work.
+
+    [trace_sample n] (with a [trace_dir], [n > 1]) serializes only every
+    n-th file's trace, by input index, so the selection is deterministic
+    across [jobs] levels; unsampled files trace into a reusable scratch
+    ring with no serialization cost. *)
 
 val run_dir :
   ?options:Engine.options ->
@@ -126,6 +155,7 @@ val run_dir :
   ?max_output_bytes:int ->
   ?out_dir:string ->
   ?trace_dir:string ->
+  ?trace_sample:int ->
   ?jobs:int ->
   ?verify:bool ->
   ?verify_opts:Verify.opts ->

@@ -258,12 +258,16 @@ let add_timing timings phase ms =
     overruns, or over-produces degrades to the best text the earlier phases
     produced, and the failure is recorded — the run itself always returns. *)
 let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
-    ?(max_output_bytes = 32 * 1024 * 1024) ?(suppress = []) src =
+    ?(max_output_bytes = 32 * 1024 * 1024) ?cache ?(suppress = []) src =
   let module Guard = Pscommon.Guard in
   let module T = Pscommon.Telemetry in
   let deadline = Guard.deadline_after timeout_s in
   let stats = Recover.new_stats () in
-  let cache = Recover.Cache.create () in
+  (* a caller-owned cache (the serve daemon's per-worker cache) persists
+     across runs; the default is private to this run *)
+  let cache =
+    match cache with Some c -> c | None -> Recover.Cache.create ()
+  in
   let log = Editlog.create () in
   let run_sid =
     if T.active () then

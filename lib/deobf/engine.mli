@@ -81,6 +81,7 @@ val run_guarded :
   ?options:options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
+  ?cache:Recover.Cache.t ->
   ?suppress:Editlog.suppression list ->
   string ->
   guarded
@@ -90,6 +91,12 @@ val run_guarded :
     back as a structured {!failure_site} — the call itself always returns,
     degrading phase-by-phase to the best text produced so far (partial
     recovery is kept on timeout).
+
+    [cache] supplies a caller-owned piece cache that persists across runs
+    (the serve daemon keeps one warm per worker domain); by default each
+    run gets a private cache.  Cache keys include the traced-binding
+    digest and wall-clock-dependent failures are never stored, so a warm
+    cache replays the exact results a cold run would compute.
 
     [suppress] re-runs the pipeline with the matching edits rolled back
     (content-matched at every depth; {!Editlog.suppress_finalize} disables

@@ -77,12 +77,21 @@ module Cache = struct
     cap : int;
   }
 
-  let create ?(cap = 2048) () = { tbl = Hashtbl.create 64; cap }
+  let m_resets = T.Metrics.counter "recover.cache.resets"
+  let m_entries = T.Metrics.gauge "recover.cache.entries"
+
+  let create ?(cap = 2048) () = { tbl = Hashtbl.create 64; cap = max 1 cap }
   let find t key = Hashtbl.find_opt t.tbl key
+  let length t = Hashtbl.length t.tbl
 
   let add t key result =
-    if Hashtbl.length t.tbl >= t.cap then Hashtbl.reset t.tbl;
-    Hashtbl.replace t.tbl key result
+    if Hashtbl.length t.tbl >= t.cap then begin
+      Hashtbl.reset t.tbl;
+      T.Metrics.incr m_resets
+    end;
+    Hashtbl.replace t.tbl key result;
+    (* last writer wins across domains — a gauge, not an exact census *)
+    T.Metrics.set m_entries (Hashtbl.length t.tbl)
 end
 
 type pass_state = {

@@ -38,12 +38,22 @@ type stats = {
 val new_stats : unit -> stats
 
 (** Bounded memo cache for piece invocation, shared across the fixpoint
-    passes and unwrapped layers of one engine run.  Never shared across
-    runs or domains. *)
+    passes and unwrapped layers of one engine run — or, when a caller
+    passes its own cache to {!Engine.run_guarded}, across many runs: the
+    serve daemon keeps one per worker domain so repeated decode pieces
+    stay warm between requests.  Keys include the traced-binding digest,
+    so cross-script sharing is sound; replayed results are deterministic
+    (wall-clock-dependent failures are never cached).  On overflow the
+    whole table resets (counted in [recover.cache.resets]; occupancy is
+    gauged by [recover.cache.entries]). *)
 module Cache : sig
   type t
 
   val create : ?cap:int -> unit -> t
+  (** Default capacity 2048 entries (floor 1). *)
+
+  val length : t -> int
+  (** Current entry count. *)
 end
 
 val is_recoverable : Psast.Ast.t -> bool

@@ -22,9 +22,16 @@ let verdict_detail = function
   | Rolled_back n -> Some (Printf.sprintf "%d edit(s) rolled back" n)
   | Unverifiable reason -> Some reason
 
-type opts = { max_steps : int; timeout_s : float; max_rounds : int }
+type opts = {
+  max_steps : int;
+  timeout_s : float;
+  max_rounds : int;
+  use_ref_cache : bool;
+}
 
-let default_opts = { max_steps = 400_000; timeout_s = 5.0; max_rounds = 4 }
+let default_opts =
+  { max_steps = 400_000; timeout_s = 5.0; max_rounds = 4;
+    use_ref_cache = true }
 
 type outcome = {
   verdict : verdict;
@@ -37,6 +44,49 @@ let run_log ~opts ~runs text =
   incr runs;
   Sandbox.run_for_verify ~max_steps:opts.max_steps ~timeout_s:opts.timeout_s
     text
+
+(* Reference-log memo for the {e original} script's sandbox run.  The gate
+   re-verifies the same input whenever the ladder re-runs a rung, and a
+   service sees the same script again and again — but the reference log is
+   a pure function of (text, sandbox limits), so it is cached keyed on the
+   content digest plus those limits.  Only [Ok] logs are stored: a
+   containment error (timeout, step limit hit mid-wall-clock) depends on
+   the moment of execution and must not be replayed.  Bounded with
+   whole-table reset on overflow, mutex-protected (serve workers share
+   it process-wide). *)
+let ref_cache : (string, string list) Hashtbl.t = Hashtbl.create 64
+let ref_cache_lock = Mutex.create ()
+let ref_cache_cap = 512
+let m_ref_hits = T.Metrics.counter "verify.ref_cache_hits"
+
+let ref_log ~opts ~runs src =
+  if not opts.use_ref_cache then run_log ~opts ~runs src
+  else begin
+    let key =
+      Printf.sprintf "%s:%d:%h"
+        (Digest.to_hex (Digest.string src))
+        opts.max_steps opts.timeout_s
+    in
+    Mutex.lock ref_cache_lock;
+    let cached = Hashtbl.find_opt ref_cache key in
+    Mutex.unlock ref_cache_lock;
+    match cached with
+    | Some log ->
+        (* a hit performs no sandbox execution, so [runs] stays put —
+           sandbox_runs counts executions, not answers *)
+        T.Metrics.incr m_ref_hits;
+        Ok log
+    | None -> (
+        match run_log ~opts ~runs src with
+        | Ok log as ok ->
+            Mutex.lock ref_cache_lock;
+            if Hashtbl.length ref_cache >= ref_cache_cap then
+              Hashtbl.reset ref_cache;
+            Hashtbl.replace ref_cache key log;
+            Mutex.unlock ref_cache_lock;
+            ok
+        | Error _ as e -> e)
+  end
 
 (* The chaos probe sits inside the comparison itself, so an injected fault
    surfaces as a (spurious) divergence and drives the rollback machinery —
@@ -111,7 +161,7 @@ let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
            journaled and could not be bisected *)
         finish guarded (Unverifiable "original does not parse") []
     | Ok _ -> (
-        match run_log ~opts ~runs src with
+        match ref_log ~opts ~runs src with
         | Error reason ->
             finish guarded (Unverifiable ("original: " ^ reason)) []
         | Ok orig_log ->

@@ -34,10 +34,18 @@ type opts = {
   max_steps : int;  (** interpreter budget per sandbox execution *)
   timeout_s : float;  (** wall-clock budget per sandbox execution *)
   max_rounds : int;  (** rollback attempts before giving up as [Diverged] *)
+  use_ref_cache : bool;
+      (** memoize the {e original} script's reference effect log, keyed on
+          content digest plus sandbox limits.  Only successful logs are
+          cached (containment errors are wall-clock-dependent), so a memo
+          hit returns exactly what a fresh run would — verdicts are
+          identical with the cache on or off; a hit just skips one sandbox
+          execution (counted in [verify.ref_cache_hits], not in
+          [sandbox_runs]).  The memo is process-wide and bounded. *)
 }
 
 val default_opts : opts
-(** 400k steps, 5s, 4 rounds. *)
+(** 400k steps, 5s, 4 rounds, reference cache on. *)
 
 type outcome = {
   verdict : verdict;

@@ -2,7 +2,9 @@
 
     Named {e probe points} are threaded through the pipeline's containment
     sites ({!Guard.protect}, piece invocation, interpreter evaluation, pool
-    task execution, batch file IO).  When chaos is disabled — the default —
+    task execution, batch file IO, and the serve daemon's socket edges:
+    [serve.accept], [serve.read], [serve.write], [serve.queue]).  When
+    chaos is disabled — the default —
     a probe is one atomic load and a comparison: nothing allocates and
     nothing can fire, so probes stay in place on hot paths.  When enabled
     with a {!config}, each probe draws from a {e seeded} deterministic

@@ -49,6 +49,7 @@ let ambient_deadline () =
 
 let expired d = d < infinity && now () >= d
 let remaining_s d = if d = infinity then infinity else d -. now ()
+let ambient_remaining_s () = remaining_s (ambient_deadline ())
 let check d = if expired d then raise Deadline_exceeded
 
 (* Registration happens in module initialisers (single-domain, before any

@@ -55,6 +55,11 @@ val ambient_deadline : unit -> deadline
 val expired : deadline -> bool
 val remaining_s : deadline -> float
 
+val ambient_remaining_s : unit -> float
+(** Seconds left on the innermost ambient deadline ([infinity] outside any
+    guard, negative when expired) — what a request handler has left of its
+    budget, e.g. to report alongside a timeout response. *)
+
 val check : deadline -> unit
 (** @raise Deadline_exceeded when [deadline] has passed. *)
 

@@ -60,3 +60,97 @@ let map ?(jobs = 1) f items =
   end
 
 let iter ?jobs f items = ignore (map ?jobs f items)
+
+(* ---------- persistent service pool ---------- *)
+
+(* The daemon shape of the pool: instead of mapping one finite list, a
+   fixed set of worker domains drains a bounded queue for the life of the
+   process.  The bound is the admission-control contract — submit never
+   blocks and never grows memory; when the queue is full the caller sheds
+   the item (answers "overloaded") instead of queueing unboundedly. *)
+module Service = struct
+  let m_recycled = Telemetry.Metrics.counter "pool.service.recycled"
+  let m_depth = Telemetry.Metrics.gauge "pool.service.depth"
+
+  type 'a t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (float * 'a) Queue.t;  (* (enqueue time, item) *)
+    cap : int;
+    handler : 'a -> unit;
+    mutable stopping : bool;
+    inflight : int Atomic.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  let worker t () =
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if Queue.is_empty t.queue then Mutex.unlock t.mutex (* draining done *)
+      else begin
+        let enqueued, item = Queue.pop t.queue in
+        Telemetry.Metrics.set m_depth (Queue.length t.queue);
+        Mutex.unlock t.mutex;
+        Telemetry.Metrics.observe m_queue_wait
+          ((Unix.gettimeofday () -. enqueued) *. 1000.0);
+        Atomic.incr t.inflight;
+        let t0 = Unix.gettimeofday () in
+        (* handlers are expected to be total (everything below them runs
+           under Guard.protect); this catch is the recycling backstop — a
+           handler bug or an injected pool fault costs one item, never a
+           worker, and never the server *)
+        (try t.handler item
+         with e ->
+           Telemetry.Metrics.incr m_recycled;
+           Telemetry.Log.warn (fun () ->
+               "service worker recycled: " ^ Printexc.to_string e));
+        Telemetry.Metrics.observe m_run
+          ((Unix.gettimeofday () -. t0) *. 1000.0);
+        Atomic.decr t.inflight;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~jobs ~queue_cap handler =
+    let t =
+      { mutex = Mutex.create (); nonempty = Condition.create ();
+        queue = Queue.create (); cap = max 1 queue_cap; handler;
+        stopping = false; inflight = Atomic.make 0; workers = [] }
+    in
+    Telemetry.Metrics.set m_jobs (max 1 jobs);
+    t.workers <- List.init (max 1 jobs) (fun _ -> Domain.spawn (worker t));
+    t
+
+  let submit t item =
+    Mutex.lock t.mutex;
+    let accepted =
+      (not t.stopping) && Queue.length t.queue < t.cap
+    in
+    if accepted then begin
+      Queue.push (Unix.gettimeofday (), item) t.queue;
+      Telemetry.Metrics.set m_depth (Queue.length t.queue);
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    accepted
+
+  let depth t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.mutex;
+    n
+
+  let inflight t = Atomic.get t.inflight
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end

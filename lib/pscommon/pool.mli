@@ -24,3 +24,36 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [iter ~jobs f items] — {!map} with unit results. *)
+
+(** Persistent bounded-queue worker pool — the daemon-shaped counterpart of
+    {!map}.  A fixed set of worker domains drains a bounded queue for the
+    life of the process; the bound is the admission-control contract:
+    {!Service.submit} never blocks and never grows memory, it simply
+    refuses when full so the caller can shed the request explicitly. *)
+module Service : sig
+  type 'a t
+
+  val create : jobs:int -> queue_cap:int -> ('a -> unit) -> 'a t
+  (** [create ~jobs ~queue_cap handler] spawns [max 1 jobs] worker domains
+      (the caller is {e not} a worker — it keeps its own loop, e.g. the
+      accept loop) that each pop items and run [handler].  A handler that
+      raises costs that one item (logged, counted in
+      [pool.service.recycled]) — the worker recycles and keeps serving.
+      Queue wait and run time feed the shared [pool.queue_wait_ms] /
+      [pool.run_ms] histograms; [pool.service.depth] gauges the queue. *)
+
+  val submit : 'a t -> 'a -> bool
+  (** Enqueue without blocking.  [false] means shed: the queue is at
+      [queue_cap] or the pool is shutting down, and the item was {e not}
+      accepted. *)
+
+  val depth : 'a t -> int
+  (** Items queued and not yet claimed by a worker. *)
+
+  val inflight : 'a t -> int
+  (** Items currently being handled by workers. *)
+
+  val shutdown : 'a t -> unit
+  (** Graceful drain: stop accepting, let workers finish every item already
+      queued, then join them.  Blocks until the last handler returns. *)
+end

@@ -131,7 +131,7 @@ type trace = {
   capacity : int;
   mutable pushed : int;  (** total events ever pushed (= next seq) *)
   mutable dropped : int;  (** oldest events overwritten by the ring *)
-  created : float;  (** wall clock at creation (epoch seconds) *)
+  mutable created : float;  (** wall clock at creation (epoch seconds) *)
   mutable last_ms : float;  (** monotonicity clamp for [t_ms] *)
   mutable next_id : int;
   mutable stack : open_span list;  (** innermost open span first *)
@@ -155,6 +155,18 @@ let push t kind name ~id ~parent attrs =
   t.buf.(t.pushed mod t.capacity) <- e;
   if t.pushed >= t.capacity then t.dropped <- t.dropped + 1;
   t.pushed <- t.pushed + 1
+
+(* Rewind a trace for reuse without reallocating the ring: a long-running
+   daemon (or a sampling batch run) traces thousands of requests, and a
+   fresh 64k-slot ring per request is pure allocator pressure when most
+   traces are never serialized. *)
+let reset t =
+  t.created <- Unix.gettimeofday ();
+  t.pushed <- 0;
+  t.dropped <- 0;
+  t.last_ms <- 0.0;
+  t.next_id <- 0;
+  t.stack <- []
 
 (* ---------- ambient installation (Domain.DLS) ---------- *)
 
@@ -383,6 +395,29 @@ module Metrics = struct
       hs_min = (if count = 0 then Float.nan else Atomic.get h.h_min);
       hs_max = (if count = 0 then Float.nan else Atomic.get h.h_max);
       hs_buckets = !buckets }
+
+  (* Quantile estimate from the log2 buckets: the upper bound of the bucket
+     the q-th observation falls in (the true max for the overflow bucket,
+     since infinity is useless as a latency estimate).  Coarse by design —
+     buckets double — but monotone and cheap, which is what a daemon's
+     p50/p99 health numbers need. *)
+  let quantile hs q =
+    if hs.hs_count = 0 then Float.nan
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target =
+        Float.max 1.0 (Float.round (q *. float_of_int hs.hs_count))
+      in
+      let rec walk seen = function
+        | [] -> hs.hs_max
+        | (bound, n) :: rest ->
+            let seen = seen + n in
+            if float_of_int seen >= target then
+              if bound = infinity then hs.hs_max else bound
+            else walk seen rest
+      in
+      walk 0 hs.hs_buckets
+    end
 
   let by_name (a, _) (b, _) = String.compare a b
 

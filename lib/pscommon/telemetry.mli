@@ -74,6 +74,13 @@ type trace
 val create : ?capacity:int -> unit -> trace
 (** Default capacity 65536 events (floor 16). *)
 
+val reset : trace -> unit
+(** Rewind the trace to empty for reuse, keeping the allocated ring: the
+    clock restarts, sequence numbers and span ids restart at 0, and the
+    open-span stack is cleared.  Long-running services (and sampling batch
+    runs) reuse one ring per domain instead of allocating one per
+    request. *)
+
 val install : trace -> unit
 (** Make [trace] the current domain's ambient trace. *)
 
@@ -169,6 +176,12 @@ module Metrics : sig
   }
 
   val snapshot : unit -> snapshot
+
+  val quantile : histogram_snapshot -> float -> float
+  (** [quantile hs q] ([q] in [0,1], clamped) estimates the q-th latency
+      quantile as the upper bound of the log2 bucket holding the q-th
+      observation ([hs_max] for the overflow bucket); [nan] when empty.
+      Coarse (buckets double) but monotone — the daemon's p50/p99. *)
 
   val reset : unit -> unit
   (** Zero every registered value (handles stay valid) — run at the start

@@ -17,6 +17,7 @@ let () =
       ("obfuscator", Test_obfuscator.suite);
       ("deobf", Test_deobf.suite);
       ("verify", Test_verify.suite);
+      ("serve", Test_serve.suite);
       ("baselines", Test_baselines.suite);
       ("corpus", Test_corpus.suite);
       ("experiments", Test_experiments.suite);

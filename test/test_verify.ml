@@ -114,9 +114,32 @@ let test_suppression_matches_by_content () =
 (* ---------- the gate ---------- *)
 
 let test_verify_equivalent_simple () =
-  let _, o = V.run_guarded "$a = ('te'+'st'); Write-Output $a" in
+  (* cache off: this test asserts both sides actually executed, which a
+     warm reference memo (process-wide, possibly fed by earlier suites)
+     would legitimately skip *)
+  let opts = { V.default_opts with V.use_ref_cache = false } in
+  let _, o = V.run_guarded ~opts "$a = ('te'+'st'); Write-Output $a" in
   check_s "verdict" "equivalent" (V.verdict_name o.V.verdict);
   check_b "sandbox ran" true (o.V.sandbox_runs >= 2)
+
+let test_ref_cache_ablation () =
+  (* the memo must be invisible in verdicts: gate the same script with the
+     reference cache off, then twice with it on — identical verdicts, and
+     the warm pass performs exactly one fewer sandbox execution (the
+     reference run answered from the memo) *)
+  let src = "$q = ('ca'+'che'+'d'); Write-Output $q" in
+  let off_opts = { V.default_opts with V.use_ref_cache = false } in
+  let _, off = V.run_guarded ~opts:off_opts src in
+  let _, cold = V.run_guarded src in
+  let _, warm = V.run_guarded src in
+  check_s "cache-off and cache-on verdicts identical"
+    (V.verdict_name off.V.verdict)
+    (V.verdict_name cold.V.verdict);
+  check_s "warm verdict identical"
+    (V.verdict_name off.V.verdict)
+    (V.verdict_name warm.V.verdict);
+  check_i "memo hit skips exactly the reference run"
+    (cold.V.sandbox_runs - 1) warm.V.sandbox_runs
 
 let test_verify_unchanged_skips_sandbox () =
   (* the engine's own fixpoint has nothing left to deobfuscate: trivially
@@ -395,6 +418,8 @@ let suite =
       test_suppression_matches_by_content;
     Alcotest.test_case "gate: simple recovery equivalent" `Quick
       test_verify_equivalent_simple;
+    Alcotest.test_case "gate: reference memo invisible in verdicts" `Quick
+      test_ref_cache_ablation;
     Alcotest.test_case "gate: unchanged output skips sandbox" `Quick
       test_verify_unchanged_skips_sandbox;
     Alcotest.test_case "gate: unparseable original unverifiable" `Quick
