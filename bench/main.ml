@@ -77,6 +77,11 @@ let run_funnel () =
 
 (* ---------- batch throughput (domain-pool scaling) ---------- *)
 
+(* the recovery-phase wall total this suite measured before closure
+   compilation and the cross-file cache landed — the regression anchor for
+   the 5x gate below *)
+let baseline_recovery_ms = 883.7
+
 let run_throughput () =
   line ();
   let module Guard = Pscommon.Guard in
@@ -93,36 +98,99 @@ let run_throughput () =
         path)
       samples
   in
-  (* floor at 4 so the domain-pool path is exercised even on small boxes;
-     on a single core the speedup honestly reports ~1x *)
+  (* ask for at least 4 so the domain-pool path is exercised where the
+     cores exist; run_files clamps to the detected cores and reports both
+     levels, so on a small box this is an honest sequential run *)
   let cores = Domain.recommended_domain_count () in
   let jobs_n = max 4 (Pscommon.Pool.recommended_jobs ()) in
-  let run jobs =
-    let out_dir = Filename.concat dir (Printf.sprintf "out_j%d" jobs) in
+  let run ?options ?piece_cache_dir ~jobs tag =
+    let out_dir = Filename.concat dir ("out_" ^ tag) in
     let t0 = Guard.now () in
-    let summary = Deobf.Batch.run_files ~timeout_s:30.0 ~out_dir ~jobs files in
+    let summary =
+      Deobf.Batch.run_files ?options ~timeout_s:30.0 ~out_dir ~jobs
+        ?piece_cache_dir files
+    in
     let wall_s = Guard.now () -. t0 in
     (summary, out_dir, wall_s)
   in
-  Printf.printf "batch throughput: %d samples (seed %d), jobs 1 vs %d\n" count
-    seed jobs_n;
-  let s1, out1, wall1 = run 1 in
-  let sn, outn, walln = run jobs_n in
-  let identical =
+  Printf.printf
+    "batch throughput: %d samples (seed %d), jobs 1 vs %d, cache \
+     on/off/persistent\n"
+    count seed jobs_n;
+  let s1, out1, wall1 = run ~jobs:1 "j1" in
+  let sn, outn, walln = run ~jobs:jobs_n "jN" in
+  (* the same corpus with the piece cache ablated off, and with the
+     persistent tier cold then warm: all four output sets must be
+     byte-identical to the jobs=1 run *)
+  let no_cache_options =
+    { Deobf.Engine.default_options with
+      recovery =
+        { Deobf.Recover.default_options with
+          Deobf.Recover.use_piece_cache = false } }
+  in
+  let _s_off, out_off, _wall_off =
+    run ~options:no_cache_options ~jobs:1 "nocache"
+  in
+  let piece_cache_dir = Filename.concat dir "piece-cache" in
+  let s_cold, out_cold, _ = run ~piece_cache_dir ~jobs:1 "cold" in
+  let s_warm, out_warm, _ = run ~piece_cache_dir ~jobs:1 "warm" in
+  let identical_to out1 d2 =
     List.for_all
       (fun file ->
         let base = Filename.basename file in
         let read d =
           In_channel.with_open_bin (Filename.concat d base) In_channel.input_all
         in
-        String.equal (read out1) (read outn))
+        String.equal (read out1) (read d2))
       files
   in
-  let sum f = List.fold_left (fun acc o -> acc + f o) 0 sn.Deobf.Batch.outcomes in
-  let attempted = sum (fun o -> o.Deobf.Batch.stats.Deobf.Recover.pieces_attempted) in
-  let hits = sum (fun o -> o.Deobf.Batch.stats.Deobf.Recover.cache_hits) in
-  let hit_rate =
+  let id_jobs = identical_to out1 outn in
+  let id_cache_off = identical_to out1 out_off in
+  let id_cold = identical_to out1 out_cold in
+  let id_warm = identical_to out1 out_warm in
+  let identical = id_jobs && id_cache_off && id_cold && id_warm in
+  let sum s f =
+    List.fold_left (fun acc o -> acc + f o) 0 s.Deobf.Batch.outcomes
+  in
+  let attempted =
+    sum sn (fun o -> o.Deobf.Batch.stats.Deobf.Recover.pieces_attempted)
+  in
+  let hits = sum sn (fun o -> o.Deobf.Batch.stats.Deobf.Recover.cache_hits) in
+  let in_run_hit_rate =
     if attempted = 0 then 0.0 else float_of_int hits /. float_of_int attempted
+  in
+  (* the warm persistent run is where the cache earns its keep: every
+     cacheable piece was answered without evaluation *)
+  let warm_attempted =
+    sum s_warm (fun o -> o.Deobf.Batch.stats.Deobf.Recover.pieces_attempted)
+  in
+  let warm_hits =
+    sum s_warm (fun o -> o.Deobf.Batch.stats.Deobf.Recover.cache_hits)
+  in
+  let warm_hit_rate =
+    if warm_attempted = 0 then 0.0
+    else float_of_int warm_hits /. float_of_int warm_attempted
+  in
+  (* batch-scale hit rate: every result lookup the shared caches answered
+     across the one-shot and warm runs, hit or miss *)
+  let cache_hit_rate =
+    let tiers = [ sn; s_warm ] in
+    let pick f =
+      List.fold_left
+        (fun acc s ->
+          match s.Deobf.Batch.cache_stats with
+          | Some cs -> acc + f cs
+          | None -> acc)
+        0 tiers
+    in
+    let lookups = pick (fun cs -> cs.Deobf.Recover.Cache.lookups) in
+    let h = pick (fun cs -> cs.Deobf.Recover.Cache.hits) in
+    if lookups = 0 then 0.0 else float_of_int h /. float_of_int lookups
+  in
+  let persistent_loads =
+    match s_warm.Deobf.Batch.cache_stats with
+    | Some cs -> cs.Deobf.Recover.Cache.persistent_loads
+    | None -> 0
   in
   let phase_totals =
     List.fold_left
@@ -134,6 +202,17 @@ let run_throughput () =
           acc o.Deobf.Batch.phase_ms)
       [] sn.Deobf.Batch.outcomes
   in
+  let recovery_ms =
+    try List.assoc "recovery" phase_totals with Not_found -> 0.0
+  in
+  let recovery_speedup =
+    if recovery_ms > 0.0 then baseline_recovery_ms /. recovery_ms else 0.0
+  in
+  let pieces_per_s =
+    if recovery_ms > 0.0 then
+      float_of_int attempted /. (recovery_ms /. 1000.0)
+    else 0.0
+  in
   let speedup = if walln > 0.0 then wall1 /. walln else 0.0 in
   let json =
     String.concat "\n"
@@ -142,6 +221,7 @@ let run_throughput () =
         Printf.sprintf "  \"samples\": %d," count;
         Printf.sprintf "  \"seed\": %d," seed;
         Printf.sprintf "  \"jobs\": %d," jobs_n;
+        Printf.sprintf "  \"jobs_effective\": %d," sn.Deobf.Batch.jobs_effective;
         Printf.sprintf "  \"cores\": %d," cores;
         Printf.sprintf "  \"wall_s_jobs1\": %.3f," wall1;
         Printf.sprintf "  \"wall_s_jobsN\": %.3f," walln;
@@ -151,9 +231,20 @@ let run_throughput () =
           (float_of_int count /. walln);
         Printf.sprintf "  \"speedup\": %.2f," speedup;
         Printf.sprintf "  \"outputs_identical\": %b," identical;
+        Printf.sprintf
+          "  \"outputs_identical_detail\": {\"jobs\": %b, \"cache_off\": %b, \
+           \"persistent_cold\": %b, \"persistent_warm\": %b},"
+          id_jobs id_cache_off id_cold id_warm;
         Printf.sprintf "  \"pieces_attempted\": %d," attempted;
         Printf.sprintf "  \"cache_hits\": %d," hits;
-        Printf.sprintf "  \"cache_hit_rate\": %.3f," hit_rate;
+        Printf.sprintf "  \"cache_hit_rate\": %.3f," cache_hit_rate;
+        Printf.sprintf "  \"in_run_hit_rate\": %.3f," in_run_hit_rate;
+        Printf.sprintf "  \"warm_hit_rate\": %.3f," warm_hit_rate;
+        Printf.sprintf "  \"persistent_loads\": %d," persistent_loads;
+        Printf.sprintf "  \"recovery_ms\": %.1f," recovery_ms;
+        Printf.sprintf "  \"baseline_recovery_ms\": %.1f," baseline_recovery_ms;
+        Printf.sprintf "  \"recovery_speedup\": %.1f," recovery_speedup;
+        Printf.sprintf "  \"pieces_per_s\": %.0f," pieces_per_s;
         Printf.sprintf "  \"phase_ms\": {%s},"
           (String.concat ", "
              (List.map
@@ -167,14 +258,21 @@ let run_throughput () =
   Out_channel.with_open_bin "BENCH_batch.json" (fun oc ->
       Out_channel.output_string oc (json ^ "\n"));
   Printf.printf
-    "  jobs=1: %.2fs (%.1f samples/s)\n  jobs=%d: %.2fs (%.1f samples/s)\n"
+    "  jobs=1: %.2fs (%.1f samples/s)\n  jobs=%d (effective %d): %.2fs \
+     (%.1f samples/s)\n"
     wall1
     (float_of_int count /. wall1)
-    jobs_n walln
+    jobs_n sn.Deobf.Batch.jobs_effective walln
     (float_of_int count /. walln);
   Printf.printf "  speedup: %.2fx, outputs identical: %b\n" speedup identical;
-  Printf.printf "  cache: %d hits / %d attempted (%.1f%%)\n" hits attempted
-    (100.0 *. hit_rate);
+  Printf.printf
+    "  cache: %d hits / %d attempted in-run (%.1f%%), warm re-run %.1f%%, \
+     batch-scale %.1f%%, %d persistent loads\n"
+    hits attempted (100.0 *. in_run_hit_rate) (100.0 *. warm_hit_rate)
+    (100.0 *. cache_hit_rate) persistent_loads;
+  Printf.printf
+    "  recovery: %.1f ms (baseline %.1f ms, %.1fx), %.0f pieces/s\n"
+    recovery_ms baseline_recovery_ms recovery_speedup pieces_per_s;
   List.iter
     (fun (p, ms) -> Printf.printf "  phase %-10s %8.1f ms\n" p ms)
     (List.sort compare phase_totals);
@@ -192,10 +290,33 @@ let run_throughput () =
     exit 1
   end;
   if not identical then begin
-    Printf.eprintf "FAIL: jobs=1 and jobs=%d outputs differ\n" jobs_n;
+    Printf.eprintf
+      "FAIL: outputs differ (jobs %b, cache off %b, cold %b, warm %b)\n"
+      id_jobs id_cache_off id_cold id_warm;
     exit 1
   end;
-  ignore s1
+  if recovery_speedup < 5.0 then begin
+    Printf.eprintf
+      "FAIL: recovery %.1f ms is only %.1fx the %.1f ms baseline (5x floor)\n"
+      recovery_ms recovery_speedup baseline_recovery_ms;
+    exit 1
+  end;
+  if pieces_per_s < 2_000.0 then begin
+    Printf.eprintf
+      "FAIL: recovery throughput %.0f pieces/s below the 2000/s floor\n"
+      pieces_per_s;
+    exit 1
+  end;
+  if cache_hit_rate <= 0.5 then begin
+    Printf.eprintf
+      "FAIL: batch-scale cache hit rate %.3f not above 0.50\n" cache_hit_rate;
+    exit 1
+  end;
+  if persistent_loads = 0 then begin
+    Printf.eprintf "FAIL: warm run answered no lookups from the persistent tier\n";
+    exit 1
+  end;
+  ignore (s1, s_cold)
 
 (* ---------- telemetry overhead (observability) ---------- *)
 
@@ -885,6 +1006,11 @@ let micro_tests () =
        (New-Object Net.WebClient).DownloadString($u) | Invoke-Expression"
   in
   let simple = "('wri'+'te-host') ('he'+'llo')" in
+  (* compiled-vs-walk: the same piece through the per-call parse+walk of
+     Interp.invoke_piece and through a program compiled once outside the
+     measured loop — the recovery fixpoint's repeat-execution shape *)
+  let piece = "(('In'+'voke')+('-Ex'+'pression'))+[string](17*3+2)" in
+  let compiled = Pseval.Compile.compile piece in
   [
     Test.make ~name:"lexer/multilayer-sample"
       (Staged.stage (fun () -> ignore (Pslex.Lexer.tokenize sample)));
@@ -894,6 +1020,14 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let env = Pseval.Env.create () in
            ignore (Pseval.Interp.invoke_piece env "'he'+'llo'")));
+    Test.make ~name:"pseval/piece-walked"
+      (Staged.stage (fun () ->
+           let env = Pseval.Env.create () in
+           ignore (Pseval.Interp.invoke_piece env piece)));
+    Test.make ~name:"pseval/piece-compiled"
+      (Staged.stage (fun () ->
+           let env = Pseval.Env.create () in
+           ignore (Pseval.Compile.run env compiled)));
     Test.make ~name:"deobf/simple"
       (Staged.stage (fun () -> ignore (Deobf.Engine.run simple)));
     Test.make ~name:"deobf/multilayer"

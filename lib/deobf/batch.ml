@@ -53,6 +53,9 @@ type summary = {
   clean : int;
   degraded : int;
   wall_ms : float;
+  jobs_requested : int;
+  jobs_effective : int;
+  cache_stats : Recover.Cache.stats option;
   outcomes : outcome list;
 }
 
@@ -124,6 +127,8 @@ let summary_to_json s =
       Printf.sprintf "  \"clean\": %d," s.clean;
       Printf.sprintf "  \"degraded\": %d," s.degraded;
       Printf.sprintf "  \"wall_ms\": %.1f," s.wall_ms;
+      Printf.sprintf "  \"jobs_requested\": %d," s.jobs_requested;
+      Printf.sprintf "  \"jobs_effective\": %d," s.jobs_effective;
       Printf.sprintf "  \"outcomes\": [\n%s\n  ]"
         (String.concat ",\n" (List.map outcome_to_json s.outcomes));
       "}";
@@ -165,6 +170,16 @@ let options_fingerprint ~options ~timeout_s ~max_output_bytes ~verify =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string (options, timeout_s, max_output_bytes, verify) []))
+
+(* The persistent piece tier is only sound between runs that would evaluate
+   pieces identically, so its fingerprint covers the cache format version
+   and every evaluation-relevant knob.  [verify] is deliberately absent:
+   the gate replays the same pieces, it does not change their results. *)
+let piece_cache_fingerprint ~options ~timeout_s ~max_output_bytes =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ("piece-cache-v1", options, timeout_s, max_output_bytes) []))
 
 (* field extraction for our own single-line manifest entries lives in
    {!Jsonl} (shared with the serve daemon's NDJSON protocol); a malformed
@@ -381,8 +396,8 @@ let run_source ?options ?(timeout_s = 30.0) ?max_output_bytes ?cache
       verdict; resumed = false },
     result.Engine.output )
 
-let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
-    ?(verify = false) ?verify_opts ?journal file =
+let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?cache
+    ?out_dir ?(verify = false) ?verify_opts ?journal file =
   let started = Guard.now () in
   let finish ?output_file ?(phase_ms = []) ?(degraded_mode = Full)
       ?(retries = 0) ?(regions = (0, 0)) ?(verdict = None) ?(resumed = false)
@@ -418,8 +433,8 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
       (* the guarded engine is total; the outer protect is the backstop for
          anything outside it (e.g. report writing) *)
       let core, output =
-        run_source ?options ~timeout_s ?max_output_bytes ~verify ?verify_opts
-          ~name:file src
+        run_source ?options ~timeout_s ?max_output_bytes ?cache ~verify
+          ?verify_opts ~name:file src
       in
       let output_file, write_failure =
         match out_dir with
@@ -460,8 +475,8 @@ let process_file_inner ?options ?(timeout_s = 30.0) ?max_output_bytes ?out_dir
 let scratch_trace : T.trace Domain.DLS.key =
   Domain.DLS.new_key (fun () -> T.create ())
 
-let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
-    ?(sampled = true) ?verify ?verify_opts ?journal file =
+let process_file ?options ?timeout_s ?max_output_bytes ?cache ?out_dir
+    ?trace_dir ?(sampled = true) ?verify ?verify_opts ?journal file =
   (* Scope the chaos stream to the file: injection becomes a pure function
      of (seed, basename, probe order), so a file draws the same faults no
      matter which pool domain ran it or in what order — outputs under
@@ -476,8 +491,8 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
     Chaos.probe "pool.task";
     match trace_dir with
     | None ->
-        process_file_inner ?options ?timeout_s ?max_output_bytes ?out_dir
-          ?verify ?verify_opts ?journal file
+        process_file_inner ?options ?timeout_s ?max_output_bytes ?cache
+          ?out_dir ?verify ?verify_opts ?journal file
     | Some _ when not sampled ->
         (* unsampled: record into the domain's scratch ring, skip the
            JSONL serialization — the trace machinery runs, the bytes
@@ -487,7 +502,7 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
         T.with_trace trace (fun () ->
             T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
                 process_file_inner ?options ?timeout_s ?max_output_bytes
-                  ?out_dir ?verify ?verify_opts ?journal file))
+                  ?cache ?out_dir ?verify ?verify_opts ?journal file))
     | Some dir ->
         (* one event stream per input: the trace is created in (and private
            to) whichever pool domain runs this file, installed as that
@@ -499,7 +514,7 @@ let process_file ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
           T.with_trace trace (fun () ->
               T.span ~attrs:[ ("file", T.S file) ] "batch.file" (fun () ->
                   process_file_inner ?options ?timeout_s ?max_output_bytes
-                    ?out_dir ?verify ?verify_opts ?journal file))
+                    ?cache ?out_dir ?verify ?verify_opts ?journal file))
         in
         let path = Filename.concat dir (Filename.basename file ^ ".trace.jsonl") in
         ignore (Guard.protect (fun () -> write_file path (T.to_jsonl trace)));
@@ -537,8 +552,12 @@ let rec ensure_dir dir =
 
 let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
     ?trace_sample ?(jobs = 1) ?(verify = true) ?verify_opts ?(resume = false)
-    files =
+    ?piece_cache_dir files =
   let started = Guard.now () in
+  (* more domains than cores only adds scheduler churn (and, on a small
+     machine, cold caches); the requested level is still reported so the
+     clamp is visible in the summary *)
+  let jobs_effective = max 1 (min jobs (Pool.recommended_jobs ())) in
   (* the process-global metrics registry becomes a per-run rollup: zeroed
      here, aggregated across every pool domain, snapshotted by metrics_json *)
   T.Metrics.reset ();
@@ -578,6 +597,23 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
             j_done }
     | _ -> None
   in
+  (* one content-addressed piece cache for the whole run, shared by every
+     pool domain; with [piece_cache_dir] it also reads and writes the
+     persistent tier, so a later run starts warm.  An unusable cache
+     directory degrades to the in-memory tiers — caching is an
+     accelerator, never a reason to fail the batch. *)
+  let cache =
+    let dir =
+      Option.bind piece_cache_dir (fun dir ->
+          match Guard.protect (fun () -> ensure_dir dir) with
+          | Ok () -> Some dir
+          | Error _ -> None)
+    in
+    Recover.Cache.create ?dir
+      ~fingerprint:
+        (piece_cache_fingerprint ~options ~timeout_s ~max_output_bytes)
+      ()
+  in
   let outcomes =
     match dir_failure with
     | Some site ->
@@ -597,15 +633,15 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
            which file, so reports and outputs are deterministic — and so is
            trace sampling, which keys on the input index, not on which
            domain or in what order a file happened to run *)
-        Pool.map ~jobs
+        Pool.map ~jobs:jobs_effective
           (fun (i, file) ->
             let sampled =
               match trace_sample with
               | Some n when n > 1 -> i mod n = 0
               | _ -> true
             in
-            process_file ?options ?timeout_s ?max_output_bytes ?out_dir
-              ?trace_dir ~sampled ~verify ?verify_opts ?journal file)
+            process_file ?options ?timeout_s ?max_output_bytes ~cache
+              ?out_dir ?trace_dir ~sampled ~verify ?verify_opts ?journal file)
           (List.mapi (fun i file -> (i, file)) files)
   in
   (* clean means clean at full strength: no contained failures and no trip
@@ -621,6 +657,9 @@ let run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
     clean;
     degraded = List.length outcomes - clean;
     wall_ms = (Guard.now () -. started) *. 1000.0;
+    jobs_requested = jobs;
+    jobs_effective;
+    cache_stats = Some (Recover.Cache.stats cache);
     outcomes;
   }
 
@@ -700,10 +739,25 @@ let metrics_json s =
            (List.map
               (fun (k, n) -> Printf.sprintf "%s: %d" (Report.json_string k) n)
               (failure_site_counts s.outcomes)));
-      Printf.sprintf
-        "  \"cache\": {\"pieces_attempted\": %d, \"cache_hits\": %d, \
-         \"hit_rate\": %.3f},"
-        attempted hits hit_rate;
+      (* per-piece counters from the outcomes plus the shared cache's own
+         view: occupancy, generation-flip evictions, and how many hits the
+         persistent tier answered *)
+      (let cs =
+         Option.value
+           ~default:
+             { Recover.Cache.entries = 0; hits = 0; lookups = 0;
+               evictions = 0; persistent_loads = 0 }
+           s.cache_stats
+       in
+       Printf.sprintf
+         "  \"cache\": {\"pieces_attempted\": %d, \"cache_hits\": %d, \
+          \"hit_rate\": %.3f, \"entries\": %d, \"lookups\": %d, \
+          \"hits\": %d, \"evictions\": %d, \"persistent_loads\": %d},"
+         attempted hits hit_rate cs.Recover.Cache.entries
+         cs.Recover.Cache.lookups cs.Recover.Cache.hits
+         cs.Recover.Cache.evictions cs.Recover.Cache.persistent_loads);
+      Printf.sprintf "  \"jobs\": {\"requested\": %d, \"effective\": %d},"
+        s.jobs_requested s.jobs_effective;
       Printf.sprintf "  \"phase_ms_total\": {%s},"
         (String.concat ", "
            (List.map
@@ -741,7 +795,7 @@ let metrics_json s =
     ]
 
 let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
-    ?trace_sample ?jobs ?verify ?verify_opts ?resume dir =
+    ?trace_sample ?jobs ?verify ?verify_opts ?resume ?piece_cache_dir dir =
   let files =
     match Guard.protect (fun () -> Sys.readdir dir) with
     | Error _ -> []
@@ -755,7 +809,7 @@ let run_dir ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
   in
   let summary =
     run_files ?options ?timeout_s ?max_output_bytes ?out_dir ?trace_dir
-      ?trace_sample ?jobs ?verify ?verify_opts ?resume files
+      ?trace_sample ?jobs ?verify ?verify_opts ?resume ?piece_cache_dir files
   in
   (match out_dir with
   | Some out ->

@@ -50,12 +50,31 @@ type summary = {
           clean at full strength *)
   degraded : int;  (** files that degraded or walked the retry ladder *)
   wall_ms : float;
+  jobs_requested : int;  (** the [jobs] the caller asked for *)
+  jobs_effective : int;
+      (** after clamping to {!Pscommon.Pool.recommended_jobs} — the pool
+          size the run actually used *)
+  cache_stats : Recover.Cache.stats option;
+      (** end-of-run snapshot of the shared piece cache ([None] only for
+          summaries built outside {!run_files}) *)
   outcomes : outcome list;  (** in processing order *)
 }
 
 type journal
 (** Handle on the [manifest.jsonl] resume journal of one batch run; created
     internally by {!run_files} when there is an output directory. *)
+
+val piece_cache_fingerprint :
+  options:Engine.options option ->
+  timeout_s:float option ->
+  max_output_bytes:int option ->
+  string
+(** The version/options fingerprint guarding the persistent piece-cache
+    tier ({!Recover.Cache.create}): a digest over the cache format version
+    and every evaluation-relevant knob, so entries written by a run with
+    different recovery options (or a future incompatible format) load as
+    misses.  Used by {!run_files} and the serve daemon; exposed so other
+    front ends pointing at the same cache directory stay compatible. *)
 
 val run_source :
   ?options:Engine.options ->
@@ -81,6 +100,7 @@ val process_file :
   ?options:Engine.options ->
   ?timeout_s:float ->
   ?max_output_bytes:int ->
+  ?cache:Recover.Cache.t ->
   ?out_dir:string ->
   ?trace_dir:string ->
   ?sampled:bool ->
@@ -126,15 +146,24 @@ val run_files :
   ?verify:bool ->
   ?verify_opts:Verify.opts ->
   ?resume:bool ->
+  ?piece_cache_dir:string ->
   string list ->
   summary
-(** Process the given files, [jobs] at a time (default 1, sequential).
+(** Process the given files, [jobs] at a time (default 1, sequential;
+    clamped to {!Pscommon.Pool.recommended_jobs} — both the requested and
+    effective levels are recorded in the summary).
     [out_dir] (and [trace_dir]) are created with mkdir-p semantics; if one
     cannot be created (e.g. the path names a regular file) every outcome
     carries a structured ["write"] failure instead of the batch crashing.
     The process-global {!Pscommon.Telemetry.Metrics} registry is reset at
     the start of the call, so a snapshot taken afterwards (and the
     [metrics.json] rollup from {!run_dir}) covers exactly this run.
+
+    All files share one {!Recover.Cache} across every pool domain, so a
+    decode piece recovered in one file is a cache hit in the next.  With
+    [piece_cache_dir] (created mkdir-p; an unusable directory silently
+    degrades to memory-only) cacheable piece results also persist across
+    runs, guarded by a fingerprint of the evaluation-relevant options.
 
     [verify] (default on) runs the {!Verify} semantic gate on every file.
     With an [out_dir], the run keeps an append-only [manifest.jsonl]
@@ -160,6 +189,7 @@ val run_dir :
   ?verify:bool ->
   ?verify_opts:Verify.opts ->
   ?resume:bool ->
+  ?piece_cache_dir:string ->
   string ->
   summary
 (** Process every regular file in a directory, in sorted order.  With

@@ -65,33 +65,240 @@ let new_stats () =
     edits_recorded = 0 }
 
 (* Memoizes piece invocation: obfuscators emit the same decode piece
-   hundreds of times per script, and the fixpoint loop re-attempts
-   unrecovered pieces every pass.  The key joins the traced-binding digest
-   (the only ambient input to an execution) with the piece text; a table
-   holding an unfingerprintable value yields no key and bypasses the cache
-   entirely.  Bounded: on overflow the whole table resets — crude, but
-   keeps the common case (one hot working set per script) intact. *)
+   hundreds of times per script, wild corpora repeat the same decode
+   constructs across scripts, and the fixpoint loop re-attempts unrecovered
+   pieces every pass.  The key joins the traced-binding digest (the only
+   ambient input to an execution) with the piece text; a table holding an
+   unfingerprintable value yields no key and bypasses the cache entirely.
+
+   Three tiers.  In-memory results are content-addressed and mutex-guarded,
+   so one cache is shared by every pool domain of a batch or daemon
+   process; bounding is two-generation segmented eviction (hot fills up →
+   hot becomes cold, old cold is dropped, recently-touched entries are
+   promoted back to hot), so overflow sheds the stale half instead of
+   cold-starting the whole working set.  An optional persistent tier
+   ([dir]) write-throughs every cacheable result to a digest-named file
+   (atomic rename; payload digest + version/options [fingerprint] checked
+   on load, so corruption, torn writes, and stale options all read as a
+   miss) — batch reruns and daemon restarts start warm.  Alongside the
+   result tiers, compiled piece programs ({!Pseval.Compile}) are memoized
+   on text alone: compilation has no environment inputs, so programs are
+   shared even when the binding digest differs or result caching is
+   ablated away. *)
 module Cache = struct
+  type entry = (Value.t, string) result
+
+  type stats = {
+    entries : int;
+    hits : int;
+    lookups : int;
+    evictions : int;
+    persistent_loads : int;
+  }
+
   type t = {
-    tbl : (string, (Value.t, string) result) Hashtbl.t;
-    cap : int;
+    mu : Mutex.t;
+    mutable hot : (string, entry) Hashtbl.t;
+    mutable cold : (string, entry) Hashtbl.t;
+    gen_cap : int;  (** per generation; total residency stays under [cap] *)
+    dir : string option;
+    fingerprint : string;
+    mutable hits : int;
+    mutable lookups : int;
+    mutable evictions : int;
+    mutable persistent_loads : int;
+    mutable prog_hot : (string, Pseval.Compile.program) Hashtbl.t;
+    mutable prog_cold : (string, Pseval.Compile.program) Hashtbl.t;
   }
 
   let m_resets = T.Metrics.counter "recover.cache.resets"
   let m_entries = T.Metrics.gauge "recover.cache.entries"
 
-  let create ?(cap = 2048) () = { tbl = Hashtbl.create 64; cap = max 1 cap }
-  let find t key = Hashtbl.find_opt t.tbl key
-  let length t = Hashtbl.length t.tbl
+  let create ?(cap = 2048) ?dir ?(fingerprint = "") () =
+    { mu = Mutex.create ();
+      hot = Hashtbl.create 64;
+      cold = Hashtbl.create 64;
+      gen_cap = max 1 (cap / 2);
+      dir;
+      fingerprint;
+      hits = 0;
+      lookups = 0;
+      evictions = 0;
+      persistent_loads = 0;
+      prog_hot = Hashtbl.create 64;
+      prog_cold = Hashtbl.create 64 }
 
-  let add t key result =
-    if Hashtbl.length t.tbl >= t.cap then begin
-      Hashtbl.reset t.tbl;
-      T.Metrics.incr m_resets
-    end;
-    Hashtbl.replace t.tbl key result;
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  (* generation flip: hot becomes cold, the previous cold generation is
+     dropped.  Counted in [recover.cache.resets], as the whole-table reset
+     it replaces was. *)
+  let flip_locked t =
+    t.evictions <- t.evictions + Hashtbl.length t.cold;
+    t.cold <- t.hot;
+    t.hot <- Hashtbl.create 64;
+    T.Metrics.incr m_resets
+
+  let insert_locked t key entry =
+    if Hashtbl.length t.hot >= t.gen_cap && not (Hashtbl.mem t.hot key) then
+      flip_locked t;
+    Hashtbl.replace t.hot key entry;
+    Hashtbl.remove t.cold key;
     (* last writer wins across domains — a gauge, not an exact census *)
-    T.Metrics.set m_entries (Hashtbl.length t.tbl)
+    T.Metrics.set m_entries (Hashtbl.length t.hot + Hashtbl.length t.cold)
+
+  (* ----- persistent tier ----- *)
+
+  let magic = "IDPC1"
+
+  let entry_path t key =
+    match t.dir with
+    | None -> None
+    | Some dir ->
+        Some
+          (Filename.concat dir
+             (Digest.to_hex (Digest.string (t.fingerprint ^ "\x00" ^ key))
+             ^ ".piece"))
+
+  let tmp_counter = Atomic.make 0
+
+  (* best-effort write-through: tmp file + atomic rename so readers never
+     see a partial entry under POSIX semantics, plus a payload digest so a
+     torn write on a crashed run still reads back as a miss *)
+  let persist t key entry =
+    match entry_path t key with
+    | None -> ()
+    | Some path -> (
+        try
+          let payload =
+            Marshal.to_string (t.fingerprint, key, (entry : entry)) []
+          in
+          let body = magic ^ Digest.string payload ^ payload in
+          let tmp =
+            Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+              (Atomic.fetch_and_add tmp_counter 1)
+          in
+          let oc = open_out_bin tmp in
+          (try
+             output_string oc body;
+             close_out oc
+           with e ->
+             close_out_noerr oc;
+             raise e);
+          Sys.rename tmp path
+        with _ -> ())
+
+  (* any defect — missing file, bad magic, truncation, digest mismatch,
+     foreign fingerprint, unmarshalable bytes — is a miss, never a crash *)
+  let load_persistent t key =
+    match entry_path t key with
+    | None -> None
+    | Some path -> (
+        try
+          let ic = open_in_bin path in
+          let body =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let mlen = String.length magic in
+          if String.length body < mlen + 16 then None
+          else if not (String.equal (String.sub body 0 mlen) magic) then None
+          else
+            let digest = String.sub body mlen 16 in
+            let payload =
+              String.sub body (mlen + 16) (String.length body - mlen - 16)
+            in
+            if not (String.equal (Digest.string payload) digest) then None
+            else
+              let (fp, k, entry) : string * string * entry =
+                Marshal.from_string payload 0
+              in
+              if String.equal fp t.fingerprint && String.equal k key then
+                Some entry
+              else None
+        with _ -> None)
+
+  (* ----- lookups ----- *)
+
+  let find t key =
+    let in_memory =
+      locked t (fun () ->
+          t.lookups <- t.lookups + 1;
+          match Hashtbl.find_opt t.hot key with
+          | Some e ->
+              t.hits <- t.hits + 1;
+              Some e
+          | None -> (
+              match Hashtbl.find_opt t.cold key with
+              | Some e ->
+                  (* promote: recently-used entries survive the next flip *)
+                  t.hits <- t.hits + 1;
+                  insert_locked t key e;
+                  Some e
+              | None -> None))
+    in
+    match in_memory with
+    | Some _ as r -> r
+    | None -> (
+        match load_persistent t key with
+        | Some entry ->
+            locked t (fun () ->
+                t.hits <- t.hits + 1;
+                t.persistent_loads <- t.persistent_loads + 1;
+                insert_locked t key entry);
+            Some entry
+        | None -> None)
+
+  let add t key entry =
+    locked t (fun () -> insert_locked t key entry);
+    persist t key entry
+
+  let length t =
+    locked t (fun () -> Hashtbl.length t.hot + Hashtbl.length t.cold)
+
+  let stats t =
+    locked t (fun () ->
+        { entries = Hashtbl.length t.hot + Hashtbl.length t.cold;
+          hits = t.hits;
+          lookups = t.lookups;
+          evictions = t.evictions;
+          persistent_loads = t.persistent_loads })
+
+  (* ----- compiled-program tier ----- *)
+
+  (* programs hold closures, so they never touch the persistent tier; they
+     ride the same two-generation discipline on their own tables (flips are
+     not counted in [recover.cache.resets] — that counter is the result
+     cache's) *)
+  let flip_progs_locked t =
+    t.prog_cold <- t.prog_hot;
+    t.prog_hot <- Hashtbl.create 64
+
+  let find_program t text =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.prog_hot text with
+        | Some _ as r -> r
+        | None -> (
+            match Hashtbl.find_opt t.prog_cold text with
+            | Some p ->
+                if Hashtbl.length t.prog_hot >= t.gen_cap then
+                  flip_progs_locked t;
+                Hashtbl.replace t.prog_hot text p;
+                Hashtbl.remove t.prog_cold text;
+                Some p
+            | None -> None))
+
+  let add_program t text prog =
+    locked t (fun () ->
+        if
+          Hashtbl.length t.prog_hot >= t.gen_cap
+          && not (Hashtbl.mem t.prog_hot text)
+        then flip_progs_locked t;
+        Hashtbl.replace t.prog_hot text prog;
+        Hashtbl.remove t.prog_cold text)
 end
 
 type pass_state = {
@@ -165,6 +372,18 @@ let cacheable_error = function
   | "timeout" | "stack-exhausted" -> false
   | _ -> true
 
+(* compile-once-run-many: the closure-compiled form of a piece text, from
+   the cache's program tier when warm.  Compilation is deterministic, draws
+   no chaos probes, and is environment-independent, so memoizing on text
+   alone is sound even across scripts with different traced bindings. *)
+let program_for st text =
+  match Cache.find_program st.cache text with
+  | Some p -> p
+  | None ->
+      let p = Pseval.Compile.compile text in
+      Cache.add_program st.cache text p;
+      p
+
 let cache_key st text =
   if not st.opts.use_piece_cache then None
   else
@@ -227,8 +446,9 @@ let invoke_piece ?(kind = "piece") st text =
         let result =
           guarded st (fun () ->
               Pscommon.Chaos.probe "recover.piece";
+              let prog = program_for st text in
               let env = fresh_env ~for_bytes:(String.length text) st in
-              Pseval.Interp.invoke_piece env text)
+              Pseval.Compile.run env prog)
         in
         T.Metrics.observe m_piece_ms ((Guard.now () -. t0) *. 1000.0);
         (match (key, result) with
@@ -536,14 +756,13 @@ let trace_assignment st ~in_guard (stmt : A.t) =
             (* compute the assigned value by executing the whole assignment *)
             let traced =
               guarded st (fun () ->
-                  let env =
-                    fresh_env ~for_bytes:(String.length (A.text st.src stmt)) st
-                  in
+                  let text = A.text st.src stmt in
+                  let prog = program_for st text in
+                  let env = fresh_env ~for_bytes:(String.length text) st in
                   (match Tracer.lookup st.table name with
                   | Some v -> Pseval.Env.set_var env name v
                   | None -> ());
-                  let text = A.text st.src stmt in
-                  match Pseval.Interp.run_script env text with
+                  match Pseval.Compile.run_script env prog with
                   | Ok _ -> (
                       ignore op;
                       Ok (Pseval.Env.get_var env name))

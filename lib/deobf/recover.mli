@@ -37,23 +37,62 @@ type stats = {
 
 val new_stats : unit -> stats
 
-(** Bounded memo cache for piece invocation, shared across the fixpoint
-    passes and unwrapped layers of one engine run — or, when a caller
-    passes its own cache to {!Engine.run_guarded}, across many runs: the
-    serve daemon keeps one per worker domain so repeated decode pieces
-    stay warm between requests.  Keys include the traced-binding digest,
-    so cross-script sharing is sound; replayed results are deterministic
-    (wall-clock-dependent failures are never cached).  On overflow the
-    whole table resets (counted in [recover.cache.resets]; occupancy is
-    gauged by [recover.cache.entries]). *)
+(** Content-addressed memo cache for piece invocation, shared across the
+    fixpoint passes and unwrapped layers of one engine run — or, when a
+    caller passes its own cache to {!Engine.run_guarded}, across many
+    runs: batch shares one cache over all files and pool domains, and the
+    serve daemon keeps one for the whole process, so repeated decode
+    pieces stay warm between files and requests.  All operations are
+    mutex-guarded and safe from any domain.
+
+    Keys join the traced-binding digest with the piece text, so
+    cross-script sharing is sound; replayed results are deterministic
+    (wall-clock-dependent failures are never cached).  Bounding is
+    two-generation segmented eviction: when the hot generation fills, it
+    becomes the cold one and the previous cold generation is dropped, so
+    recently-used entries survive overflow instead of the whole table
+    cold-starting.  Generation flips are counted in
+    [recover.cache.resets]; occupancy is gauged by
+    [recover.cache.entries].
+
+    With [dir], every cacheable result is also written through to a
+    persistent tier: one digest-named [*.piece] file per entry, written
+    atomically (tmp + rename) and self-verifying (magic, payload digest,
+    and the caller's version/options [fingerprint]); any defect — torn
+    write, corruption, foreign fingerprint — loads as a miss, never a
+    crash.  A later run pointed at the same [dir] with the same
+    fingerprint starts warm.
+
+    The cache also memoizes closure-compiled piece programs
+    ({!Pseval.Compile}) keyed on text alone; programs are
+    environment-independent, never persisted, and shared even when result
+    caching is ablated off. *)
 module Cache : sig
   type t
 
-  val create : ?cap:int -> unit -> t
-  (** Default capacity 2048 entries (floor 1). *)
+  type entry = (Psvalue.Value.t, string) result
+
+  type stats = {
+    entries : int;  (** in-memory entries, both generations *)
+    hits : int;  (** lookups answered, any tier *)
+    lookups : int;
+    evictions : int;  (** entries dropped by generation flips *)
+    persistent_loads : int;  (** hits answered from the persistent tier *)
+  }
+
+  val create : ?cap:int -> ?dir:string -> ?fingerprint:string -> unit -> t
+  (** Default capacity 2048 entries (floor 1) split over two generations.
+      [dir] enables the persistent tier (the directory must exist);
+      [fingerprint] guards its entries against version/options drift —
+      use a digest of everything that could change evaluation results. *)
+
+  val find : t -> string -> entry option
+  val add : t -> string -> entry -> unit
 
   val length : t -> int
-  (** Current entry count. *)
+  (** Current in-memory entry count. *)
+
+  val stats : t -> stats
 end
 
 val is_recoverable : Psast.Ast.t -> bool

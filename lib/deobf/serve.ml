@@ -66,6 +66,7 @@ type config = {
   verify : bool;
   verify_opts : Verify.opts option;
   cache_cap : int;
+  piece_cache_dir : string option;
   trace_dir : string option;
   trace_sample : int option;
   metrics_out : string option;
@@ -75,8 +76,9 @@ let default_config bind =
   { bind; jobs = 1; queue_cap = 64; default_timeout_s = 30.0;
     max_timeout_s = 300.0; max_request_bytes = 8 * 1024 * 1024;
     max_output_bytes = 32 * 1024 * 1024; options = Engine.default_options;
-    verify = false; verify_opts = None; cache_cap = 2048; trace_dir = None;
-    trace_sample = None; metrics_out = None }
+    verify = false; verify_opts = None; cache_cap = 2048;
+    piece_cache_dir = None; trace_dir = None; trace_sample = None;
+    metrics_out = None }
 
 (* ---------- metrics ---------- *)
 
@@ -174,20 +176,18 @@ let id_of_line ~seq line =
       | Some n -> string_of_int n
       | None -> string_of_int seq)
 
-(* One warm piece cache per worker domain, owned by the domain (lock-free)
-   and passed into every engine run it performs — recovered decode pieces
-   stay warm across requests for the life of the process. *)
-let worker_cache : Recover.Cache.t option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let get_cache ~cap =
-  let slot = Domain.DLS.get worker_cache in
-  match !slot with
-  | Some c -> c
-  | None ->
-      let c = Recover.Cache.create ~cap () in
-      slot := Some c;
-      c
+(* One warm piece cache for the whole process, shared by every worker
+   domain ({!Recover.Cache} is mutex-guarded): a decode piece recovered
+   for one request is a hit for every later request, whichever worker
+   runs it.  With [piece_cache_dir] the cache also persists across daemon
+   restarts, guarded by the same options fingerprint as a batch run. *)
+let make_cache cfg =
+  Recover.Cache.create ~cap:cfg.cache_cap ?dir:cfg.piece_cache_dir
+    ~fingerprint:
+      (Batch.piece_cache_fingerprint ~options:(Some cfg.options)
+         ~timeout_s:(Some cfg.default_timeout_s)
+         ~max_output_bytes:(Some cfg.max_output_bytes))
+    ()
 
 (* per-domain scratch ring for unsampled traced requests, mirroring the
    batch sampling fast path *)
@@ -229,7 +229,7 @@ let with_request_trace cfg seq f =
    and catches anything outside the pipeline, and the final [try] is the
    last-resort conversion of a response-rendering bug into an error
    response rather than a recycled-but-silent worker. *)
-let handle cfg req =
+let handle cfg cache req =
   try
     let line = req.rq_line in
     let id = req.rq_id in
@@ -263,8 +263,7 @@ let handle cfg req =
             Guard.protect ~deadline:req.rq_deadline (fun () ->
                 Batch.run_source ~options:cfg.options
                   ~timeout_s:req.rq_timeout_s
-                  ~max_output_bytes:cfg.max_output_bytes
-                  ~cache:(get_cache ~cap:cfg.cache_cap) ~verify
+                  ~max_output_bytes:cfg.max_output_bytes ~cache ~verify
                   ?verify_opts:cfg.verify_opts
                   ~name:(Printf.sprintf "req-%d" req.rq_seq)
                   src)
@@ -306,9 +305,22 @@ let health_json ~id ~started ~service ~draining cfg =
     cfg.jobs cfg.queue_cap
     (Unix.gettimeofday () -. started)
 
-let metrics_json ~id =
-  Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"op\": \"metrics\", \"metrics\": %s}"
-    id
+let metrics_json ~id ~cache =
+  let cs = Recover.Cache.stats cache in
+  let hit_rate =
+    if cs.Recover.Cache.lookups = 0 then 0.0
+    else
+      float_of_int cs.Recover.Cache.hits
+      /. float_of_int cs.Recover.Cache.lookups
+  in
+  Printf.sprintf
+    "{\"id\": %s, \"status\": \"ok\", \"op\": \"metrics\", \
+     \"cache\": {\"entries\": %d, \"lookups\": %d, \"hits\": %d, \
+     \"hit_rate\": %.3f, \"evictions\": %d, \"persistent_loads\": %d}, \
+     \"metrics\": %s}"
+    id cs.Recover.Cache.entries cs.Recover.Cache.lookups
+    cs.Recover.Cache.hits hit_rate cs.Recover.Cache.evictions
+    cs.Recover.Cache.persistent_loads
     (Jsonl.oneline (T.Metrics.snapshot_to_json (T.Metrics.snapshot ())))
 
 (* ---------- sockets ---------- *)
@@ -350,7 +362,11 @@ let serve_loop cfg stop listen_fd =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let started = Unix.gettimeofday () in
-  let service = Pool.Service.create ~jobs:cfg.jobs ~queue_cap:cfg.queue_cap (handle cfg) in
+  let cache = make_cache cfg in
+  let service =
+    Pool.Service.create ~jobs:cfg.jobs ~queue_cap:cfg.queue_cap
+      (handle cfg cache)
+  in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let seq = ref 0 in
   let close_conn conn =
@@ -383,7 +399,7 @@ let serve_loop cfg stop listen_fd =
       | "health" ->
           send conn
             (health_json ~id ~started ~service ~draining:(Atomic.get stop) cfg)
-      | "metrics" -> send conn (metrics_json ~id)
+      | "metrics" -> send conn (metrics_json ~id ~cache)
       | "shutdown" ->
           send conn
             (Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"op\": \"shutdown\"}" id);

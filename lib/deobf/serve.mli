@@ -34,8 +34,12 @@
     a {!Pscommon.Guard} ambient deadline that starts at {e admission}, so
     queue time counts against the request's budget and drain time is
     bounded.  Any failure is a structured error response; workers recycle,
-    the daemon survives.  Each worker keeps a warm bounded piece cache
-    ({!Recover.Cache}) across requests.  Chaos probe sites [serve.accept],
+    the daemon survives.  All workers share one warm bounded piece cache
+    ({!Recover.Cache}) for the life of the process — a piece recovered for
+    one request is a hit for every later one, whichever worker runs it —
+    and with [piece_cache_dir] it persists across daemon restarts.  The
+    ["metrics"] op reports the cache's occupancy and hit rate alongside
+    the registry snapshot.  Chaos probe sites [serve.accept],
     [serve.read], [serve.write] and [serve.queue] inject socket-edge
     faults: accept/read faults delay (the kernel backlog and unconsumed
     bytes retry next select round), write faults are counted and retried,
@@ -63,7 +67,10 @@ type config = {
   options : Engine.options;
   verify : bool;  (** default semantic-gate setting; per-request overridable *)
   verify_opts : Verify.opts option;
-  cache_cap : int;  (** per-worker piece-cache capacity *)
+  cache_cap : int;  (** process-shared piece-cache capacity *)
+  piece_cache_dir : string option;
+      (** persistent piece-cache tier shared with batch runs; entries are
+          guarded by {!Batch.piece_cache_fingerprint} *)
   trace_dir : string option;
       (** write per-request traces here ([req-<seq>.trace.jsonl]) *)
   trace_sample : int option;
@@ -75,7 +82,7 @@ type config = {
 
 val default_config : bind -> config
 (** 1 job, queue 64, 30 s default / 300 s max budget, 8 MiB request cap,
-    32 MiB output cap, verify off, cache 2048, no tracing. *)
+    32 MiB output cap, verify off, cache 2048 (memory-only), no tracing. *)
 
 type server
 (** A daemon started in a background domain by {!start}. *)

@@ -1,0 +1,38 @@
+(** Closure compilation of recoverable pieces.
+
+    Lowers a piece's AST once into a tree of OCaml closures — operators
+    pre-resolved, names and error texts pre-rendered, variable-free
+    constant subtrees pre-folded into shared immutable values — so that
+    re-running the piece (the recovery fixpoint re-attempts every
+    unrecovered piece each pass) skips the per-node dispatch of
+    {!Interp.eval_expr}.
+
+    A compiled program is observationally identical to the AST walk: step
+    accounting ({!Env.tick_n} replays folded subtrees' step cost), size
+    checks, short-circuit order, error messages, the [interp.eval] chaos
+    probe and the [interp.invoke_piece] telemetry span all match
+    {!Interp.run_script} / {!Interp.invoke_piece}.  Node shapes the
+    compiler does not specialize fall back to the interpreter per subtree. *)
+
+type program
+(** A piece compiled against its source text.  Immutable and reusable
+    across environments and domains: closures capture only the AST and
+    pre-computed constants, never an {!Env.t}. *)
+
+val compile : string -> program
+(** Parse and lower [src].  Never raises — a parse failure is stored and
+    surfaced by {!run}/{!run_script} with the exact message
+    {!Interp.run_script} would produce. *)
+
+val source : program -> string
+(** The source text the program was compiled from. *)
+
+val run : Env.t -> program -> (Psvalue.Value.t, string) result
+(** Execute against [env]; the compiled counterpart of
+    {!Interp.invoke_piece} (collected output as one value, the
+    [interp.invoke_piece] span around it). *)
+
+val run_script : Env.t -> program -> (Psvalue.Value.t list, string) result
+(** Execute against [env]; the compiled counterpart of
+    {!Interp.run_script} (output stream, every evaluation exception
+    rendered to a message). *)

@@ -13,6 +13,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("telemetry", Test_telemetry.suite);
       ("parallel", Test_parallel.suite);
+      ("piece-cache", Test_piece_cache.suite);
       ("ops", Test_ops.suite);
       ("obfuscator", Test_obfuscator.suite);
       ("deobf", Test_deobf.suite);
