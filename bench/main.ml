@@ -380,12 +380,19 @@ let run_obs () =
     try
       In_channel.with_open_bin path @@ fun ic ->
       let text = In_channel.input_all ic in
-      (* the trailing summary line: {"kind": "summary", "events": N, ...} *)
-      let key = "\"summary\", \"events\": " in
+      (* the trailing summary line:
+         {"kind": "summary", "trace_id": ..., "events": N, ...} *)
+      let marker = "\"summary\"" in
+      let key = "\"events\": " in
       let klen = String.length key in
-      let rec find i =
+      let rec find ~armed i =
         if i + klen > String.length text then 0
-        else if String.sub text i klen = key then
+        else if
+          (not armed)
+          && i + String.length marker <= String.length text
+          && String.sub text i (String.length marker) = marker
+        then find ~armed:true (i + String.length marker)
+        else if armed && String.sub text i klen = key then
           let stop = ref (i + klen) in
           while
             !stop < String.length text
@@ -395,9 +402,9 @@ let run_obs () =
             incr stop
           done;
           int_of_string (String.sub text (i + klen) (!stop - (i + klen)))
-        else find (i + 1)
+        else find ~armed (i + 1)
       in
-      find 0
+      find ~armed:false 0
     with _ -> 0
   in
   let total_events =
@@ -417,6 +424,37 @@ let run_obs () =
     T.event "bench.obs"
   done;
   let percall_ns = (Guard.now () -. t0) *. 1e9 /. float_of_int calls in
+  (* the flight recorder rides the same call sites: disabled it adds one
+     atomic load, enabled it records into the per-domain ring (still no
+     serialization — that only happens at dump time) *)
+  let flight_dir = Filename.concat dir "flight" in
+  T.Flight.set_sink (Some flight_dir);
+  let t0 = Guard.now () in
+  for _ = 1 to calls do
+    T.event "bench.obs"
+  done;
+  let flight_on_percall_ns =
+    (Guard.now () -. t0) *. 1e9 /. float_of_int calls
+  in
+  T.Flight.set_sink None;
+  let t0 = Guard.now () in
+  for _ = 1 to calls do
+    T.event "bench.obs"
+  done;
+  let flight_off_percall_ns =
+    (Guard.now () -. t0) *. 1e9 /. float_of_int calls
+  in
+  (* scrape cost, with the registry warm from the batch runs above: what
+     one GET /metrics pays to render the exposition (the endpoint's own
+     socket I/O is negligible next to this) *)
+  let scrapes = 200 in
+  let t0 = Guard.now () in
+  let body = ref "" in
+  for _ = 1 to scrapes do
+    body := T.render_prometheus ()
+  done;
+  let scrape_ms = (Guard.now () -. t0) *. 1000.0 /. float_of_int scrapes in
+  let scrape_bytes = String.length !body in
   let per_sample_ns = wall_plain *. 1e9 /. float_of_int count in
   let disabled_overhead_pct =
     if per_sample_ns > 0.0 then
@@ -454,7 +492,13 @@ let run_obs () =
         Printf.sprintf "  \"disabled_overhead_pct\": %.3f,"
           disabled_overhead_pct;
         Printf.sprintf "  \"traced_overhead_pct\": %.1f," traced_overhead_pct;
-        Printf.sprintf "  \"sampled_overhead_pct\": %.1f" sampled_overhead_pct;
+        Printf.sprintf "  \"sampled_overhead_pct\": %.1f," sampled_overhead_pct;
+        Printf.sprintf "  \"flight_disabled_percall_ns\": %.1f,"
+          flight_off_percall_ns;
+        Printf.sprintf "  \"flight_enabled_percall_ns\": %.1f,"
+          flight_on_percall_ns;
+        Printf.sprintf "  \"scrape_render_ms\": %.3f," scrape_ms;
+        Printf.sprintf "  \"scrape_bytes\": %d" scrape_bytes;
         "}";
       ]
   in
@@ -475,11 +519,20 @@ let run_obs () =
     events_per_sample;
   Printf.printf "  disabled path: %.1f ns/call, est. overhead %.3f%%\n"
     percall_ns disabled_overhead_pct;
+  Printf.printf "  flight recorder: %.1f ns/call off, %.1f ns/call recording\n"
+    flight_off_percall_ns flight_on_percall_ns;
+  Printf.printf "  scrape render: %.3f ms, %d bytes\n" scrape_ms scrape_bytes;
   print_endline "  wrote BENCH_obs.json";
   if disabled_overhead_pct > 5.0 then begin
     Printf.eprintf
       "FAIL: disabled-telemetry overhead %.3f%% exceeds the 5%% budget\n"
       disabled_overhead_pct;
+    exit 1
+  end;
+  if sampled_overhead_pct > 30.0 then begin
+    Printf.eprintf
+      "FAIL: sampled-tracing overhead %.1f%% exceeds the 30%% budget\n"
+      sampled_overhead_pct;
     exit 1
   end
 

@@ -102,9 +102,14 @@ let print_batch_summary (s : Deobf.Batch.summary) =
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
       no_reformat no_token_phase no_piece_cache no_partial chaos stats batch
-      jobs timeout trace log_level summary_flag verify_flag no_verify resume
-      serve queue_cap cache_cap piece_cache_dir trace_sample metrics_out =
+      jobs timeout trace log_level log_format summary_flag verify_flag
+      no_verify resume serve queue_cap cache_cap piece_cache_dir trace_sample
+      metrics_out metrics_addr flight_dir =
     Option.iter (fun l -> T.Log.set_level (Some l)) log_level;
+    Option.iter T.Log.set_format log_format;
+    (* the flight recorder is mode-independent: batch dumps on pool-task
+       faults and diverged verdicts, serve additionally on recycle/deadline *)
+    Option.iter (fun d -> T.Flight.set_sink (Some d)) flight_dir;
     (match
        match chaos with Some s -> Some s | None -> Sys.getenv_opt "INVOKE_DEOBF_CHAOS"
      with
@@ -140,6 +145,16 @@ let deobfuscate_cmd =
             Printf.eprintf "--serve: %s\n" msg;
             exit 2
         | Ok bind ->
+            let metrics_addr =
+              match metrics_addr with
+              | None -> None
+              | Some spec -> (
+                  match Deobf.Serve.parse_bind spec with
+                  | Ok b -> Some b
+                  | Error msg ->
+                      Printf.eprintf "--metrics-addr: %s\n" msg;
+                      exit 2)
+            in
             let base = Deobf.Serve.default_config bind in
             let cfg =
               { base with
@@ -158,7 +173,9 @@ let deobfuscate_cmd =
                 trace_dir =
                   (match trace with None | Some "" -> None | d -> d);
                 trace_sample;
-                metrics_out }
+                metrics_out;
+                metrics_addr;
+                flight_dir }
             in
             exit (Deobf.Serve.run cfg)));
     if batch then begin
@@ -340,6 +357,15 @@ let deobfuscate_cmd =
               ~doc:
                 "Enable diagnostic logging to stderr at $(docv) and above \
                  (error|warn|info|debug; default: silent).")
+      $ Arg.(
+          value
+          & opt (some (enum [ ("text", T.Log.Text); ("json", T.Log.Json) ]))
+              None
+          & info [ "log-format" ] ~docv:"FORMAT"
+              ~doc:
+                "Log line format: $(b,text) (the default, \"[level] msg\") \
+                 or $(b,json) — one JSON object per line with ts, level, \
+                 domain id, msg and structured fields, for log pipelines.")
       $ flag [ "summary" ]
           "Print a one-screen digest to stderr: scores, pieces \
            recovered/blocked, layers unwrapped, cache hit-rate, per-phase \
@@ -419,7 +445,30 @@ let deobfuscate_cmd =
               ~doc:
                 "Serve mode: write a final metrics snapshot (counters, \
                  gauges, latency histograms) to $(docv) when the daemon \
-                 drains."))
+                 drains.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics-addr" ] ~docv:"ADDR"
+              ~doc:
+                "Serve mode: expose a Prometheus scrape endpoint \
+                 ($(b,GET /metrics), text exposition format 0.0.4) on \
+                 $(docv) (unix:PATH or tcp:HOST:PORT), on its own listener \
+                 so scrapes never contend with request admission.  Renders \
+                 the live registry plus rolling-window aggregates (sliding \
+                 p50/p90/p99 request latency, req/s, shed rate).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "flight-dir" ] ~docv:"DIR"
+              ~doc:
+                "Enable the flight recorder: each domain keeps a bounded \
+                 in-memory ring of its most recent spans and events, and on \
+                 a fault (worker recycle, blown deadline, chaos \
+                 containment, diverged verify verdict) the ring is dumped \
+                 to $(docv) as a JSONL black box carrying the failing \
+                 request's trace id.  Zero serialization cost until a dump \
+                 triggers."))
 
 (* ---------- score ---------- *)
 

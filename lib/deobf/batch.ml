@@ -384,6 +384,12 @@ let run_source ?options ?(timeout_s = 30.0) ?max_output_bytes ?cache
       let g, o = Verify.gate ?opts:verify_opts ~rerun ~src guarded in
       (g, Some o.Verify.verdict)
   in
+  (* a diverged verdict is exactly the situation the flight recorder
+     exists for: the spans of the run whose semantics the gate rejected *)
+  (match verdict with
+  | Some Verify.Diverged ->
+      ignore (T.Flight.dump ~reason:"verify-diverged" ())
+  | _ -> ());
   let result = guarded.Engine.result in
   ( { file = name; output_file = None;
       wall_ms = (Guard.now () -. started) *. 1000.0;
@@ -484,6 +490,11 @@ let process_file ?options ?timeout_s ?max_output_bytes ?cache ?out_dir
      one extra probe (the trace write), but only after the output is
      already decided, so traced/untraced byte-identity holds too. *)
   Chaos.with_scope (Filename.basename file) @@ fun () ->
+  (* one trace id per input file, installed as the domain's ambient request
+     id: per-file traces adopt it, flight entries stamp it.  Observation
+     only — the id draws from a process counter, never the chaos stream,
+     so outputs stay byte-identical across --jobs levels. *)
+  T.with_request_id (T.new_trace_id ()) @@ fun () ->
   let task () =
     (* the "pool.task" probe models a fault in the worker itself, outside
        every engine guard; the protect in [contained] below is what keeps
@@ -527,6 +538,13 @@ let process_file ?options ?timeout_s ?max_output_bytes ?cache ?out_dir
   match Guard.protect task with
   | Ok outcome -> outcome
   | Error failure ->
+      (* black box before the structured outcome: whatever the domain's
+         flight ring holds about this file is about to be overwritten by
+         the next one *)
+      ignore
+        (T.Flight.dump
+           ~reason:("pool.task/" ^ Guard.failure_label failure)
+           ());
       { file; output_file = None; wall_ms = 0.0; phase_ms = [];
         iterations = 0; changed = false;
         failures = [ { Engine.phase = "task"; failure } ];

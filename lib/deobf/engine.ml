@@ -467,7 +467,10 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
                       if residual_encoded recovered then recovered
                       else Rename.rename recovered))
             with
-            | Ok s -> s
+            | Ok s ->
+                if not (String.equal s recovered) then
+                  T.Metrics.incr (T.Metrics.counter "engine.rule.rename");
+                s
             | Error failure ->
                 record "rename" failure;
                 recovered
@@ -480,7 +483,10 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
                   Guard.protect ~deadline ~max_output_bytes
                     ~measure:String.length (fun () -> Rename.reformat renamed))
             with
-            | Ok s -> s
+            | Ok s ->
+                if not (String.equal s renamed) then
+                  T.Metrics.incr (T.Metrics.counter "engine.rule.reformat");
+                s
             | Error failure ->
                 record "reformat" failure;
                 renamed

@@ -86,6 +86,13 @@ let new_stats () =
    shared even when the binding digest differs or result caching is
    ablated away. *)
 module Cache = struct
+  (* tier attribution: which tier answered a hit — the scrape endpoint's
+     view of where the working set actually lives *)
+  let m_tier_hot = T.Metrics.counter "recover.cache.tier.hot"
+  let m_tier_cold = T.Metrics.counter "recover.cache.tier.cold"
+  let m_tier_persistent = T.Metrics.counter "recover.cache.tier.persistent"
+  let m_tier_program = T.Metrics.counter "recover.cache.tier.program"
+
   type entry = (Value.t, string) result
 
   type stats = {
@@ -230,12 +237,14 @@ module Cache = struct
           match Hashtbl.find_opt t.hot key with
           | Some e ->
               t.hits <- t.hits + 1;
+              T.Metrics.incr m_tier_hot;
               Some e
           | None -> (
               match Hashtbl.find_opt t.cold key with
               | Some e ->
                   (* promote: recently-used entries survive the next flip *)
                   t.hits <- t.hits + 1;
+                  T.Metrics.incr m_tier_cold;
                   insert_locked t key e;
                   Some e
               | None -> None))
@@ -248,6 +257,7 @@ module Cache = struct
             locked t (fun () ->
                 t.hits <- t.hits + 1;
                 t.persistent_loads <- t.persistent_loads + 1;
+                T.Metrics.incr m_tier_persistent;
                 insert_locked t key entry);
             Some entry
         | None -> None)
@@ -280,10 +290,13 @@ module Cache = struct
   let find_program t text =
     locked t (fun () ->
         match Hashtbl.find_opt t.prog_hot text with
-        | Some _ as r -> r
+        | Some _ as r ->
+            T.Metrics.incr m_tier_program;
+            r
         | None -> (
             match Hashtbl.find_opt t.prog_cold text with
             | Some p ->
+                T.Metrics.incr m_tier_program;
                 if Hashtbl.length t.prog_hot >= t.gen_cap then
                   flip_progs_locked t;
                 Hashtbl.replace t.prog_hot text p;
@@ -418,6 +431,9 @@ let piece_end_attrs ~cache_hit result =
 let invoke_piece ?(kind = "piece") st text =
   st.stats.pieces_attempted <- st.stats.pieces_attempted + 1;
   T.Metrics.incr m_attempted;
+  (* per-kind attribution: which syntactic shapes the recovery budget is
+     actually spent on (counter here, latency histogram on the miss path) *)
+  T.Metrics.incr (T.Metrics.counter ("recover.rule." ^ kind));
   let sid =
     if T.active () then
       T.span_begin "recover.piece"
@@ -450,7 +466,11 @@ let invoke_piece ?(kind = "piece") st text =
               let env = fresh_env ~for_bytes:(String.length text) st in
               Pseval.Compile.run env prog)
         in
-        T.Metrics.observe m_piece_ms ((Guard.now () -. t0) *. 1000.0);
+        let dt_ms = (Guard.now () -. t0) *. 1000.0 in
+        T.Metrics.observe m_piece_ms dt_ms;
+        T.Metrics.observe
+          (T.Metrics.histogram ("recover.rule_ms." ^ kind))
+          dt_ms;
         (match (key, result) with
         | Some k, Ok _ -> Cache.add st.cache k result
         | Some k, Error e when cacheable_error e -> Cache.add st.cache k result

@@ -70,6 +70,8 @@ type config = {
   trace_dir : string option;
   trace_sample : int option;
   metrics_out : string option;
+  metrics_addr : bind option;
+  flight_dir : string option;
 }
 
 let default_config bind =
@@ -78,7 +80,7 @@ let default_config bind =
     max_output_bytes = 32 * 1024 * 1024; options = Engine.default_options;
     verify = false; verify_opts = None; cache_cap = 2048;
     piece_cache_dir = None; trace_dir = None; trace_sample = None;
-    metrics_out = None }
+    metrics_out = None; metrics_addr = None; flight_dir = None }
 
 (* ---------- metrics ---------- *)
 
@@ -91,6 +93,16 @@ let m_accept_faults = T.Metrics.counter "serve.accept_faults"
 let m_read_faults = T.Metrics.counter "serve.read_faults"
 let m_write_faults = T.Metrics.counter "serve.write_faults"
 let m_queue_faults = T.Metrics.counter "serve.queue_faults"
+let m_scrapes = T.Metrics.counter "serve.scrapes"
+
+(* the admission EWMA, surfaced as a gauge so shed hints are observable *)
+let m_ewma_ms = T.Metrics.gauge "serve.ewma_ms"
+
+(* Rolling windows for the scrape endpoint: since-boot histograms answer
+   "ever", these answer "the last minute" — sliding p50/p90/p99 over
+   request latency, and req/s + shed/s rates whose window is the decay. *)
+let w_request_ms = T.Window.window "serve.request_ms"
+let w_shed = T.Window.window "serve.shed"
 
 (* EWMA of request handling time, feeding the retry_after_ms hint in
    overload responses.  Process-wide and racy by design — a hint, not an
@@ -99,9 +111,11 @@ let avg_request_ms = Atomic.make 250.0
 
 let note_request_ms ms =
   T.Metrics.observe m_request_ms ms;
+  T.Window.observe w_request_ms ms;
   let old = Atomic.get avg_request_ms in
   (* a lost race loses one sample of smoothing, nothing else *)
-  ignore (Atomic.compare_and_set avg_request_ms old ((0.8 *. old) +. (0.2 *. ms)))
+  ignore (Atomic.compare_and_set avg_request_ms old ((0.8 *. old) +. (0.2 *. ms)));
+  T.Metrics.set m_ewma_ms (int_of_float (Atomic.get avg_request_ms))
 
 (* ---------- connections ---------- *)
 
@@ -146,6 +160,7 @@ let error_json ~id ~kind ~detail =
 
 let overloaded_json ~id ~depth =
   T.Metrics.incr m_shed;
+  T.Window.observe w_shed 1.0;
   let retry =
     Float.max 10.0
       (Float.min 10_000.0
@@ -162,6 +177,7 @@ type request = {
   rq_line : string;
   rq_seq : int;
   rq_id : string;  (* already-rendered JSON value for the "id" field *)
+  rq_tid : string;  (* trace id, allocated at admission *)
   rq_deadline : Guard.deadline;
   rq_timeout_s : float;
 }
@@ -194,32 +210,44 @@ let make_cache cfg =
 let scratch_trace : T.trace Domain.DLS.key =
   Domain.DLS.new_key (fun () -> T.create ())
 
-let with_request_trace cfg seq f =
-  match cfg.trace_dir with
-  | None -> f ()
-  | Some dir ->
+(* Per-request tracing, two consumers: [trace_dir] serializes sampled
+   requests to [req-<seq>.trace.jsonl]; a request whose line carries
+   ["trace": true] additionally gets its events inlined in the response
+   (recorded into a small dedicated ring so the inline field stays
+   bounded).  Either way the trace is created/reset inside the request-id
+   scope, so its trace_id is the request's. *)
+let with_request_trace cfg seq ~inline f =
+  match (cfg.trace_dir, inline) with
+  | None, None -> f ()
+  | _ ->
       let sampled =
         match cfg.trace_sample with Some n when n > 1 -> seq mod n = 0 | _ -> true
       in
       let trace =
-        if sampled then T.create ()
-        else begin
-          let t = Domain.DLS.get scratch_trace in
-          T.reset t;
-          t
-        end
+        match inline with
+        | Some tr -> tr
+        | None ->
+            if sampled then T.create ()
+            else begin
+              let t = Domain.DLS.get scratch_trace in
+              T.reset t;
+              t
+            end
       in
       let v =
         T.with_trace trace (fun () ->
             T.span ~attrs:[ ("request", T.I seq) ] "serve.request" f)
       in
-      if sampled then begin
-        let path = Filename.concat dir (Printf.sprintf "req-%d.trace.jsonl" seq) in
-        ignore
-          (Guard.protect (fun () ->
-               Out_channel.with_open_bin path (fun oc ->
-                   Out_channel.output_string oc (T.to_jsonl trace))))
-      end;
+      (match cfg.trace_dir with
+      | Some dir when sampled ->
+          let path =
+            Filename.concat dir (Printf.sprintf "req-%d.trace.jsonl" seq)
+          in
+          ignore
+            (Guard.protect (fun () ->
+                 Out_channel.with_open_bin path (fun oc ->
+                     Out_channel.output_string oc (T.to_jsonl trace))))
+      | _ -> ());
       v
 
 (* The worker-side request handler.  Totalised twice over: the pipeline
@@ -230,14 +258,24 @@ let with_request_trace cfg seq f =
    last-resort conversion of a response-rendering bug into an error
    response rather than a recycled-but-silent worker. *)
 let handle cfg cache req =
+  (* everything the request records — trace events, flight entries, its
+     response — carries the trace id allocated at admission *)
+  T.with_request_id req.rq_tid @@ fun () ->
   try
     let line = req.rq_line in
     let id = req.rq_id in
     T.Metrics.incr m_requests;
     let t0 = Unix.gettimeofday () in
+    (* per-request trace toggle: a bounded dedicated ring whose events are
+       inlined in the response *)
+    let inline =
+      if Jsonl.bool_field line "trace" = Some true then
+        Some (T.create ~capacity:4096 ())
+      else None
+    in
     let response =
       Chaos.with_scope (Printf.sprintf "req-%d" req.rq_seq) @@ fun () ->
-      with_request_trace cfg req.rq_seq @@ fun () ->
+      with_request_trace cfg req.rq_seq ~inline @@ fun () ->
       let src =
         match Jsonl.string_field line "script" with
         | Some s -> Ok s
@@ -273,14 +311,32 @@ let handle cfg cache req =
                 if outcome.Batch.failures = [] then "ok" else "degraded"
               in
               Printf.sprintf
-                "{\"id\": %s, \"status\": %s, \"output\": %s, \"report\": %s}"
+                "{\"id\": %s, \"status\": %s, \"trace_id\": %s, \
+                 \"output\": %s, \"report\": %s}"
                 id
                 (Report.json_string status)
+                (Report.json_string req.rq_tid)
                 (Report.json_string output)
                 (Jsonl.oneline (Batch.outcome_to_json outcome))
           | Error failure ->
+              (* a blown deadline is a flight-recorder trigger: dump the
+                 spans of the request that ran out of budget *)
+              (match failure with
+              | Guard.Timeout -> ignore (T.Flight.dump ~reason:"deadline" ())
+              | _ -> ());
               error_json ~id ~kind:(Guard.failure_label failure)
                 ~detail:(Guard.failure_to_string failure))
+    in
+    let response =
+      match inline with
+      | None -> response
+      | Some tr ->
+          (* splice the inline trace into the already-rendered response *)
+          let n = String.length response in
+          if n > 0 && response.[n - 1] = '}' then
+            String.sub response 0 (n - 1)
+            ^ Printf.sprintf ", \"trace\": %s}" (T.events_to_json_array tr)
+          else response
     in
     send req.rq_conn response;
     note_request_ms ((Unix.gettimeofday () -. t0) *. 1000.0)
@@ -288,7 +344,8 @@ let handle cfg cache req =
     send req.rq_conn
       (error_json ~id:req.rq_id ~kind:"internal"
          ~detail:(Printexc.to_string e));
-    (* re-raise so the service pool counts the recycle *)
+    (* re-raise so the service pool counts the recycle (and dumps the
+       flight ring while this domain's entries are still the request's) *)
     raise e
 
 (* ---------- listener-side ops ---------- *)
@@ -354,6 +411,86 @@ let open_socket = function
         Error
           (Printf.sprintf "bind %s:%d: %s" host port (Printexc.to_string e)))
 
+(* ---------- the metrics scrape endpoint ---------- *)
+
+(* A deliberately minimal HTTP/1.1 GET handler on its own listener (and
+   its own domain), so a Prometheus scrape never contends with request
+   admission: the main loop's select set, accept backlog and worker queue
+   are untouched by scrapes, and a slow scraper can at worst slow other
+   scrapers.  One request per connection ([Connection: close]) keeps the
+   loop allocation-free of connection state. *)
+
+let http_response ~status body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4; \
+     charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (String.length body) body
+
+let scrape_response head =
+  let request_line =
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  match String.split_on_char ' ' request_line with
+  | "GET" :: path :: _
+    when path = "/metrics" || String.starts_with ~prefix:"/metrics?" path ->
+      T.Metrics.incr m_scrapes;
+      http_response ~status:"200 OK" (T.render_prometheus ())
+  | _ -> http_response ~status:"404 Not Found" "not found\n"
+
+(* read the request head (bounded, short deadline), answer, close — total:
+   a malformed or stalled scraper costs its own connection, nothing else *)
+let serve_scrape fd =
+  (try
+     let buf = Buffer.create 512 in
+     let chunk = Bytes.create 4096 in
+     let deadline = Unix.gettimeofday () +. 2.0 in
+     let rec read_head () =
+       (* the request line is all we parse; stop at its newline *)
+       if
+         Buffer.length buf < 8192
+         && not (String.contains (Buffer.contents buf) '\n')
+       then begin
+         let remaining = deadline -. Unix.gettimeofday () in
+         if remaining > 0.0 then
+           match Unix.select [ fd ] [] [] remaining with
+           | [ _ ], _, _ -> (
+               match Unix.read fd chunk 0 (Bytes.length chunk) with
+               | 0 -> ()
+               | n ->
+                   Buffer.add_subbytes buf chunk 0 n;
+                   read_head ()
+               | exception Unix.Unix_error _ -> ())
+           | _ -> ()
+       end
+     in
+     read_head ();
+     let response = scrape_response (Buffer.contents buf) in
+     let data = Bytes.of_string response in
+     let len = Bytes.length data in
+     let rec write_all off =
+       if off < len then
+         match Unix.write fd data off (len - off) with
+         | n when n > 0 -> write_all (off + n)
+         | _ -> ()
+     in
+     write_all 0
+   with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let metrics_loop stop listen_fd =
+  while not (Atomic.get stop) do
+    match Unix.select [ listen_fd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [ _ ], _, _ -> (
+        match Unix.accept listen_fd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> serve_scrape fd)
+    | _ -> ()
+  done;
+  try Unix.close listen_fd with Unix.Unix_error _ -> ()
+
 (* ---------- the serve loop ---------- *)
 
 let serve_loop cfg stop listen_fd =
@@ -362,10 +499,32 @@ let serve_loop cfg stop listen_fd =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let started = Unix.gettimeofday () in
+  (* enable the flight recorder before any worker spawns so every domain
+     records from its first request *)
+  Option.iter (fun dir -> T.Flight.set_sink (Some dir)) cfg.flight_dir;
   let cache = make_cache cfg in
   let service =
     Pool.Service.create ~jobs:cfg.jobs ~queue_cap:cfg.queue_cap
       (handle cfg cache)
+  in
+  (* the scrape endpoint listens on its own socket in its own domain —
+     scrapes never touch the admission path.  It gets its OWN stop flag:
+     [stop] starts the drain, but the daemon must stay observable while
+     it drains, so the scrape loop is stopped only after the drain is
+     done *)
+  let metrics_stop = Atomic.make false in
+  let metrics_listener =
+    match cfg.metrics_addr with
+    | None -> None
+    | Some addr -> (
+        match open_socket addr with
+        | Error e ->
+            T.Log.warn (fun () -> "metrics endpoint: " ^ e);
+            None
+        | Ok fd ->
+            T.Log.info (fun () ->
+                "metrics endpoint on " ^ bind_to_string addr);
+            Some (addr, Domain.spawn (fun () -> metrics_loop metrics_stop fd)))
   in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let seq = ref 0 in
@@ -412,6 +571,7 @@ let serve_loop cfg stop listen_fd =
           in
           let req =
             { rq_conn = conn; rq_line = line; rq_seq = !seq; rq_id = id;
+              rq_tid = T.new_trace_id ();
               (* the budget starts at admission: time spent queued is part
                  of the request's deadline, which also bounds drain *)
               rq_deadline = Guard.deadline_after timeout_s;
@@ -420,8 +580,10 @@ let serve_loop cfg stop listen_fd =
           match Chaos.probe "serve.queue" with
           | exception e ->
               (* an injected queue fault costs this one request a
-                 structured error, nothing more *)
+                 structured error, nothing more — and, as a containment
+                 event, triggers a flight-recorder dump *)
               T.Metrics.incr m_queue_faults;
+              ignore (T.Flight.dump ~reason:"chaos-queue-fault" ());
               send conn
                 (error_json ~id ~kind:"queue-fault"
                    ~detail:(Printexc.to_string e))
@@ -516,6 +678,16 @@ let serve_loop cfg stop listen_fd =
   (match cfg.bind with
   | Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
   | Tcp _ -> ());
+  (* only now stop the metrics listener: it kept serving scrapes through
+     the whole drain above; release its socket last *)
+  Atomic.set metrics_stop true;
+  (match metrics_listener with
+  | None -> ()
+  | Some (addr, d) ->
+      Domain.join d;
+      (match addr with
+      | Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ()));
   0
 
 (* the loop is expected total; this backstop turns an unexpected listener

@@ -17,10 +17,13 @@
        read server-side;}
     {- [timeout_s] — per-request budget, capped at the server's
        [max_timeout_s];}
-    {- [verify] — override the server's semantic-gate default.}}
+    {- [verify] — override the server's semantic-gate default;}
+    {- [trace] — [true] inlines the request's span events as a [trace]
+       array in the response (bounded ring, observation-only).}}
 
-    Responses: [{"id":…, "status":"ok"|"degraded", "output":…,
-    "report":{…}}] with the same per-file report object as batch mode
+    Responses: [{"id":…, "status":"ok"|"degraded", "trace_id":…,
+    "output":…, "report":{…}}] with the same per-file report object as
+    batch mode
     (flattened to one line); [{"id":…, "status":"overloaded",
     "retry_after_ms":…}] when admission control sheds the request;
     [{"id":…, "status":"error", "kind":…, "detail":…}] for anything else —
@@ -78,11 +81,21 @@ type config = {
           the rest record into a reusable per-domain scratch ring *)
   metrics_out : string option;
       (** write a final metrics snapshot here on drain *)
+  metrics_addr : bind option;
+      (** serve a Prometheus scrape endpoint ([GET /metrics]) on this
+          address, on its own listener domain — scrapes never contend
+          with request admission.  Renders the registry snapshot plus
+          the rolling-window aggregates ({!Pscommon.Telemetry.Window}) *)
+  flight_dir : string option;
+      (** enable the {!Pscommon.Telemetry.Flight} recorder and dump its
+          per-domain ring here on worker recycle, blown deadline, or
+          chaos queue fault *)
 }
 
 val default_config : bind -> config
 (** 1 job, queue 64, 30 s default / 300 s max budget, 8 MiB request cap,
-    32 MiB output cap, verify off, cache 2048 (memory-only), no tracing. *)
+    32 MiB output cap, verify off, cache 2048 (memory-only), no tracing,
+    no scrape endpoint, flight recorder off. *)
 
 type server
 (** A daemon started in a background domain by {!start}. *)

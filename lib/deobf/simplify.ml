@@ -62,6 +62,9 @@ let run_shared ?log ?(pass = 0) ?(suppress = []) ~ast src =
     | patched when not (String.equal patched src) -> (
         match Psparse.Parser.parse patched with
         | Ok patched_ast ->
+            Pscommon.Telemetry.Metrics.incr
+              ~by:(List.length !edits)
+              (Pscommon.Telemetry.Metrics.counter "simplify.rule.paren");
             Option.iter
               (fun l ->
                 Editlog.record_stage l ~phase:"simplify" ~pass ~src

@@ -156,6 +156,13 @@ let run_shared ?log ?(pass = 0) ?(suppress = []) src =
         | patched when not (String.equal patched src) -> (
             match Psparse.Parser.parse patched with
             | Ok ast ->
+                (* rule attribution, counted only for edits that landed in a
+                   syntactically valid result *)
+                List.iter
+                  (fun (_, kind) ->
+                    Telemetry.Metrics.incr
+                      (Telemetry.Metrics.counter ("token.rule." ^ kind)))
+                  pairs;
                 Option.iter
                   (fun l -> Editlog.record_stage l ~phase:"token" ~pass ~src pairs)
                   log;

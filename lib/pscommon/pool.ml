@@ -105,6 +105,12 @@ module Service = struct
         (try t.handler item
          with e ->
            Telemetry.Metrics.incr m_recycled;
+           (* black-box forensics before the worker moves on: the domain's
+              flight ring still holds the spans the dying request recorded *)
+           ignore
+             (Telemetry.Flight.dump
+                ~reason:("worker-recycled: " ^ Printexc.to_string e)
+                ());
            Telemetry.Log.warn (fun () ->
                "service worker recycled: " ^ Printexc.to_string e));
         Telemetry.Metrics.observe m_run

@@ -38,7 +38,9 @@ module Service : sig
       (the caller is {e not} a worker — it keeps its own loop, e.g. the
       accept loop) that each pop items and run [handler].  A handler that
       raises costs that one item (logged, counted in
-      [pool.service.recycled]) — the worker recycles and keeps serving.
+      [pool.service.recycled], and — when the {!Telemetry.Flight} recorder
+      is enabled — dumped as a flight-recorder JSONL black box) — the
+      worker recycles and keeps serving.
       Queue wait and run time feed the shared [pool.queue_wait_ms] /
       [pool.run_ms] histograms; [pool.service.depth] gauges the queue. *)
 

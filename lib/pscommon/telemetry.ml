@@ -16,50 +16,6 @@
     comparison — no allocation — so instrumentation can stay in hot code
     unconditionally. *)
 
-(* ---------- leveled logger ---------- *)
-
-module Log = struct
-  type level = Error | Warn | Info | Debug
-
-  let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
-  let label = function
-    | Error -> "error" | Warn -> "warn" | Info -> "info" | Debug -> "debug"
-
-  let of_string s =
-    match String.lowercase_ascii (String.trim s) with
-    | "error" -> Some Error
-    | "warn" | "warning" -> Some Warn
-    | "info" -> Some Info
-    | "debug" -> Some Debug
-    | _ -> None
-
-  (* [None] = silent (the default); an Atomic so workers spawned after a
-     CLI [--log-level] all observe it *)
-  let current : level option Atomic.t = Atomic.make None
-  let set_level l = Atomic.set current l
-  let level () = Atomic.get current
-
-  let enabled l =
-    match Atomic.get current with
-    | None -> false
-    | Some threshold -> rank l <= rank threshold
-
-  let emit_mutex = Mutex.create ()
-
-  let log l msg =
-    if enabled l then begin
-      Mutex.lock emit_mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock emit_mutex)
-        (fun () -> Printf.eprintf "[%s] %s\n%!" (label l) (msg ()))
-    end
-
-  let error msg = log Error msg
-  let warn msg = log Warn msg
-  let info msg = log Info msg
-  let debug msg = log Debug msg
-end
-
 (* ---------- JSON helpers (local: pscommon depends on nothing) ---------- *)
 
 let json_escape s =
@@ -102,6 +58,118 @@ let attrs_to_json attrs =
       (List.map (fun (k, v) -> json_string k ^ ": " ^ attr_value_to_json v) attrs)
   ^ "}"
 
+(* ---------- leveled logger ---------- *)
+
+module Log = struct
+  type level = Error | Warn | Info | Debug
+
+  let rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+  let label = function
+    | Error -> "error" | Warn -> "warn" | Info -> "info" | Debug -> "debug"
+
+  let of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "error" -> Some Error
+    | "warn" | "warning" -> Some Warn
+    | "info" -> Some Info
+    | "debug" -> Some Debug
+    | _ -> None
+
+  (* [None] = silent (the default); an Atomic so workers spawned after a
+     CLI [--log-level] all observe it *)
+  let current : level option Atomic.t = Atomic.make None
+  let set_level l = Atomic.set current l
+  let level () = Atomic.get current
+
+  let enabled l =
+    match Atomic.get current with
+    | None -> false
+    | Some threshold -> rank l <= rank threshold
+
+  let emit_mutex = Mutex.create ()
+
+  type format = Text | Json
+
+  (* the output shape is process-wide, like the level: a daemon either
+     feeds a log pipeline (JSONL) or a human (text), never both *)
+  let current_format : format Atomic.t = Atomic.make Text
+  let set_format f = Atomic.set current_format f
+  let format () = Atomic.get current_format
+
+  let format_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "text" -> Some Text
+    | "json" | "jsonl" -> Some Json
+    | _ -> None
+
+  let log ?(fields = []) l msg =
+    if enabled l then begin
+      Mutex.lock emit_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock emit_mutex)
+        (fun () ->
+          match Atomic.get current_format with
+          | Text -> Printf.eprintf "[%s] %s\n%!" (label l) (msg ())
+          | Json ->
+              let extra =
+                String.concat ""
+                  (List.map
+                     (fun (k, v) ->
+                       Printf.sprintf ", %s: %s" (json_string k)
+                         (attr_value_to_json v))
+                     fields)
+              in
+              Printf.eprintf
+                "{\"ts\": %.6f, \"level\": %s, \"domain\": %d, \"msg\": %s%s}\n%!"
+                (Unix.gettimeofday ())
+                (json_string (label l))
+                (Domain.self () :> int)
+                (json_string (msg ()))
+                extra)
+    end
+
+  let error msg = log Error msg
+  let warn msg = log Warn msg
+  let info msg = log Info msg
+  let debug msg = log Debug msg
+end
+
+(* ---------- trace / request identifiers ---------- *)
+
+(* Trace ids correlate one request's (or one batch file's) events across
+   the span stream, the flight recorder and the response protocol.  They
+   are {e observation-only}: allocation draws from a process-global
+   counter, never from the chaos stream or anything output-affecting, so
+   ids vary across runs while outputs stay byte-identical. *)
+
+let id_counter = Atomic.make 0
+
+(* one process nonce so ids from different daemon instances never collide
+   in a shared log pipeline *)
+let id_nonce =
+  lazy
+    ((Unix.getpid () land 0xffff)
+    lxor (int_of_float (Unix.gettimeofday () *. 1000.0) land 0xfffffff))
+
+let new_trace_id () =
+  Printf.sprintf "%07x-%06x" (Lazy.force id_nonce)
+    (Atomic.fetch_and_add id_counter 1 land 0xffffff)
+
+(* The ambient request id of the current domain: installed around one
+   request (or one batch file), picked up by traces created or reset in
+   scope and stamped on every flight-recorder entry. *)
+let current_request : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current_request_id () = Domain.DLS.get current_request
+
+let with_request_id rid f =
+  let previous = Domain.DLS.get current_request in
+  Domain.DLS.set current_request (Some rid);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set current_request previous)
+    f
+
 (* ---------- trace events ---------- *)
 
 type kind = Span_begin | Span_end | Point
@@ -129,6 +197,9 @@ type open_span = { os_id : int; os_name : string; os_parent : int }
 type trace = {
   buf : event array;
   capacity : int;
+  mutable trace_id : string;
+      (** request correlation id; the ambient request id at creation/reset
+          when one is in scope, else freshly allocated *)
   mutable pushed : int;  (** total events ever pushed (= next seq) *)
   mutable dropped : int;  (** oldest events overwritten by the ring *)
   mutable created : float;  (** wall clock at creation (epoch seconds) *)
@@ -137,10 +208,19 @@ type trace = {
   mutable stack : open_span list;  (** innermost open span first *)
 }
 
+let fresh_trace_id () =
+  match Domain.DLS.get current_request with
+  | Some rid -> rid
+  | None -> new_trace_id ()
+
 let create ?(capacity = 65536) () =
   let capacity = max 16 capacity in
-  { buf = Array.make capacity dummy_event; capacity; pushed = 0; dropped = 0;
+  { buf = Array.make capacity dummy_event; capacity;
+    trace_id = fresh_trace_id (); pushed = 0; dropped = 0;
     created = Unix.gettimeofday (); last_ms = 0.0; next_id = 0; stack = [] }
+
+let trace_id t = t.trace_id
+let set_trace_id t id = t.trace_id <- id
 
 (* The wall clock can step backwards (NTP); event timestamps are clamped to
    the previous event's, so the stream is non-decreasing by construction. *)
@@ -161,6 +241,7 @@ let push t kind name ~id ~parent attrs =
    fresh 64k-slot ring per request is pure allocator pressure when most
    traces are never serialized. *)
 let reset t =
+  t.trace_id <- fresh_trace_id ();
   t.created <- Unix.gettimeofday ();
   t.pushed <- 0;
   t.dropped <- 0;
@@ -180,7 +261,142 @@ let with_trace t f =
   Domain.DLS.set ambient (Some t);
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient previous) f
 
-let active () = Option.is_some (Domain.DLS.get ambient)
+(* ---------- flight recorder ---------- *)
+
+(* A black box for the daemon: each domain keeps a fixed ring of the most
+   recent spans/events it recorded, fed from the same instrumentation call
+   sites as the tracer but independent of any installed trace.  On a fault
+   — a recycled worker, a deadline blown, a chaos probe contained, a
+   diverged verify verdict — the ring is dumped as JSONL and cleared, so
+   every fault gets the events leading up to it at zero serialization cost
+   on the happy path.  Disabled (the default) it costs one atomic load per
+   instrumentation call and records nothing. *)
+module Flight = struct
+  type entry = {
+    f_seq : int;  (** total entries ever recorded by this domain *)
+    f_at : float;  (** wall clock, epoch seconds *)
+    f_kind : string;  (** "begin" | "end" | "event" | "note" *)
+    f_name : string;
+    f_attrs : attr list;
+    f_trace : string;  (** ambient request id at record time, "" if none *)
+  }
+
+  let capacity = 512
+
+  type ring = { slots : entry array; mutable total : int }
+
+  let dummy_entry =
+    { f_seq = 0; f_at = 0.0; f_kind = ""; f_name = ""; f_attrs = [];
+      f_trace = "" }
+
+  let ring_key : ring Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { slots = Array.make capacity dummy_entry; total = 0 })
+
+  (* [Some dir] = record, dump into [dir]; the boolean mirror is the hot
+     path's single atomic load *)
+  let sink : string option Atomic.t = Atomic.make None
+  let on : bool Atomic.t = Atomic.make false
+
+  let set_sink d =
+    Atomic.set sink d;
+    Atomic.set on (Option.is_some d)
+
+  let enabled () = Atomic.get on
+
+  let dump_counter = Atomic.make 0
+  let dumps_total () = Atomic.get dump_counter
+
+  let note ?(attrs = []) ~kind name =
+    if Atomic.get on then begin
+      let r = Domain.DLS.get ring_key in
+      let rid =
+        match Domain.DLS.get current_request with Some s -> s | None -> ""
+      in
+      r.slots.(r.total mod capacity) <-
+        { f_seq = r.total; f_at = Unix.gettimeofday (); f_kind = kind;
+          f_name = name; f_attrs = attrs; f_trace = rid };
+      r.total <- r.total + 1
+    end
+
+  let record ?attrs name = note ?attrs ~kind:"note" name
+
+  let entries () =
+    let r = Domain.DLS.get ring_key in
+    let n = min r.total capacity in
+    let first = r.total - n in
+    List.init n (fun i -> r.slots.((first + i) mod capacity))
+
+  let clear () =
+    let r = Domain.DLS.get ring_key in
+    r.total <- 0
+
+  let entry_to_json e =
+    Printf.sprintf
+      "{\"seq\": %d, \"at\": %.6f, \"kind\": %s, \"name\": %s, \
+       \"trace_id\": %s, \"attrs\": %s}"
+      e.f_seq e.f_at (json_string e.f_kind) (json_string e.f_name)
+      (json_string e.f_trace)
+      (attrs_to_json e.f_attrs)
+
+  (* the dump body: a header line carrying the dump reason, the triggering
+     request's trace id and the recording domain, then the ring oldest
+     first *)
+  let render ~reason () =
+    let es = entries () in
+    let rid =
+      match Domain.DLS.get current_request with
+      | Some s -> s
+      | None -> (
+          (* outside the request scope (e.g. the pool's recycle catch):
+             attribute the dump to the last recorded request *)
+          match List.rev es with
+          | e :: _ when e.f_trace <> "" -> e.f_trace
+          | _ -> "")
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"kind\": \"flight\", \"reason\": %s, \"trace_id\": %s, \
+          \"domain\": %d, \"at\": %.6f, \"entries\": %d}\n"
+         (json_string reason) (json_string rid)
+         (Domain.self () :> int)
+         (Unix.gettimeofday ()) (List.length es));
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (entry_to_json e);
+        Buffer.add_char buf '\n')
+      es;
+    Buffer.contents buf
+
+  (* Dump the current domain's ring to the sink directory and clear it.
+     Totalised: a failing dump (unwritable directory, disk full) is
+     recording, and recording must never take the request path down with
+     it.  Returns the path written, [None] when disabled or the write
+     failed. *)
+  let dump ~reason () =
+    match Atomic.get sink with
+    | None -> None
+    | Some dir -> (
+        let body = render ~reason () in
+        clear ();
+        let n = Atomic.fetch_and_add dump_counter 1 in
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "flight-%d-%d.jsonl" (Unix.getpid ()) n)
+        in
+        try
+          (try
+             if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc body);
+          Some path
+        with _ -> None)
+end
+
+let active () =
+  Option.is_some (Domain.DLS.get ambient) || Flight.enabled ()
 
 let current_span t =
   match t.stack with [] -> 0 | s :: _ -> s.os_id
@@ -188,6 +404,7 @@ let current_span t =
 (* ---------- recording ---------- *)
 
 let span_begin ?(attrs = []) name =
+  if Atomic.get Flight.on then Flight.note ~attrs ~kind:"begin" name;
   match Domain.DLS.get ambient with
   | None -> 0
   | Some t ->
@@ -209,6 +426,8 @@ let span_end ?(attrs = []) id =
           | [] -> []  (* unknown id (already closed): drop nothing *)
           | s :: rest when s.os_id = id ->
               push t Span_end s.os_name ~id:s.os_id ~parent:s.os_parent attrs;
+              if Atomic.get Flight.on then
+                Flight.note ~attrs ~kind:"end" s.os_name;
               rest
           | s :: rest ->
               push t Span_end s.os_name ~id:s.os_id ~parent:s.os_parent [];
@@ -228,6 +447,7 @@ let span ?attrs name f =
       raise e
 
 let event ?(attrs = []) name =
+  if Atomic.get Flight.on then Flight.note ~attrs ~kind:"event" name;
   match Domain.DLS.get ambient with
   | None -> ()
   | Some t -> push t Point name ~id:0 ~parent:(current_span t) attrs
@@ -241,27 +461,44 @@ let events t =
 
 let dropped t = t.dropped
 
-let event_to_json e =
+(* every span line carries the full (trace_id, span id, parent id) triple,
+   so lines from different requests remain correlatable after any amount of
+   log mixing *)
+let event_to_json ?trace_id e =
+  let tid =
+    match trace_id with
+    | None -> ""
+    | Some id -> Printf.sprintf "\"trace_id\": %s, " (json_string id)
+  in
   Printf.sprintf
-    "{\"seq\": %d, \"t_ms\": %.3f, \"kind\": %s, \"name\": %s, \"id\": %d, \
+    "{%s\"seq\": %d, \"t_ms\": %.3f, \"kind\": %s, \"name\": %s, \"id\": %d, \
      \"parent\": %d, \"attrs\": %s}"
-    e.seq e.t_ms
+    tid e.seq e.t_ms
     (json_string (kind_label e.kind))
     (json_string e.name) e.id e.parent (attrs_to_json e.attrs)
 
 (** One JSON object per line, oldest event first, closed by a summary line
-    [{"kind": "summary", "events": N, "dropped": N}]. *)
+    [{"kind": "summary", "trace_id": …, "events": N, "dropped": N}]. *)
 let to_jsonl t =
   let buf = Buffer.create 4096 in
   List.iter
     (fun e ->
-      Buffer.add_string buf (event_to_json e);
+      Buffer.add_string buf (event_to_json ~trace_id:t.trace_id e);
       Buffer.add_char buf '\n')
     (events t);
   Buffer.add_string buf
-    (Printf.sprintf "{\"kind\": \"summary\", \"events\": %d, \"dropped\": %d}\n"
-       t.pushed t.dropped);
+    (Printf.sprintf
+       "{\"kind\": \"summary\", \"trace_id\": %s, \"events\": %d, \
+        \"dropped\": %d}\n"
+       (json_string t.trace_id) t.pushed t.dropped);
   Buffer.contents buf
+
+(** The buffered events as one single-line JSON array — the serve
+    protocol's inline [trace] response field. *)
+let events_to_json_array t =
+  "["
+  ^ String.concat ", " (List.map (event_to_json ?trace_id:None) (events t))
+  ^ "]"
 
 (* ---------- metrics registry ---------- *)
 
@@ -452,10 +689,14 @@ module Metrics = struct
   let histogram_snapshot_to_json hs =
     let min_s = if Float.is_nan hs.hs_min then "null" else json_float hs.hs_min in
     let max_s = if Float.is_nan hs.hs_max then "null" else json_float hs.hs_max in
+    let q v = if Float.is_nan v then "null" else json_float v in
     Printf.sprintf
       "{\"count\": %d, \"sum_ms\": %s, \"min_ms\": %s, \"max_ms\": %s, \
-       \"buckets\": [%s]}"
+       \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s, \"buckets\": [%s]}"
       hs.hs_count (json_float hs.hs_sum) min_s max_s
+      (q (quantile hs 0.50))
+      (q (quantile hs 0.90))
+      (q (quantile hs 0.99))
       (String.concat ", "
          (List.map
             (fun (le, n) ->
@@ -480,4 +721,198 @@ module Metrics = struct
           (String.concat ",\n" (List.map hfield s.histograms));
         "}";
       ]
+
+  (* ----- Prometheus text exposition (version 0.0.4) ----- *)
+
+  (* metric names admit [a-zA-Z0-9_:] only; our dotted registry names map
+     dots (and anything else) to underscores under one shared prefix *)
+  let prom_name name =
+    let buf = Buffer.create (String.length name + 16) in
+    Buffer.add_string buf "invoke_deobf_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+        | _ -> Buffer.add_char buf '_')
+      name;
+    Buffer.contents buf
+
+  let prom_float f =
+    if Float.is_nan f then "NaN"
+    else if f = infinity then "+Inf"
+    else if f = neg_infinity then "-Inf"
+    else Printf.sprintf "%.6g" f
+
+  (** Render a snapshot in Prometheus text exposition format: counters as
+      [_total]-suffixed counters, gauges as gauges, and each log2 latency
+      histogram as a cumulative [_bucket{le=…}] series with [_sum] and
+      [_count]. *)
+  let to_prometheus s =
+    let buf = Buffer.create 8192 in
+    let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l) fmt in
+    List.iter
+      (fun (name, v) ->
+        let n = prom_name name ^ "_total" in
+        line "# TYPE %s counter\n%s %d\n" n n v)
+      s.counters;
+    List.iter
+      (fun (name, v) ->
+        let n = prom_name name in
+        line "# TYPE %s gauge\n%s %d\n" n n v)
+      s.gauges;
+    List.iter
+      (fun (name, hs) ->
+        let n = prom_name name in
+        line "# TYPE %s histogram\n" n;
+        let cum = ref 0 in
+        List.iter
+          (fun (le, count) ->
+            cum := !cum + count;
+            if le <> infinity then
+              line "%s_bucket{le=\"%s\"} %d\n" n (prom_float le) !cum)
+          hs.hs_buckets;
+        line "%s_bucket{le=\"+Inf\"} %d\n" n hs.hs_count;
+        line "%s_sum %s\n" n (prom_float hs.hs_sum);
+        line "%s_count %d\n" n hs.hs_count)
+      s.histograms;
+    Buffer.contents buf
 end
+
+(* ---------- rolling-window aggregates ---------- *)
+
+(* The registry's histograms are cumulative since boot (or the last
+   [Metrics.reset]) — the right shape for a batch rollup, the wrong one
+   for a live scrape: an operator wants p99 over the last minute, not the
+   daemon's lifetime.  A window keeps the newest [capacity] observations
+   with their timestamps in a mutex-guarded ring and aggregates only the
+   ones inside the horizon at read time, so quantiles, rates and means
+   all answer "now".  Observation is O(1); aggregation cost (a copy and a
+   sort, bounded by [capacity]) is paid by the scraper, not the request
+   path. *)
+module Window = struct
+  type t = {
+    w_name : string;
+    w_cap : int;
+    w_horizon : float;  (* seconds of history that count at read time *)
+    w_ts : float array;  (* observation wall-clock, epoch seconds *)
+    w_vs : float array;
+    mutable w_total : int;  (* observations ever; next slot = total mod cap *)
+    w_mutex : Mutex.t;
+  }
+
+  let make ~name ~capacity ~horizon_s =
+    let cap = max 16 capacity in
+    { w_name = name; w_cap = cap; w_horizon = Float.max 0.001 horizon_s;
+      w_ts = Array.make cap 0.0; w_vs = Array.make cap 0.0; w_total = 0;
+      w_mutex = Mutex.create () }
+
+  (* get-or-create registry, mirroring the metrics registry so the scrape
+     endpoint can render every live window without threading handles *)
+  let registry : t list ref = ref []
+  let registry_mutex = Mutex.create ()
+
+  let window ?(capacity = 1024) ?(horizon_s = 60.0) name =
+    Mutex.lock registry_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_mutex)
+      (fun () ->
+        match List.find_opt (fun w -> w.w_name = name) !registry with
+        | Some w -> w
+        | None ->
+            let w = make ~name ~capacity ~horizon_s in
+            registry := w :: !registry;
+            w)
+
+  let locked w f =
+    Mutex.lock w.w_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock w.w_mutex) f
+
+  (* [?at] exists for tests: a synthetic stream with pinned timestamps
+     makes ageing-out assertions deterministic *)
+  let observe ?at w v =
+    let t = match at with Some t -> t | None -> Unix.gettimeofday () in
+    locked w (fun () ->
+        let i = w.w_total mod w.w_cap in
+        w.w_ts.(i) <- t;
+        w.w_vs.(i) <- v;
+        w.w_total <- w.w_total + 1)
+
+  let reset w = locked w (fun () -> w.w_total <- 0)
+
+  (* in-horizon values, unordered *)
+  let values ?now w =
+    let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+    let cutoff = now -. w.w_horizon in
+    locked w (fun () ->
+        let n = min w.w_total w.w_cap in
+        let acc = ref [] in
+        for i = 0 to n - 1 do
+          if w.w_ts.(i) >= cutoff then acc := w.w_vs.(i) :: !acc
+        done;
+        !acc)
+
+  let count ?now w = List.length (values ?now w)
+
+  (* nearest-rank quantile over the in-horizon samples: exact for what is
+     in the window (unlike the log2-bucket estimate), [nan] when empty *)
+  let quantile ?now w q =
+    match values ?now w with
+    | [] -> Float.nan
+    | vs ->
+        let a = Array.of_list vs in
+        Array.sort Float.compare a;
+        let n = Array.length a in
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let rank =
+          int_of_float (Float.round (q *. float_of_int n +. 0.5)) - 1
+        in
+        a.(max 0 (min (n - 1) rank))
+
+  (* observations per second over the horizon — the EWMA-flavoured "rate
+     right now" a scrape wants (the window itself is the decay) *)
+  let rate ?now w =
+    float_of_int (count ?now w) /. w.w_horizon
+
+  let mean ?now w =
+    match values ?now w with
+    | [] -> Float.nan
+    | vs -> List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs)
+
+  let registered () =
+    Mutex.lock registry_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_mutex)
+      (fun () -> List.rev !registry)
+
+  (* windows render as labelled gauges: one metric name per aggregate,
+     one time series per window *)
+  let to_prometheus ?now () =
+    let ws = registered () in
+    if ws = [] then ""
+    else begin
+      let buf = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l) fmt in
+      let series name f =
+        line "# TYPE invoke_deobf_window_%s gauge\n" name;
+        List.iter
+          (fun w ->
+            match f w with
+            | v when Float.is_nan v -> ()
+            | v ->
+                line "invoke_deobf_window_%s{window=\"%s\"} %s\n" name
+                  w.w_name (Metrics.prom_float v))
+          ws
+      in
+      series "p50_ms" (fun w -> quantile ?now w 0.50);
+      series "p90_ms" (fun w -> quantile ?now w 0.90);
+      series "p99_ms" (fun w -> quantile ?now w 0.99);
+      series "rate_per_s" (fun w -> rate ?now w);
+      series "count" (fun w -> float_of_int (count ?now w));
+      Buffer.contents buf
+    end
+end
+
+(** The scrape endpoint's whole body: the cumulative metrics registry plus
+    every live rolling window. *)
+let render_prometheus () =
+  Metrics.to_prometheus (Metrics.snapshot ()) ^ Window.to_prometheus ()

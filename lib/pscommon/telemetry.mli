@@ -20,6 +20,9 @@
     read plus a comparison — no allocation — so call sites stay
     unconditional even in hot loops. *)
 
+type attr_value = S of string | I of int | F of float | B of bool
+type attr = string * attr_value
+
 (** Leveled stderr logger, silent unless {!Log.set_level} enables it. *)
 module Log : sig
   type level = Error | Warn | Info | Debug
@@ -38,6 +41,23 @@ module Log : sig
 
   val enabled : level -> bool
 
+  type format = Text | Json
+      (** [Text] (the default): ["[level] msg"].  [Json]: one JSON object
+          per line — [{"ts": epoch_s, "level": …, "domain": id, "msg": …,
+          <fields>}] — for log pipelines. *)
+
+  val set_format : format -> unit
+  (** Process-wide, like the level (an [Atomic]). *)
+
+  val format : unit -> format
+
+  val format_of_string : string -> format option
+  (** ["text" | "json"("l")], case-insensitive. *)
+
+  val log : ?fields:attr list -> level -> (unit -> string) -> unit
+  (** [fields] are appended as extra top-level JSON fields in [Json] mode
+      and ignored in [Text] mode. *)
+
   val error : (unit -> string) -> unit
   val warn : (unit -> string) -> unit
   val info : (unit -> string) -> unit
@@ -46,10 +66,27 @@ module Log : sig
       mutex-serialized: concurrent domains never interleave lines. *)
 end
 
-(** {1 Traces} *)
+(** {1 Trace / request identifiers}
 
-type attr_value = S of string | I of int | F of float | B of bool
-type attr = string * attr_value
+    Correlation ids for request-scoped tracing: the daemon (or batch
+    driver) installs one id around each request, and everything recorded
+    in scope — trace events, flight-recorder entries, response fields —
+    carries it.  Ids are observation-only: they draw from a process
+    counter, never from anything output-affecting. *)
+
+val new_trace_id : unit -> string
+(** A fresh process-unique id (["nonce-counter"], hex). *)
+
+val current_request_id : unit -> string option
+(** The ambient request id of this domain, if one is installed. *)
+
+val with_request_id : string -> (unit -> 'a) -> 'a
+(** Install [rid] as this domain's ambient request id for the duration of
+    the call (exception-safe, restores the previous id).  Traces created
+    or {!reset} in scope adopt it as their {!trace_id}; flight-recorder
+    entries stamp it. *)
+
+(** {1 Traces} *)
 
 type kind = Span_begin | Span_end | Point
 
@@ -72,7 +109,14 @@ type trace
     them in {!dropped}. *)
 
 val create : ?capacity:int -> unit -> trace
-(** Default capacity 65536 events (floor 16). *)
+(** Default capacity 65536 events (floor 16).  The new trace's
+    {!trace_id} is the ambient request id when one is in scope, else
+    freshly allocated. *)
+
+val trace_id : trace -> string
+(** The trace's correlation id, stamped on every serialized event line. *)
+
+val set_trace_id : trace -> string -> unit
 
 val reset : trace -> unit
 (** Rewind the trace to empty for reuse, keeping the allocated ring: the
@@ -91,8 +135,9 @@ val with_trace : trace -> (unit -> 'a) -> 'a
     previously ambient trace afterwards. *)
 
 val active : unit -> bool
-(** Whether an ambient trace is installed in this domain — the guard hot
-    call sites use before building attribute lists. *)
+(** Whether anything records in this domain — an ambient trace installed,
+    or the flight recorder enabled — the guard hot call sites use before
+    building attribute lists. *)
 
 val span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
 (** [span name f] wraps [f] in a begin/end event pair nested under the
@@ -117,8 +162,45 @@ val events : trace -> event list
 val dropped : trace -> int
 
 val to_jsonl : trace -> string
-(** One JSON object per event per line, oldest first, closed by a summary
-    line [{"kind": "summary", "events": total, "dropped": n}]. *)
+(** One JSON object per event per line, oldest first — each line carrying
+    the trace's {!trace_id} alongside the span [id]/[parent] pair — closed
+    by a summary line [{"kind": "summary", "trace_id": …, "events": total,
+    "dropped": n}]. *)
+
+val events_to_json_array : trace -> string
+(** The buffered events as one single-line JSON array (no summary line) —
+    the serve protocol's inline [trace] response field. *)
+
+(** {1 Flight recorder}
+
+    A per-domain black box: a fixed ring of the most recent spans/events,
+    fed from the same instrumentation call sites as the tracer but
+    independent of any installed trace, dumped as JSONL when a fault
+    warrants forensics (worker recycled, deadline blown, chaos containment,
+    diverged verdict).  Disabled — the default — it costs one atomic load
+    per instrumentation call; enabled, recording is allocation-light and
+    serialization happens only at dump time. *)
+module Flight : sig
+  val set_sink : string option -> unit
+  (** [Some dir] enables recording and directs dumps into [dir] (created
+      on first dump if missing); [None] (the default) disables. *)
+
+  val enabled : unit -> bool
+
+  val record : ?attrs:attr list -> string -> unit
+  (** Append an explicit entry (kind ["note"]) to this domain's ring — for
+      context the automatic span/event feed does not carry. *)
+
+  val dump : reason:string -> unit -> string option
+  (** Serialize this domain's ring (header line with [reason], the
+      triggering request's trace id and the domain id, then one line per
+      entry, oldest first), write it to the sink directory, and clear the
+      ring.  Returns the path written; [None] when disabled or the write
+      failed — a failing dump never takes the request path down. *)
+
+  val dumps_total : unit -> int
+  (** Dumps attempted since process start (monotonic, process-wide). *)
+end
 
 (** {1 Metrics} *)
 
@@ -188,7 +270,58 @@ module Metrics : sig
       of a batch so the run-level rollup covers exactly that run. *)
 
   val snapshot_to_json : snapshot -> string
+  (** Histogram entries carry [p50_ms]/[p90_ms]/[p99_ms] (via {!quantile})
+      alongside the raw log2 buckets. *)
+
+  val to_prometheus : snapshot -> string
+  (** Prometheus text exposition (format version 0.0.4): counters as
+      [_total]-suffixed counters, gauges as gauges, histograms as
+      cumulative [_bucket{le=…}] series with [_sum]/[_count].  Dotted
+      registry names map to underscores under the [invoke_deobf_]
+      prefix. *)
 end
+
+(** {1 Rolling windows}
+
+    Live aggregates for the scrape endpoint: the registry's histograms are
+    cumulative since boot, a window answers "the last minute".  The newest
+    [capacity] observations are kept with timestamps in a mutex-guarded
+    ring; quantiles/rates aggregate only observations inside the horizon
+    at read time, so the cost of aggregation (copy + sort) is paid by the
+    scraper, never the request path. *)
+module Window : sig
+  type t
+
+  val window : ?capacity:int -> ?horizon_s:float -> string -> t
+  (** Get or create by name (process-global registry, like metrics).
+      Defaults: capacity 1024 (floor 16), horizon 60 s. *)
+
+  val observe : ?at:float -> t -> float -> unit
+  (** O(1).  [at] (epoch seconds, default now) exists so tests can replay
+      a synthetic stream with pinned timestamps. *)
+
+  val quantile : ?now:float -> t -> float -> float
+  (** Nearest-rank quantile over in-horizon samples — exact for the
+      window's contents, [nan] when empty. *)
+
+  val rate : ?now:float -> t -> float
+  (** In-horizon observations per second. *)
+
+  val mean : ?now:float -> t -> float
+  (** [nan] when empty. *)
+
+  val count : ?now:float -> t -> int
+  val reset : t -> unit
+
+  val to_prometheus : ?now:float -> unit -> string
+  (** Every registered window as labelled gauges
+      ([invoke_deobf_window_p50_ms{window="…"}] etc.); empty string when no
+      windows exist. *)
+end
+
+val render_prometheus : unit -> string
+(** The scrape endpoint's whole body: {!Metrics.to_prometheus} of a fresh
+    snapshot plus {!Window.to_prometheus}. *)
 
 (** {1 JSON helpers} *)
 

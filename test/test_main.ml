@@ -12,6 +12,7 @@ let () =
       ("guard", Test_guard.suite);
       ("resilience", Test_resilience.suite);
       ("telemetry", Test_telemetry.suite);
+      ("obsplane", Test_obsplane.suite);
       ("parallel", Test_parallel.suite);
       ("piece-cache", Test_piece_cache.suite);
       ("ops", Test_ops.suite);

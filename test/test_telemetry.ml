@@ -96,8 +96,19 @@ let test_jsonl_roundtrip () =
   check_b "int, float and bool attrs" true
     (Pscommon.Strcase.contains ~needle:"\"n\": 3" (line 1)
     && Pscommon.Strcase.contains ~needle:"\"ok\": true" (line 1));
-  check_s "summary line" "{\"kind\": \"summary\", \"events\": 3, \"dropped\": 0}"
-    (line 3)
+  (* every line (and the summary) carries the trace's correlation id *)
+  List.iter
+    (fun l ->
+      check_b "line carries trace_id" true
+        (Pscommon.Strcase.contains
+           ~needle:(Printf.sprintf "\"trace_id\": \"%s\"" (T.trace_id tr))
+           l))
+    lines;
+  check_b "summary line" true
+    (Pscommon.Strcase.contains
+       ~needle:"\"kind\": \"summary\"" (line 3)
+    && Pscommon.Strcase.contains ~needle:"\"events\": 3, \"dropped\": 0"
+         (line 3))
 
 let test_ring_drops_oldest () =
   let tr = T.create ~capacity:16 () in
