@@ -2,7 +2,7 @@
 
    One target per table/figure of the paper:
      table1 table2 fig5 fig6 table3 table4 table5 case ablate
-     throughput obs resilience verify serve micro
+     throughput obs resilience verify serve selfheal micro
    No argument runs everything except throughput (the parallel-batch
    scaling run, writes BENCH_batch.json), serve (the live-daemon
    throughput/overload run, writes BENCH_serve.json) and micro (the
@@ -14,7 +14,11 @@
    disabled chaos probes cost, with the same 5% budget.  verify (in
    the default run, writes BENCH_verify.json) measures the semantic
    gate's batch overhead against a 25% budget and fails on any
-   unrepaired divergence. *)
+   unrepaired divergence.  selfheal (in the default run, writes
+   BENCH_selfheal.json) drives the supervision plane — wedge-injection
+   MTTR against a deadline + 2x grace budget, flood survival under
+   memory chaos, quarantine convergence on a seeded bad-rule corpus —
+   and fails on any unanswered request or missed gate. *)
 
 let line () = print_endline (String.make 78 '-')
 
@@ -1048,6 +1052,316 @@ let run_serve () =
     exit 1
   end
 
+(* ---------- self-healing: wedge MTTR, memory chaos, quarantine ---------- *)
+
+(* Three adversarial passes against the supervision plane:
+   (a) seeded [serve.wedge] chaos spins workers in checkpoint-free loops;
+       the watchdog must answer each victim (MTTR gate: p99 within
+       deadline + 2x grace) and a 2x-queue-cap flood must come back fully
+       answered with the daemon alive;
+   (b) the memory governor is driven through Soft/Hard overrides
+       mid-stream; every pressured request must shed with
+       [reason:"memory"] and nothing may go unanswered;
+   (c) a seeded bad-rule script (the divergent loop fold the verify gate
+       demonstrably rolls back) is replayed until quarantine trips; the
+       gate is convergence — rollbacks stop once the breaker opens. *)
+let run_selfheal () =
+  line ();
+  let module Guard = Pscommon.Guard in
+  let module Chaos = Pscommon.Chaos in
+  let module Memwatch = Pscommon.Memwatch in
+  let module T = Pscommon.Telemetry in
+  let module Q = Deobf.Quarantine in
+  print_endline "self-healing: wedge MTTR, memory chaos, quarantine";
+  let dir = Filename.temp_dir "bench_selfheal" "" in
+  let sock = Filename.concat dir "selfheal.sock" in
+  let queue_cap = 8 in
+  let timeout_s = 0.3 and grace_s = 0.4 in
+  let cfg =
+    {
+      (Deobf.Serve.default_config (Deobf.Serve.Unix_sock sock)) with
+      Deobf.Serve.jobs = 2;
+      queue_cap;
+      default_timeout_s = timeout_s;
+      max_timeout_s = 5.0;
+      grace_s;
+    }
+  in
+  (* every fault below is seeded: same sequence every run *)
+  Chaos.set
+    (Some
+       { Chaos.seed = 11; rate = 0.0; site_rates = [ ("serve.wedge", 0.3) ] });
+  let server =
+    match Deobf.Serve.start cfg with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "FAIL: daemon did not start: %s\n" e;
+        exit 1
+  in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let send_all fd s =
+    let n = String.length s in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write_substring fd s !off (n - !off)
+    done
+  in
+  let read_lines fd n =
+    let buf = Buffer.create 65536 in
+    let chunk = Bytes.create 65536 in
+    let deadline = Guard.now () +. 180.0 in
+    let count_lines () =
+      List.length
+        (List.filter
+           (fun l -> String.trim l <> "")
+           (String.split_on_char '\n' (Buffer.contents buf)))
+    in
+    let eof = ref false in
+    while (not !eof) && count_lines () < n && Guard.now () < deadline do
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> eof := true
+          | k -> Buffer.add_subbytes buf chunk 0 k
+          | exception Unix.Unix_error _ -> eof := true)
+    done;
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  (* (a) sequential MTTR probe: one request in flight, so each wedged
+     round-trip isolates detect + answer + respawn *)
+  let script = "Write-Output ('he'+'al')" in
+  let probe_n = 20 in
+  let wedged_rtts = ref [] and ok_n = ref 0 and unanswered = ref 0 in
+  let fd = connect () in
+  for i = 1 to probe_n do
+    let t0 = Guard.now () in
+    send_all fd
+      (Printf.sprintf "{\"id\":\"m-%d\",\"script\":%s}\n" i
+         (T.json_string script));
+    match read_lines fd 1 with
+    | [] -> incr unanswered
+    | l :: _ ->
+        let rtt = Guard.now () -. t0 in
+        if Deobf.Jsonl.string_field l "kind" = Some "wedged" then
+          wedged_rtts := rtt :: !wedged_rtts
+        else incr ok_n
+  done;
+  Unix.close fd;
+  let wedge_n = List.length !wedged_rtts in
+  let mttr_p99 =
+    match List.sort compare !wedged_rtts with
+    | [] -> 0.0
+    | sorted ->
+        let i =
+          min (List.length sorted - 1)
+            (int_of_float (ceil (0.99 *. float_of_int (List.length sorted))) - 1)
+        in
+        List.nth sorted (max 0 i)
+  in
+  let mttr_budget = timeout_s +. (2.0 *. grace_s) in
+  (* (a') wedge flood: 2x queue capacity pipelined under the same chaos;
+     the only gate is that every line is answered and the daemon lives *)
+  let flood_n = 2 * queue_cap in
+  let flood_lines =
+    let fd = connect () in
+    for i = 1 to flood_n do
+      send_all fd
+        (Printf.sprintf "{\"id\":\"w-%d\",\"script\":%s}\n" i
+           (T.json_string script))
+    done;
+    let lines = read_lines fd flood_n in
+    Unix.close fd;
+    lines
+  in
+  let flood_answered = List.length flood_lines in
+  Chaos.set None;
+  (* (b) memory chaos: force the governor through its levels and check
+     the shed contract; overrides flip between fully-answered segments,
+     so the request<->level pairing is deterministic *)
+  let mem_segment ~tag n =
+    let fd = connect () in
+    for i = 1 to n do
+      send_all fd
+        (Printf.sprintf "{\"id\":\"%s-%d\",\"script\":%s}\n" tag i
+           (T.json_string script))
+    done;
+    let lines = read_lines fd n in
+    Unix.close fd;
+    lines
+  in
+  let seg_ok = mem_segment ~tag:"n0" 6 in
+  Memwatch.set_override (Some Memwatch.Soft);
+  let seg_soft = mem_segment ~tag:"soft" 6 in
+  Memwatch.set_override (Some Memwatch.Hard);
+  let seg_hard = mem_segment ~tag:"hard" 4 in
+  Memwatch.set_override None;
+  let seg_after = mem_segment ~tag:"n1" 6 in
+  let mem_sent = 6 + 6 + 4 + 6 in
+  let mem_answered =
+    List.length seg_ok + List.length seg_soft + List.length seg_hard
+    + List.length seg_after
+  in
+  let shed_memory =
+    List.length
+      (List.filter
+         (fun l ->
+           Deobf.Jsonl.string_field l "status" = Some "overloaded"
+           && Deobf.Jsonl.string_field l "reason" = Some "memory")
+         (seg_soft @ seg_hard))
+  in
+  let mem_contract_ok = shed_memory = List.length seg_soft + List.length seg_hard in
+  let alive =
+    let fd = connect () in
+    send_all fd "{\"op\":\"health\",\"id\":\"hb\"}\n";
+    let lines = read_lines fd 1 in
+    Unix.close fd;
+    lines <> []
+  in
+  Deobf.Serve.stop server;
+  let exit_code = Deobf.Serve.wait server in
+  let snap = T.Metrics.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap.T.Metrics.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  (* (c) quarantine convergence: in-process replay of a script whose
+     piece recovery the verify gate rolls back every time *)
+  let bad_src =
+    "$x = 'a'\nforeach ($i in 1..3) { $x = $x + 'b' }\nWrite-Output $x"
+  in
+  Q.reset ();
+  Q.set_enabled true;
+  Q.configure ~k:3 ~window_s:300.0 ~cooldown_s:3600.0 ();
+  let replay = 8 in
+  let tripped_at = ref None and rolled_pre = ref 0 and rolled_post = ref 0 in
+  for i = 1 to replay do
+    let o, _out =
+      Deobf.Batch.run_source ~verify:true
+        ~name:(Printf.sprintf "bad-%d" i) bad_src
+    in
+    let rolled =
+      match o.Deobf.Batch.verdict with
+      | Some (Deobf.Verify.Rolled_back n) -> n > 0
+      | _ -> false
+    in
+    (match !tripped_at with
+    | None ->
+        if rolled then incr rolled_pre;
+        if Q.snapshot () <> [] then tripped_at := Some i
+    | Some _ -> if rolled then incr rolled_post)
+  done;
+  let quarantined_rules = Q.snapshot () in
+  Q.set_enabled false;
+  Q.reset ();
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"probe_requests\": %d," probe_n;
+        Printf.sprintf "  \"wedged\": %d," wedge_n;
+        Printf.sprintf "  \"wedge_mttr_p99_s\": %.3f," mttr_p99;
+        Printf.sprintf "  \"wedge_mttr_budget_s\": %.3f," mttr_budget;
+        Printf.sprintf "  \"flood_requests\": %d," flood_n;
+        Printf.sprintf "  \"flood_answered\": %d," flood_answered;
+        Printf.sprintf "  \"workers_respawned\": %d,"
+          (counter "pool.service.respawns");
+        Printf.sprintf "  \"mem_requests\": %d," mem_sent;
+        Printf.sprintf "  \"mem_answered\": %d," mem_answered;
+        Printf.sprintf "  \"mem_shed_with_reason\": %d," shed_memory;
+        Printf.sprintf "  \"cache_shrinks\": %d,"
+          (counter "recover.cache.shrinks");
+        Printf.sprintf "  \"daemon_alive\": %b," alive;
+        Printf.sprintf "  \"drain_exit_code\": %d," exit_code;
+        Printf.sprintf "  \"quarantine_replay\": %d," replay;
+        Printf.sprintf "  \"quarantine_tripped_at\": %s,"
+          (match !tripped_at with Some i -> string_of_int i | None -> "null");
+        Printf.sprintf "  \"rollbacks_before_trip\": %d," !rolled_pre;
+        Printf.sprintf "  \"rollbacks_after_trip\": %d," !rolled_post;
+        Printf.sprintf "  \"quarantined_rules\": [%s]"
+          (String.concat ", "
+             (List.map
+                (fun (r, s) -> Printf.sprintf "{\"rule\": %s, \"state\": %s}"
+                   (T.json_string r) (T.json_string s))
+                quarantined_rules));
+        "}";
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_selfheal.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf
+    "  wedge probe: %d/%d wedged, MTTR p99 %.2fs (budget %.2fs)\n"
+    wedge_n probe_n mttr_p99 mttr_budget;
+  Printf.printf "  wedge flood: %d/%d answered, %d respawns\n" flood_answered
+    flood_n (counter "pool.service.respawns");
+  Printf.printf
+    "  memory chaos: %d/%d answered, %d shed with reason=memory, %d cache \
+     shrink(s)\n"
+    mem_answered mem_sent shed_memory
+    (counter "recover.cache.shrinks");
+  Printf.printf
+    "  quarantine: tripped at request %s, rollbacks %d before / %d after\n"
+    (match !tripped_at with Some i -> string_of_int i | None -> "never")
+    !rolled_pre !rolled_post;
+  print_endline "  wrote BENCH_selfheal.json";
+  if !unanswered > 0 then begin
+    Printf.eprintf "FAIL: %d MTTR probe request(s) unanswered\n" !unanswered;
+    exit 1
+  end;
+  if wedge_n = 0 then begin
+    Printf.eprintf "FAIL: seeded chaos produced no wedged workers\n";
+    exit 1
+  end;
+  if mttr_p99 > mttr_budget then begin
+    Printf.eprintf "FAIL: wedge MTTR p99 %.3fs over budget %.3fs\n" mttr_p99
+      mttr_budget;
+    exit 1
+  end;
+  if flood_answered <> flood_n then begin
+    Printf.eprintf "FAIL: wedge flood answered %d/%d\n" flood_answered flood_n;
+    exit 1
+  end;
+  if mem_answered <> mem_sent then begin
+    Printf.eprintf "FAIL: memory chaos answered %d/%d\n" mem_answered mem_sent;
+    exit 1
+  end;
+  if not mem_contract_ok then begin
+    Printf.eprintf
+      "FAIL: %d pressured responses, only %d carried reason=memory\n"
+      (List.length seg_soft + List.length seg_hard)
+      shed_memory;
+    exit 1
+  end;
+  if not alive then begin
+    Printf.eprintf "FAIL: daemon unresponsive after self-heal run\n";
+    exit 1
+  end;
+  if exit_code <> 0 then begin
+    Printf.eprintf "FAIL: drain exited %d\n" exit_code;
+    exit 1
+  end;
+  (match !tripped_at with
+  | None ->
+      Printf.eprintf "FAIL: quarantine never tripped on the bad-rule corpus\n";
+      exit 1
+  | Some i when i > 4 ->
+      Printf.eprintf "FAIL: quarantine tripped only at request %d (K=3)\n" i;
+      exit 1
+  | Some _ -> ());
+  if !rolled_post > 0 then begin
+    Printf.eprintf
+      "FAIL: %d rollback(s) after the breaker opened — no convergence\n"
+      !rolled_post;
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro_tests () =
@@ -1124,7 +1438,7 @@ let registry =
     ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
     ("funnel", run_funnel); ("throughput", run_throughput);
     ("obs", run_obs); ("resilience", run_resilience); ("verify", run_verify);
-    ("serve", run_serve); ("micro", run_micro) ]
+    ("serve", run_serve); ("selfheal", run_selfheal); ("micro", run_micro) ]
 
 let () =
   match Array.to_list Sys.argv with

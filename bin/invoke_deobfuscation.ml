@@ -38,6 +38,34 @@ let phase_ms_line timings =
   String.concat ", "
     (List.map (fun (p, ms) -> Printf.sprintf "%s %.1f" p ms) timings)
 
+(* --summary: the self-healing plane's state, shared by the single-file and
+   batch digests — worker churn counters, quarantined rules, and where the
+   heap sits against the governor's watermarks *)
+let print_selfheal_summary () =
+  let c name = T.Metrics.counter_value (T.Metrics.counter name) in
+  Printf.eprintf
+    "workers: %d recycled (%d under memory pressure), %d wedged, %d \
+     respawns (%d failed)\n"
+    (c "pool.service.recycled")
+    (c "pool.service.recycled_mem")
+    (c "pool.service.wedged")
+    (c "pool.service.respawns")
+    (c "pool.service.respawn_failures");
+  (match Deobf.Quarantine.snapshot () with
+  | [] ->
+      Printf.eprintf "quarantine: %s, no open rules\n"
+        (if Deobf.Quarantine.enabled () then "on" else "off")
+  | rules ->
+      Printf.eprintf "quarantine: %s\n"
+        (String.concat ", "
+           (List.map (fun (rule, st) -> rule ^ "=" ^ st) rules)));
+  Printf.eprintf "memory: %s (heap %.1f MiB%s)\n"
+    (Pscommon.Memwatch.level_name (Pscommon.Memwatch.level ()))
+    (float_of_int (Pscommon.Memwatch.heap_bytes ()) /. 1048576.0)
+    (match Pscommon.Memwatch.soft_watermark_bytes () with
+    | None -> ", watermarks off"
+    | Some b -> Printf.sprintf ", soft %.0f MiB" (float_of_int b /. 1048576.0))
+
 (* --summary: the one-screen digest of a single-file run *)
 let print_file_summary src (guarded : Deobf.Engine.guarded) =
   let result = guarded.Deobf.Engine.result in
@@ -63,7 +91,8 @@ let print_file_summary src (guarded : Deobf.Engine.guarded) =
     stats.Deobf.Recover.layers_unwrapped result.Deobf.Engine.iterations
     result.Deobf.Engine.changed
     (List.length guarded.Deobf.Engine.failures)
-    (phase_ms_line guarded.Deobf.Engine.timings)
+    (phase_ms_line guarded.Deobf.Engine.timings);
+  print_selfheal_summary ()
 
 (* --summary: the one-screen digest of a batch run *)
 let print_batch_summary (s : Deobf.Batch.summary) =
@@ -97,14 +126,16 @@ let print_batch_summary (s : Deobf.Batch.summary) =
     s.Deobf.Batch.total s.Deobf.Batch.clean s.Deobf.Batch.degraded
     s.Deobf.Batch.wall_ms recovered blocked attempted (pct hits attempted)
     unwrapped
-    (phase_ms_line phase_totals)
+    (phase_ms_line phase_totals);
+  print_selfheal_summary ()
 
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
       no_reformat no_token_phase no_piece_cache no_partial chaos stats batch
       jobs timeout trace log_level log_format summary_flag verify_flag
       no_verify resume serve queue_cap cache_cap piece_cache_dir trace_sample
-      metrics_out metrics_addr flight_dir =
+      metrics_out metrics_addr flight_dir client no_quarantine grace
+      mem_soft_mb mem_hard_mb max_major_mb =
     Option.iter (fun l -> T.Log.set_level (Some l)) log_level;
     Option.iter T.Log.set_format log_format;
     (* the flight recorder is mode-independent: batch dumps on pool-task
@@ -135,6 +166,39 @@ let deobfuscate_cmd =
         partial = not no_partial;
       }
     in
+    (match client with
+    | None -> ()
+    | Some addr -> (
+        (* client mode: submit files to a running daemon over NDJSON,
+           honouring its backpressure (retry_after_ms + jittered backoff) *)
+        match Deobf.Serve.parse_bind addr with
+        | Error msg ->
+            Printf.eprintf "--client: %s\n" msg;
+            exit 2
+        | Ok bind ->
+            let files =
+              match input with
+              | Some d when d <> "-" && Sys.file_exists d && Sys.is_directory d
+                ->
+                  Sys.readdir d |> Array.to_list |> List.sort String.compare
+                  |> List.filter_map (fun f ->
+                         let p = Filename.concat d f in
+                         if Sys.is_directory p then None else Some p)
+              | Some f when f <> "-" -> [ f ]
+              | _ ->
+                  Printf.eprintf
+                    "deobfuscate --client requires a file or directory \
+                     argument\n";
+                  exit 2
+            in
+            let verify =
+              if verify_flag then Some true
+              else if no_verify then Some false
+              else None
+            in
+            exit
+              (Deobf.Client.run ?timeout_s:timeout ?verify ?out_dir:output
+                 ~addr:bind files)));
     (match serve with
     | None -> ()
     | Some addr -> (
@@ -175,7 +239,13 @@ let deobfuscate_cmd =
                 trace_sample;
                 metrics_out;
                 metrics_addr;
-                flight_dir }
+                flight_dir;
+                grace_s = (match grace with Some g -> Float.max 0.01 g | None -> base.Deobf.Serve.grace_s);
+                mem_soft_mb;
+                mem_hard_mb;
+                max_major_bytes =
+                  Option.map (fun mb -> mb * 1024 * 1024) max_major_mb;
+                quarantine = not no_quarantine }
             in
             exit (Deobf.Serve.run cfg)));
     if batch then begin
@@ -468,7 +538,62 @@ let deobfuscate_cmd =
                  containment, diverged verify verdict) the ring is dumped \
                  to $(docv) as a JSONL black box carrying the failing \
                  request's trace id.  Zero serialization cost until a dump \
-                 triggers."))
+                 triggers.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "client" ] ~docv:"ADDR"
+              ~doc:
+                "Submit FILE (or every file in a directory FILE) to a \
+                 running --serve daemon at $(docv) (unix:PATH or \
+                 tcp:HOST:PORT) over NDJSON, one request in flight at a \
+                 time.  Overloaded responses are honoured: the client \
+                 sleeps the server's retry_after_ms hint under jittered \
+                 exponential backoff and retries (bounded).  With -o DIR \
+                 recovered outputs are written next to each input's \
+                 basename.  Honours --timeout and --verify/--no-verify \
+                 per request.  Exit 0 when every file was answered.")
+      $ flag [ "no-quarantine" ]
+          "Serve mode: disable the adaptive rule quarantine — transforms \
+           repeatedly rolled back by the semantic gate keep running at \
+           full strength instead of being circuit-broken and re-admitted \
+           via half-open probes."
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "grace" ] ~docv:"SECONDS"
+              ~doc:
+                "Serve mode: watchdog patience past a request's deadline \
+                 before its worker is declared wedged, the client answered \
+                 with a structured error, and the worker domain replaced \
+                 (default 2s).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "mem-soft" ] ~docv:"MB"
+              ~doc:
+                "Serve mode: soft memory watermark in MiB.  While the \
+                 major heap sits above it, new requests are shed with \
+                 reason \"memory\" and the piece cache drops its cold \
+                 generations (default: off).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "mem-hard" ] ~docv:"MB"
+              ~doc:
+                "Serve mode: hard memory watermark in MiB.  Above it, \
+                 workers additionally recycle between requests, releasing \
+                 domain-local state (default: off).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-major-mb" ] ~docv:"MB"
+              ~doc:
+                "Serve mode: per-request major-allocation budget in MiB; \
+                 a request that allocates past it degrades to a structured \
+                 out-of-memory failure at its next checkpoint instead of \
+                 growing the daemon's heap (runtime-wide accounting — a \
+                 generous backstop, not an SLA; default: off)."))
 
 (* ---------- score ---------- *)
 

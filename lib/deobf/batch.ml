@@ -364,26 +364,40 @@ let run_ladder ?options ?cache ~timeout_s ?max_output_bytes src =
 let run_source ?options ?(timeout_s = 30.0) ?max_output_bytes ?cache
     ?(verify = false) ?verify_opts ~name src =
   let started = Guard.now () in
-  let mode, retries, ladder_failures, guarded =
-    run_ladder ?options ?cache ~timeout_s ?max_output_bytes src
-  in
-  (* the semantic gate verifies (and on divergence rolls back) the rung
-     that produced the output; its re-runs repeat that same rung, with the
-     same piece cache, so replayed pieces stay byte-identical *)
-  let guarded, verdict =
-    if not verify then (guarded, None)
-    else
-      let base = Option.value options ~default:Engine.default_options in
-      let rerun ~suppress =
-        match mode with
-        | Passthrough -> passthrough_guarded src
-        | m ->
-            Engine.run_guarded ~options:(mode_options base m) ?cache
-              ~timeout_s ?max_output_bytes ~suppress src
-      in
-      let g, o = Verify.gate ?opts:verify_opts ~rerun ~src guarded in
-      (g, Some o.Verify.verdict)
-  in
+  (* quarantine scope: admission decisions (which rules may run) are fixed
+     for the whole request — including the ladder's weaker rungs and the
+     gate's rollback re-runs — and the verdict's rolled-back rule names
+     feed the breakers when the scope closes.  No-op while disabled. *)
+  Quarantine.begin_request ();
+  let finish_quarantine rolled = Quarantine.end_request ~rolled_rules:rolled in
+  match
+    let mode, retries, ladder_failures, guarded =
+      run_ladder ?options ?cache ~timeout_s ?max_output_bytes src
+    in
+    (* the semantic gate verifies (and on divergence rolls back) the rung
+       that produced the output; its re-runs repeat that same rung, with the
+       same piece cache, so replayed pieces stay byte-identical *)
+    let guarded, verdict, rolled_rules =
+      if not verify then (guarded, None, [])
+      else
+        let base = Option.value options ~default:Engine.default_options in
+        let rerun ~suppress =
+          match mode with
+          | Passthrough -> passthrough_guarded src
+          | m ->
+              Engine.run_guarded ~options:(mode_options base m) ?cache
+                ~timeout_s ?max_output_bytes ~suppress src
+        in
+        let g, o = Verify.gate ?opts:verify_opts ~rerun ~src guarded in
+        (g, Some o.Verify.verdict, o.Verify.rolled_rules)
+    in
+    (mode, retries, ladder_failures, guarded, verdict, rolled_rules)
+  with
+  | exception e ->
+      Quarantine.abort_request ();
+      raise e
+  | mode, retries, ladder_failures, guarded, verdict, rolled_rules ->
+  finish_quarantine rolled_rules;
   (* a diverged verdict is exactly the situation the flight recorder
      exists for: the spans of the run whose semantics the gate rejected *)
   (match verdict with
@@ -807,6 +821,18 @@ let metrics_json s =
         "  \"regions\": {\"total\": %d, \"recovered\": %d},"
         (List.fold_left (fun acc o -> acc + o.regions_total) 0 s.outcomes)
         (List.fold_left (fun acc o -> acc + o.regions_recovered) 0 s.outcomes);
+      (* self-healing state: which rules the adaptive quarantine currently
+         distrusts, and where the heap sits against the governor's
+         watermarks *)
+      Printf.sprintf "  \"quarantine\": {\"enabled\": %b, \"rules\": {%s}},"
+        (Quarantine.enabled ())
+        (String.concat ", "
+           (List.map
+              (fun (rule, st) ->
+                Printf.sprintf "%s: %s" (Report.json_string rule)
+                  (Report.json_string st))
+              (Quarantine.snapshot ())));
+      Printf.sprintf "  \"memory\": %s," (Pscommon.Memwatch.to_json ());
       Printf.sprintf "  \"metrics\": %s"
         (T.Metrics.snapshot_to_json (T.Metrics.snapshot ()));
       "}";

@@ -451,10 +451,13 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
       end
       else begin
         (* a finalize pseudo-suppression (semantic gate attributing the
-           divergence to rename/reformat) rolls back the whole phase *)
+           divergence to rename/reformat) rolls back the whole phase; the
+           quarantine breaker for "engine.finalize" skips it up front *)
         let options =
-          if Editlog.finalize_suppressed suppress then
-            { options with rename = false; reformat = false }
+          if
+            Editlog.finalize_suppressed suppress
+            || not (Quarantine.admits ~phase:"engine" ~kind:"finalize")
+          then { options with rename = false; reformat = false }
           else options
         in
         let renamed =

@@ -1,0 +1,238 @@
+(** Adaptive rule quarantine: per-rule circuit breakers fed by verify
+    rollbacks.  See the interface for the contract. *)
+
+open Pscommon
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type breaker = {
+  mutable br_state : state;
+  mutable br_rollbacks : float list;  (* rollback timestamps, newest first *)
+  mutable br_cooldown_s : float;  (* current open-interval (doubles) *)
+  mutable br_reopen_at : float;  (* epoch when a half-open probe may run *)
+  mutable br_probing : bool;  (* a half-open probe request is in flight *)
+  mutable br_trips : int;
+}
+
+(* configuration — atomics so serve flags can set them after module init *)
+let cfg_k = Atomic.make 3
+let cfg_window_s = Atomic.make 300.0
+let cfg_cooldown_s = Atomic.make 30.0
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let configure ?k ?window_s ?cooldown_s () =
+  (match k with Some k -> Atomic.set cfg_k (max 1 k) | None -> ());
+  (match window_s with
+  | Some w -> Atomic.set cfg_window_s (Float.max 1.0 w)
+  | None -> ());
+  match cooldown_s with
+  | Some c -> Atomic.set cfg_cooldown_s (Float.max 0.01 c)
+  | None -> ()
+
+let m_trips = Telemetry.Metrics.counter "quarantine.trips"
+let m_skipped = Telemetry.Metrics.counter "quarantine.skipped"
+let m_probes = Telemetry.Metrics.counter "quarantine.probes"
+let m_readmitted = Telemetry.Metrics.counter "quarantine.readmitted"
+let m_open = Telemetry.Metrics.gauge "quarantine.open_rules"
+
+(* process-global registry: rule name -> breaker.  Rules are the
+   transform-attribution names ("recover.piece", "token.decode",
+   "simplify.paren", "engine.finalize") — a handful, so one mutex. *)
+let mu = Mutex.create ()
+let breakers : (string, breaker) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let get_locked rule =
+  match Hashtbl.find_opt breakers rule with
+  | Some b -> b
+  | None ->
+      let b =
+        { br_state = Closed; br_rollbacks = []; br_cooldown_s = 0.0;
+          br_reopen_at = 0.0; br_probing = false; br_trips = 0 }
+      in
+      Hashtbl.add breakers rule b;
+      b
+
+let open_count_locked () =
+  Hashtbl.fold
+    (fun _ b acc -> if b.br_state <> Closed then acc + 1 else acc)
+    breakers 0
+
+let refresh_gauge_locked () =
+  Telemetry.Metrics.set m_open (open_count_locked ())
+
+(* ---------- per-request decision cache ---------- *)
+
+(* A request must see a {e stable} rule set: the verify gate reruns the
+   engine with suppressions, and a breaker flipping mid-request would make
+   the rerun diverge from the original for reasons unrelated to the
+   suppression under test.  So the first [admits] for a rule in a request
+   fixes the answer for the rest of the request (DLS — requests are
+   domain-local), and half-open probe admissions are remembered so
+   [end_request] can close or re-open the breaker on the probe's verdict. *)
+type request_ctx = {
+  decisions : (string, bool) Hashtbl.t;
+  mutable probed : string list;  (* rules this request is probing *)
+}
+
+let ctx_key : request_ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let begin_request () =
+  if enabled () then
+    Domain.DLS.get ctx_key :=
+      Some { decisions = Hashtbl.create 8; probed = [] }
+
+let abort_request () = Domain.DLS.get ctx_key := None
+
+(* the admission decision proper, under the registry lock *)
+let decide_locked ctx rule ~now =
+  let b = get_locked rule in
+  match b.br_state with
+  | Closed -> true
+  | Open ->
+      if now >= b.br_reopen_at && not b.br_probing then begin
+        (* half-open: this request becomes the probe *)
+        b.br_state <- Half_open;
+        b.br_probing <- true;
+        ctx.probed <- rule :: ctx.probed;
+        Telemetry.Metrics.incr m_probes;
+        Telemetry.Log.info (fun () ->
+            "quarantine half-open probe for rule " ^ rule);
+        true
+      end
+      else begin
+        Telemetry.Metrics.incr m_skipped;
+        false
+      end
+  | Half_open ->
+      if not b.br_probing then begin
+        (* previous probe concluded without a verdict (e.g. the request
+           died); take over the probe *)
+        b.br_probing <- true;
+        ctx.probed <- rule :: ctx.probed;
+        Telemetry.Metrics.incr m_probes;
+        true
+      end
+      else begin
+        Telemetry.Metrics.incr m_skipped;
+        false
+      end
+
+let admits ~phase ~kind =
+  (not (enabled ()))
+  ||
+  match !(Domain.DLS.get ctx_key) with
+  | None -> true (* no request scope: never restrict *)
+  | Some ctx -> (
+      let rule = phase ^ "." ^ kind in
+      match Hashtbl.find_opt ctx.decisions rule with
+      | Some d -> d
+      | None ->
+          let d =
+            locked (fun () ->
+                let d = decide_locked ctx rule ~now:(Guard.now ()) in
+                refresh_gauge_locked ();
+                d)
+          in
+          Hashtbl.add ctx.decisions rule d;
+          d)
+
+(* ---------- verdicts ---------- *)
+
+let record_rollback_locked rule ~now =
+  let b = get_locked rule in
+  let window = Atomic.get cfg_window_s in
+  b.br_rollbacks <-
+    now :: List.filter (fun t -> now -. t <= window) b.br_rollbacks;
+  match b.br_state with
+  | Closed ->
+      if List.length b.br_rollbacks >= Atomic.get cfg_k then begin
+        b.br_state <- Open;
+        b.br_cooldown_s <- Atomic.get cfg_cooldown_s;
+        b.br_reopen_at <- now +. b.br_cooldown_s;
+        b.br_probing <- false;
+        b.br_trips <- b.br_trips + 1;
+        Telemetry.Metrics.incr m_trips;
+        Telemetry.Log.warn (fun () ->
+            Printf.sprintf
+              "quarantine tripped for rule %s (%d rollbacks in window)" rule
+              (List.length b.br_rollbacks))
+      end
+  | Half_open ->
+      (* the probe's edits were rolled back: the rule is still bad *)
+      b.br_state <- Open;
+      b.br_cooldown_s <- b.br_cooldown_s *. 2.0;
+      b.br_reopen_at <- now +. b.br_cooldown_s;
+      b.br_probing <- false;
+      Telemetry.Log.warn (fun () ->
+          Printf.sprintf "quarantine probe failed for rule %s: cooling %.1fs"
+            rule b.br_cooldown_s)
+  | Open -> ()
+
+let close_locked rule =
+  let b = get_locked rule in
+  if b.br_state = Half_open then begin
+    b.br_state <- Closed;
+    b.br_rollbacks <- [];
+    b.br_cooldown_s <- 0.0;
+    b.br_probing <- false;
+    Telemetry.Metrics.incr m_readmitted;
+    Telemetry.Log.info (fun () -> "quarantine re-admitted rule " ^ rule)
+  end
+
+let end_request ~rolled_rules =
+  match !(Domain.DLS.get ctx_key) with
+  | None -> ()
+  | Some ctx ->
+      Domain.DLS.get ctx_key := None;
+      if enabled () then
+        locked (fun () ->
+            let now = Guard.now () in
+            List.iter (fun r -> record_rollback_locked r ~now) rolled_rules;
+            (* probes whose rule was NOT rolled back succeeded *)
+            List.iter
+              (fun r ->
+                if not (List.mem r rolled_rules) then close_locked r
+                else () (* handled by record_rollback above *))
+              ctx.probed;
+            (* a probe that never got a verify verdict (rolled_rules came
+               from a request that skipped verify) releases the probe slot *)
+            List.iter
+              (fun r ->
+                let b = get_locked r in
+                if b.br_state = Half_open then b.br_probing <- false)
+              ctx.probed;
+            refresh_gauge_locked ())
+
+let snapshot () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun rule b acc ->
+          if b.br_state <> Closed then (rule, state_name b.br_state) :: acc
+          else acc)
+        breakers []
+      |> List.sort compare)
+
+let trips rule =
+  locked (fun () ->
+      match Hashtbl.find_opt breakers rule with
+      | Some b -> b.br_trips
+      | None -> 0)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset breakers;
+      refresh_gauge_locked ());
+  Domain.DLS.get ctx_key := None

@@ -266,6 +266,19 @@ module Cache = struct
     locked t (fun () -> insert_locked t key entry);
     persist t key entry
 
+  let m_shrinks = T.Metrics.counter "recover.cache.shrinks"
+
+  (* memory-pressure shed: drop both cold generations (results and
+     programs) without touching the hot working set — the cheapest bytes to
+     give back, since anything recently used was promoted to hot *)
+  let shrink t =
+    locked t (fun () ->
+        t.evictions <- t.evictions + Hashtbl.length t.cold;
+        t.cold <- Hashtbl.create 64;
+        t.prog_cold <- Hashtbl.create 64;
+        T.Metrics.incr m_shrinks;
+        T.Metrics.set m_entries (Hashtbl.length t.hot))
+
   let length t =
     locked t (fun () -> Hashtbl.length t.hot + Hashtbl.length t.cold)
 
@@ -332,10 +345,11 @@ type pass_state = {
    it would have done had the edit not been possible *)
 let add_edit st ~kind extent replacement =
   let keep =
-    st.suppress = []
-    || not
-         (Editlog.suppressed st.suppress ~phase:"recover"
-            ~before:(Extent.text st.src extent) ~after:replacement)
+    Quarantine.admits ~phase:"recover" ~kind
+    && (st.suppress = []
+       || not
+            (Editlog.suppressed st.suppress ~phase:"recover"
+               ~before:(Extent.text st.src extent) ~after:replacement))
   in
   if keep then st.edits <- (Patch.edit extent replacement, kind) :: st.edits;
   keep

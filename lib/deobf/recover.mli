@@ -93,6 +93,12 @@ module Cache : sig
   (** Current in-memory entry count. *)
 
   val stats : t -> stats
+
+  val shrink : t -> unit
+  (** Memory-pressure shed: drop the cold generation of both the result and
+      compiled-program tiers (counted in [recover.cache.shrinks] and the
+      eviction stats), keeping the hot working set.  The persistent tier is
+      untouched, so shrunk entries reload on demand. *)
 end
 
 val is_recoverable : Psast.Ast.t -> bool

@@ -28,6 +28,7 @@ module Guard = Pscommon.Guard
 module Pool = Pscommon.Pool
 module T = Pscommon.Telemetry
 module Chaos = Pscommon.Chaos
+module Memwatch = Pscommon.Memwatch
 
 type bind = Unix_sock of string | Tcp of string * int
 
@@ -72,6 +73,11 @@ type config = {
   metrics_out : string option;
   metrics_addr : bind option;
   flight_dir : string option;
+  grace_s : float;  (** watchdog patience past a request's deadline *)
+  mem_soft_mb : int option;  (** shed admissions past this heap size *)
+  mem_hard_mb : int option;  (** additionally recycle workers past this *)
+  max_major_bytes : int option;  (** per-request major-allocation budget *)
+  quarantine : bool;  (** adaptive rule quarantine (breakers on rollbacks) *)
 }
 
 let default_config bind =
@@ -80,7 +86,9 @@ let default_config bind =
     max_output_bytes = 32 * 1024 * 1024; options = Engine.default_options;
     verify = false; verify_opts = None; cache_cap = 2048;
     piece_cache_dir = None; trace_dir = None; trace_sample = None;
-    metrics_out = None; metrics_addr = None; flight_dir = None }
+    metrics_out = None; metrics_addr = None; flight_dir = None;
+    grace_s = 2.0; mem_soft_mb = None; mem_hard_mb = None;
+    max_major_bytes = None; quarantine = true }
 
 (* ---------- metrics ---------- *)
 
@@ -94,6 +102,8 @@ let m_read_faults = T.Metrics.counter "serve.read_faults"
 let m_write_faults = T.Metrics.counter "serve.write_faults"
 let m_queue_faults = T.Metrics.counter "serve.queue_faults"
 let m_scrapes = T.Metrics.counter "serve.scrapes"
+let m_wedge_faults = T.Metrics.counter "serve.wedge_faults"
+let m_shed_memory = T.Metrics.counter "serve.shed_memory"
 
 (* the admission EWMA, surfaced as a gauge so shed hints are observable *)
 let m_ewma_ms = T.Metrics.gauge "serve.ewma_ms"
@@ -158,8 +168,9 @@ let error_json ~id ~kind ~detail =
     (Report.json_string kind)
     (Report.json_string detail)
 
-let overloaded_json ~id ~depth =
+let overloaded_json ~id ~depth ~reason =
   T.Metrics.incr m_shed;
+  if String.equal reason "memory" then T.Metrics.incr m_shed_memory;
   T.Window.observe w_shed 1.0;
   let retry =
     Float.max 10.0
@@ -167,7 +178,9 @@ let overloaded_json ~id ~depth =
          (Atomic.get avg_request_ms *. float_of_int (depth + 1)))
   in
   Printf.sprintf
-    "{\"id\": %s, \"status\": \"overloaded\", \"retry_after_ms\": %d}" id
+    "{\"id\": %s, \"status\": \"overloaded\", \"reason\": %s, \
+     \"retry_after_ms\": %d}"
+    id (Report.json_string reason)
     (int_of_float retry)
 
 (* ---------- requests ---------- *)
@@ -180,7 +193,15 @@ type request = {
   rq_tid : string;  (* trace id, allocated at admission *)
   rq_deadline : Guard.deadline;
   rq_timeout_s : float;
+  rq_answered : bool Atomic.t;
+      (* one-response-per-request CAS: the worker and the watchdog can both
+         try to answer (the watchdog wins a wedge, the worker wins a late
+         finish); exactly one send happens either way *)
 }
+
+let respond req line =
+  if Atomic.compare_and_set req.rq_answered false true then
+    send req.rq_conn line
 
 (* the client's id is echoed verbatim (string or integer); without one the
    server's own sequence number keeps responses matchable *)
@@ -275,6 +296,20 @@ let handle cfg cache req =
     in
     let response =
       Chaos.with_scope (Printf.sprintf "req-%d" req.rq_seq) @@ fun () ->
+      (* the "serve.wedge" site models the failure the watchdog exists for:
+         a worker stuck in a loop that never reaches a Guard checkpoint, so
+         the cooperative deadline cannot fire.  The injected loop is
+         {e bounded} (deadline + 3 grace windows — past the point where the
+         supervisor must have declared the wedge) so chaos runs always
+         terminate; a real wedge would spin forever and be abandoned. *)
+      (match Chaos.probe "serve.wedge" with
+      | () -> ()
+      | exception _ ->
+          T.Metrics.incr m_wedge_faults;
+          let until = req.rq_deadline +. (3.0 *. cfg.grace_s) in
+          while Unix.gettimeofday () < until do
+            ignore (Sys.opaque_identity 0)
+          done);
       with_request_trace cfg req.rq_seq ~inline @@ fun () ->
       let src =
         match Jsonl.string_field line "script" with
@@ -298,7 +333,8 @@ let handle cfg cache req =
             Option.value ~default:cfg.verify (Jsonl.bool_field line "verify")
           in
           match
-            Guard.protect ~deadline:req.rq_deadline (fun () ->
+            Guard.protect ~deadline:req.rq_deadline
+              ?max_major_bytes:cfg.max_major_bytes (fun () ->
                 Batch.run_source ~options:cfg.options
                   ~timeout_s:req.rq_timeout_s
                   ~max_output_bytes:cfg.max_output_bytes ~cache ~verify
@@ -338,10 +374,10 @@ let handle cfg cache req =
             ^ Printf.sprintf ", \"trace\": %s}" (T.events_to_json_array tr)
           else response
     in
-    send req.rq_conn response;
+    respond req response;
     note_request_ms ((Unix.gettimeofday () -. t0) *. 1000.0)
   with e ->
-    send req.rq_conn
+    respond req
       (error_json ~id:req.rq_id ~kind:"internal"
          ~detail:(Printexc.to_string e));
     (* re-raise so the service pool counts the recycle (and dumps the
@@ -362,6 +398,28 @@ let health_json ~id ~started ~service ~draining cfg =
     cfg.jobs cfg.queue_cap
     (Unix.gettimeofday () -. started)
 
+(* the self-healing plane's state, shared between the daemon's [metrics]
+   op and the CLI's [--summary] rendering *)
+let selfheal_json () =
+  let c name = T.Metrics.counter_value (T.Metrics.counter name) in
+  Printf.sprintf
+    "{\"recycled\": %d, \"recycled_mem\": %d, \"wedged\": %d, \
+     \"respawns\": %d, \"respawn_failures\": %d, \
+     \"quarantine\": {\"enabled\": %b, \"rules\": {%s}}, \"memory\": %s}"
+    (c "pool.service.recycled")
+    (c "pool.service.recycled_mem")
+    (c "pool.service.wedged")
+    (c "pool.service.respawns")
+    (c "pool.service.respawn_failures")
+    (Quarantine.enabled ())
+    (String.concat ", "
+       (List.map
+          (fun (rule, st) ->
+            Printf.sprintf "%s: %s" (Report.json_string rule)
+              (Report.json_string st))
+          (Quarantine.snapshot ())))
+    (Memwatch.to_json ())
+
 let metrics_json ~id ~cache =
   let cs = Recover.Cache.stats cache in
   let hit_rate =
@@ -374,10 +432,11 @@ let metrics_json ~id ~cache =
     "{\"id\": %s, \"status\": \"ok\", \"op\": \"metrics\", \
      \"cache\": {\"entries\": %d, \"lookups\": %d, \"hits\": %d, \
      \"hit_rate\": %.3f, \"evictions\": %d, \"persistent_loads\": %d}, \
-     \"metrics\": %s}"
+     \"selfheal\": %s, \"metrics\": %s}"
     id cs.Recover.Cache.entries cs.Recover.Cache.lookups
     cs.Recover.Cache.hits hit_rate cs.Recover.Cache.evictions
     cs.Recover.Cache.persistent_loads
+    (selfheal_json ())
     (Jsonl.oneline (T.Metrics.snapshot_to_json (T.Metrics.snapshot ())))
 
 (* ---------- sockets ---------- *)
@@ -502,9 +561,30 @@ let serve_loop cfg stop listen_fd =
   (* enable the flight recorder before any worker spawns so every domain
      records from its first request *)
   Option.iter (fun dir -> T.Flight.set_sink (Some dir)) cfg.flight_dir;
+  (* the memory governor and the rule quarantine are daemon-scoped policy:
+     configure both before any worker spawns *)
+  Memwatch.configure ?soft_mb:cfg.mem_soft_mb ?hard_mb:cfg.mem_hard_mb ();
+  Memwatch.install_alarm ();
+  Quarantine.set_enabled cfg.quarantine;
   let cache = make_cache cfg in
+  (* the watchdog: answer a wedged request from the supervisor domain (the
+     CAS in [respond] keeps the one-line-per-request contract if the worker
+     somehow finishes late), recycle workers between requests while over
+     the hard memory watermark *)
+  let supervise =
+    { Pool.Service.sv_grace_s = cfg.grace_s;
+      sv_deadline_of = (fun req -> req.rq_deadline);
+      sv_describe = (fun req -> Printf.sprintf "req-%d" req.rq_seq);
+      sv_on_wedged =
+        (fun req ->
+          respond req
+            (error_json ~id:req.rq_id
+               ~kind:(Guard.failure_label Guard.Wedged)
+               ~detail:(Guard.failure_to_string Guard.Wedged)));
+      sv_should_recycle = (fun () -> Memwatch.level () = Memwatch.Hard) }
+  in
   let service =
-    Pool.Service.create ~jobs:cfg.jobs ~queue_cap:cfg.queue_cap
+    Pool.Service.create ~jobs:cfg.jobs ~queue_cap:cfg.queue_cap ~supervise
       (handle cfg cache)
   in
   (* the scrape endpoint listens on its own socket in its own domain —
@@ -528,6 +608,9 @@ let serve_loop cfg stop listen_fd =
   in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let seq = ref 0 in
+  (* previous admission-time pressure level: cache shrinking happens on
+     the Ok -> pressured crossing, not on every shed request *)
+  let last_mem_level = ref Memwatch.Ok in
   let close_conn conn =
     conn.closed <- true;
     Hashtbl.remove conns conn.fd;
@@ -564,6 +647,20 @@ let serve_loop cfg stop listen_fd =
             (Printf.sprintf "{\"id\": %s, \"status\": \"ok\", \"op\": \"shutdown\"}" id);
           Atomic.set stop true
       | "deobfuscate" -> (
+          (* the memory governor gates admission before the queue does:
+             over the soft watermark new work is shed with an explicit
+             reason (work already admitted runs to completion), and the
+             first crossing sheds the caches' cold generations too *)
+          let mem_level = Memwatch.level () in
+          if mem_level <> Memwatch.Ok then begin
+            if !last_mem_level = Memwatch.Ok then Recover.Cache.shrink cache;
+            last_mem_level := mem_level;
+            send conn
+              (overloaded_json ~id ~depth:(Pool.Service.depth service)
+                 ~reason:"memory")
+          end
+          else begin
+            last_mem_level := Memwatch.Ok;
           let timeout_s =
             Float.min cfg.max_timeout_s
               (Option.value ~default:cfg.default_timeout_s
@@ -575,7 +672,8 @@ let serve_loop cfg stop listen_fd =
               (* the budget starts at admission: time spent queued is part
                  of the request's deadline, which also bounds drain *)
               rq_deadline = Guard.deadline_after timeout_s;
-              rq_timeout_s = timeout_s }
+              rq_timeout_s = timeout_s;
+              rq_answered = Atomic.make false }
           in
           match Chaos.probe "serve.queue" with
           | exception e ->
@@ -590,7 +688,9 @@ let serve_loop cfg stop listen_fd =
           | () ->
               if not (Pool.Service.submit service req) then
                 send conn
-                  (overloaded_json ~id ~depth:(Pool.Service.depth service)))
+                  (overloaded_json ~id ~depth:(Pool.Service.depth service)
+                     ~reason:"queue")
+          end)
       | other ->
           send conn
             (error_json ~id ~kind:"bad-request" ~detail:("unknown op: " ^ other))
@@ -658,6 +758,9 @@ let serve_loop cfg stop listen_fd =
         (Pool.Service.inflight service));
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   Pool.Service.shutdown service;
+  (* the quarantine flag is process-global: restore the disabled default
+     so an embedding process (tests, benches) gets batch semantics back *)
+  Quarantine.set_enabled false;
   (match cfg.metrics_out with
   | None -> ()
   | Some path ->

@@ -42,11 +42,27 @@
     one request is a hit for every later one, whichever worker runs it —
     and with [piece_cache_dir] it persists across daemon restarts.  The
     ["metrics"] op reports the cache's occupancy and hit rate alongside
-    the registry snapshot.  Chaos probe sites [serve.accept],
-    [serve.read], [serve.write] and [serve.queue] inject socket-edge
-    faults: accept/read faults delay (the kernel backlog and unconsumed
-    bytes retry next select round), write faults are counted and retried,
-    queue faults cost that one request an error response. *)
+    the self-healing state ([selfheal]: recycle/wedge/respawn counters,
+    quarantined rules, memory watermark) and the registry snapshot.
+
+    {2 Self-healing}
+
+    A supervisor domain watches per-worker heartbeats: a worker still busy
+    past its request's deadline plus [grace_s] is declared {e wedged} —
+    its client gets a structured [kind:"wedged"] error, the domain is
+    abandoned and a fresh one installed, with exponential backoff on
+    respawn failures.  A {!Pscommon.Memwatch} governor sheds admissions
+    ([reason:"memory"]), shrinks caches, and recycles workers as the heap
+    crosses the configured watermarks.  {!Quarantine} circuit-breaks
+    transforms the semantic gate keeps rolling back.
+
+    Chaos probe sites [serve.accept], [serve.read], [serve.write] and
+    [serve.queue] inject socket-edge faults: accept/read faults delay (the
+    kernel backlog and unconsumed bytes retry next select round), write
+    faults are counted and retried, queue faults cost that one request an
+    error response.  [serve.wedge] spins a worker in a bounded
+    checkpoint-free loop (exercising the watchdog); [serve.respawn] fails
+    the replacement spawn (exercising the backoff). *)
 
 type bind = Unix_sock of string | Tcp of string * int
 
@@ -90,12 +106,36 @@ type config = {
       (** enable the {!Pscommon.Telemetry.Flight} recorder and dump its
           per-domain ring here on worker recycle, blown deadline, or
           chaos queue fault *)
+  grace_s : float;
+      (** watchdog patience: a worker still busy past its request's
+          deadline plus this grace is declared wedged — the request is
+          answered with a structured [kind:"wedged"] error and the worker
+          domain abandoned and replaced ({!Pscommon.Pool.Service}
+          supervision) *)
+  mem_soft_mb : int option;
+      (** soft memory watermark ({!Pscommon.Memwatch}): past it new
+          requests are shed with [status:"overloaded", reason:"memory"]
+          and the piece cache drops its cold generations; [None] disables *)
+  mem_hard_mb : int option;
+      (** hard memory watermark: additionally, workers recycle between
+          requests, releasing domain-local state; [None] disables *)
+  max_major_bytes : int option;
+      (** per-request major-allocation budget installed via
+          {!Pscommon.Guard.protect}; an exhausted budget degrades the
+          request to a structured out-of-memory failure.  Runtime-wide
+          accounting — size it as a generous backstop, not an SLA *)
+  quarantine : bool;
+      (** adaptive rule quarantine ({!Quarantine}): transforms repeatedly
+          rolled back by the semantic gate are skipped up front until a
+          half-open probe re-admits them.  On by default in the daemon;
+          [--no-quarantine] restores the always-run behaviour *)
 }
 
 val default_config : bind -> config
 (** 1 job, queue 64, 30 s default / 300 s max budget, 8 MiB request cap,
     32 MiB output cap, verify off, cache 2048 (memory-only), no tracing,
-    no scrape endpoint, flight recorder off. *)
+    no scrape endpoint, flight recorder off, 2 s wedge grace, memory
+    governor off, no allocation budget, quarantine on. *)
 
 type server
 (** A daemon started in a background domain by {!start}. *)

@@ -23,10 +23,11 @@ let run_shared ?log ?(pass = 0) ?(suppress = []) ~ast src =
   let edits = ref [] in
   let add node replacement =
     if
-      suppress = []
-      || not
-           (Editlog.suppressed suppress ~phase:"simplify"
-              ~before:(A.text src node) ~after:replacement)
+      Quarantine.admits ~phase:"simplify" ~kind:"paren"
+      && (suppress = []
+         || not
+              (Editlog.suppressed suppress ~phase:"simplify"
+                 ~before:(A.text src node) ~after:replacement))
     then edits := Pscommon.Patch.edit node.A.extent replacement :: !edits
   in
   ignore

@@ -138,15 +138,16 @@ let run_shared ?log ?(pass = 0) ?(suppress = []) src =
   match Pslex.Lexer.tokenize src with
   | Error _ -> None
   | Ok toks -> (
-      let keep (e, _kind) =
-        suppress = []
-        ||
-        let start = e.Patch.extent.Extent.start
-        and stop = e.Patch.extent.Extent.stop in
-        not
-          (Editlog.suppressed suppress ~phase:"token"
-             ~before:(String.sub src start (stop - start))
-             ~after:e.Patch.replacement)
+      let keep (e, kind) =
+        Quarantine.admits ~phase:"token" ~kind
+        && (suppress = []
+           ||
+           let start = e.Patch.extent.Extent.start
+           and stop = e.Patch.extent.Extent.stop in
+           not
+             (Editlog.suppressed suppress ~phase:"token"
+                ~before:(String.sub src start (stop - start))
+                ~after:e.Patch.replacement))
       in
       let pairs = List.filter keep (List.filter_map token_edit toks) in
       let edits = List.map fst pairs in

@@ -37,6 +37,7 @@ type outcome = {
   verdict : verdict;
   sandbox_runs : int;
   suppressed : Editlog.suppression list;
+  rolled_rules : string list;
   verify_ms : float;
 }
 
@@ -118,12 +119,15 @@ let prefix_equivalent ~opts ~runs ~orig_log ~src stages n =
    there is nothing journaled at all — the remaining rewrite is
    finalization (rename + reformat), which is not an extent edit and gets
    the pseudo-suppression. *)
+(* Returns the suppression plus the attribution name of the rolled-back
+   rule ([phase ^ "." ^ kind], or ["engine.finalize"] for the
+   pseudo-suppression) — the identity {!Quarantine} keys its breakers on. *)
 let culprit ~opts ~runs ~orig_log ~src (guarded : Engine.guarded) =
   let stages = guarded.Engine.edit_log in
   let flat = Editlog.flatten stages in
   let total = Array.length flat in
   if total = 0 || prefix_equivalent ~opts ~runs ~orig_log ~src stages total
-  then Editlog.suppress_finalize
+  then (Editlog.suppress_finalize, "engine.finalize")
   else begin
     let lo = ref 0 and hi = ref total in
     while !hi - !lo > 1 do
@@ -131,14 +135,15 @@ let culprit ~opts ~runs ~orig_log ~src (guarded : Engine.guarded) =
       if prefix_equivalent ~opts ~runs ~orig_log ~src stages mid then lo := mid
       else hi := mid
     done;
-    Editlog.suppress_edit flat.(!hi - 1)
+    let e = flat.(!hi - 1) in
+    (Editlog.suppress_edit e, e.Editlog.phase ^ "." ^ e.Editlog.kind)
   end
 
 let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
   T.span "verify.gate" @@ fun () ->
   let started = Guard.now () in
   let runs = ref 0 in
-  let finish guarded verdict suppressed =
+  let finish guarded verdict suppressed rolled_rules =
     let verify_ms = (Guard.now () -. started) *. 1000.0 in
     T.Metrics.incr (T.Metrics.counter ("verify." ^ verdict_name verdict));
     T.Metrics.incr ~by:!runs (T.Metrics.counter "verify.sandbox_runs");
@@ -149,37 +154,42 @@ let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
           [ ("verdict", T.S (verdict_name verdict));
             ("sandbox_runs", T.I !runs);
             ("rolled_back", T.I (List.length suppressed)) ];
-    (guarded, { verdict; sandbox_runs = !runs; suppressed; verify_ms })
+    (guarded, { verdict; sandbox_runs = !runs; suppressed; rolled_rules; verify_ms })
   in
   if String.equal guarded.Engine.result.Engine.output src then
     (* unchanged output is trivially equivalent; skip the sandbox *)
-    finish guarded Equivalent []
+    finish guarded Equivalent [] []
   else
     match Psparse.Parser.parse src with
     | Error _ ->
         (* covers the partial-parse (region) path too, whose edits are not
            journaled and could not be bisected *)
-        finish guarded (Unverifiable "original does not parse") []
+        finish guarded (Unverifiable "original does not parse") [] []
     | Ok _ -> (
         match ref_log ~opts ~runs src with
         | Error reason ->
-            finish guarded (Unverifiable ("original: " ^ reason)) []
+            finish guarded (Unverifiable ("original: " ^ reason)) [] []
         | Ok orig_log ->
-            let rec round guarded suppressed rounds_left =
+            let rec round guarded suppressed rolled_rules rounds_left =
               let diverged () =
-                if rounds_left = 0 then finish guarded Diverged suppressed
+                if rounds_left = 0 then
+                  finish guarded Diverged suppressed rolled_rules
                 else
-                  let sup = culprit ~opts ~runs ~orig_log ~src guarded in
+                  let sup, rule = culprit ~opts ~runs ~orig_log ~src guarded in
                   if List.mem sup suppressed then
                     (* the suppression did not remove the divergence (or
                        chaos keeps forcing one): stop rather than loop *)
-                    finish guarded Diverged suppressed
+                    finish guarded Diverged suppressed rolled_rules
                   else begin
                     if T.active () then
                       T.event "verify.rollback"
                         ~attrs:[ ("edit", T.S (Editlog.describe sup)) ];
                     let suppressed = sup :: suppressed in
-                    round (rerun ~suppress:suppressed) suppressed
+                    let rolled_rules =
+                      if List.mem rule rolled_rules then rolled_rules
+                      else rule :: rolled_rules
+                    in
+                    round (rerun ~suppress:suppressed) suppressed rolled_rules
                       (rounds_left - 1)
                   end
               in
@@ -196,12 +206,14 @@ let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
                 | Error _ -> false
               in
               if equal_now then
-                if suppressed = [] then finish guarded Equivalent []
+                if suppressed = [] then finish guarded Equivalent [] []
                 else
-                  finish guarded (Rolled_back (List.length suppressed)) suppressed
+                  finish guarded
+                    (Rolled_back (List.length suppressed))
+                    suppressed rolled_rules
               else diverged ()
             in
-            round guarded [] opts.max_rounds)
+            round guarded [] [] opts.max_rounds)
 
 let run_guarded ?options ?timeout_s ?max_output_bytes ?opts src =
   let rerun ~suppress =

@@ -54,6 +54,12 @@ type outcome = {
           probes + re-verifications); 0 when the output equals the input *)
   suppressed : Editlog.suppression list;
       (** rewrites rolled back to reach the verdict, newest first *)
+  rolled_rules : string list;
+      (** attribution names of the rolled-back transforms, deduplicated,
+          newest first — [phase ^ "." ^ kind] for journaled edits (e.g.
+          ["recover.substitute"]), ["engine.finalize"] for the
+          finalization pseudo-suppression.  This is what {!Quarantine}
+          keys its per-rule circuit breakers on. *)
   verify_ms : float;  (** wall time spent in the gate *)
 }
 

@@ -21,6 +21,16 @@ let enabled () = Atomic.get cfg <> None
 let deadline_exn : exn ref = ref (Injected "deadline")
 let set_deadline_exn e = deadline_exn := e
 
+(* Same inversion for the memory fault: raising the runtime's own
+   [Out_of_memory] from a probe made injected exhaustion indistinguishable
+   from the real allocator giving up — and the runtime's preallocated
+   exception is not ours to raise.  Guard registers its dedicated
+   injected-OOM exception here at init (classified as [Oom], so the
+   structured failure reads identically); before registration the fault
+   degrades to Injected. *)
+let oom_exn : exn ref = ref (Injected "oom")
+let set_oom_exn e = oom_exn := e
+
 (* The draw stream is domain-local so parallel workers never interleave
    draws; with_scope re-derives it from (seed, label) so a worker's stream
    depends only on what it is processing, not on which domain it is. *)
@@ -66,7 +76,7 @@ let inject c site =
     match Rng.int rng 4 with
     | 0 -> raise !deadline_exn
     | 1 -> raise Stack_overflow
-    | 2 -> raise Out_of_memory
+    | 2 -> raise !oom_exn
     | _ -> raise (Injected site)
 
 let probe site =

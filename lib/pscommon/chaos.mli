@@ -3,7 +3,11 @@
     Named {e probe points} are threaded through the pipeline's containment
     sites ({!Guard.protect}, piece invocation, interpreter evaluation, pool
     task execution, batch file IO, and the serve daemon's socket edges:
-    [serve.accept], [serve.read], [serve.write], [serve.queue]).  When
+    [serve.accept], [serve.read], [serve.write], [serve.queue]; plus the
+    supervision plane: [serve.wedge] — a worker enters a bounded busy-loop
+    past its deadline without hitting a cooperative checkpoint — and
+    [serve.respawn] — replacing a wedged or retired worker fails once,
+    exercising the respawn backoff).  When
     chaos is disabled — the default —
     a probe is one atomic load and a comparison: nothing allocates and
     nothing can fire, so probes stay in place on hot paths.  When enabled
@@ -46,6 +50,14 @@ val set_deadline_exn : exn -> unit
 (** Dependency inversion: {!Guard} registers its [Deadline_exceeded] here
     at init so probes can inject it without a module cycle.  Before
     registration the deadline fault falls back to {!Injected}. *)
+
+val set_oom_exn : exn -> unit
+(** Same inversion for the memory fault: {!Guard} registers its dedicated
+    injected-OOM exception (classified as [Oom]) so probes never raise the
+    runtime's preallocated [Out_of_memory] — injected exhaustion stays
+    distinguishable from the allocator really giving up, while flowing
+    through the same taxonomy end-to-end.  Before registration the fault
+    falls back to {!Injected}. *)
 
 val probe : string -> unit
 (** [probe site] possibly raises an injected fault.  No-op when disabled.

@@ -7,6 +7,7 @@ type failure =
   | Oom
   | Output_too_large
   | Interpreter_limit of string
+  | Wedged
   | Unexpected of string
 
 let failure_label = function
@@ -16,6 +17,7 @@ let failure_label = function
   | Oom -> "out-of-memory"
   | Output_too_large -> "output-too-large"
   | Interpreter_limit _ -> "interpreter-limit"
+  | Wedged -> "wedged"
   | Unexpected _ -> "unexpected"
 
 let failure_to_string = function
@@ -25,12 +27,23 @@ let failure_to_string = function
   | Oom -> "out of memory"
   | Output_too_large -> "output too large"
   | Interpreter_limit m -> "interpreter limit: " ^ m
+  | Wedged ->
+      "worker wedged: no cooperative checkpoint past deadline plus grace"
   | Unexpected m -> "unexpected exception: " ^ m
 
 exception Deadline_exceeded
 
-(* let Chaos inject the real deadline exception without a module cycle *)
+exception Injected_oom
+(* the chaos memory fault: classified exactly like [Out_of_memory] but never
+   confusable with the runtime's preallocated exception *)
+
+exception Allocation_budget_exceeded
+(* the cooperative per-request major-allocation budget fired; classified as
+   [Oom] — the request exhausted the memory it was admitted with *)
+
+(* let Chaos inject the real taxonomy exceptions without a module cycle *)
 let () = Chaos.set_deadline_exn Deadline_exceeded
+let () = Chaos.set_oom_exn Injected_oom
 
 type deadline = float
 
@@ -50,7 +63,57 @@ let ambient_deadline () =
 let expired d = d < infinity && now () >= d
 let remaining_s d = if d = infinity then infinity else d -. now ()
 let ambient_remaining_s () = remaining_s (ambient_deadline ())
-let check d = if expired d then raise Deadline_exceeded
+
+(* ---------- heartbeats ---------- *)
+
+(* The watchdog contract: a supervised worker registers an [Atomic] cell
+   for its domain, and every cooperative checkpoint ({!check} — i.e. the
+   interpreter's step accounting and every {!protect} entry) bumps it.  The
+   supervisor reads the cell from its own domain; a worker whose cell stops
+   moving past its deadline is not polling checkpoints and is declared
+   wedged.  The cell is per-domain (DLS) so parallel workers never share
+   one, and publication is a single [Atomic.incr] — cheap enough for the
+   every-2048-steps tick path. *)
+let progress_cell : int Atomic.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_progress_cell c = Domain.DLS.get progress_cell := c
+
+let beat () =
+  match !(Domain.DLS.get progress_cell) with
+  | Some cell -> Atomic.incr cell
+  | None -> ()
+
+(* ---------- allocation budgets ---------- *)
+
+(* Per-request major-allocation budget, the memory analogue of the
+   wall-clock deadline: {!protect} records the major-heap allocation
+   baseline at entry, and {!check} compares the delta against the budget.
+   [Gc.quick_stat] reports promoted plus directly-major words for the whole
+   runtime, so concurrent workers bleed into each other's accounting — the
+   budget is a governor against runaway decode bombs, not a precise
+   per-request meter, and it is sized accordingly (hundreds of MB).  The
+   slot is domain-local and innermost-wins, like the deadline stack. *)
+type alloc_budget = { base_words : float; budget_words : float }
+
+let alloc_ambient : alloc_budget option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let major_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.major_words +. s.Gc.minor_words
+
+let check_alloc () =
+  match Domain.DLS.get alloc_ambient with
+  | None -> ()
+  | Some b ->
+      if major_words () -. b.base_words > b.budget_words then
+        raise Allocation_budget_exceeded
+
+let check d =
+  beat ();
+  check_alloc ();
+  if expired d then raise Deadline_exceeded
 
 (* Registration happens in module initialisers (single-domain, before any
    worker spawns), but an atomic keeps late registration from racing a
@@ -67,17 +130,30 @@ let classify_exn e =
   | Deadline_exceeded -> Timeout
   | Stack_overflow -> Stack_exhausted
   | Out_of_memory -> Oom
+  | Injected_oom -> Oom
+  | Allocation_budget_exceeded -> Oom
   | Chaos.Injected site -> Unexpected ("chaos injection at " ^ site)
   | e -> (
       match List.find_map (fun f -> f e) (Atomic.get classifiers) with
       | Some failure -> failure
       | None -> Unexpected (Printexc.to_string e))
 
-let protect ?(deadline = no_deadline) ?max_output_bytes ?measure f =
+let protect ?(deadline = no_deadline) ?max_output_bytes ?measure
+    ?max_major_bytes f =
   let effective = Float.min deadline (ambient_deadline ()) in
   if expired effective then Error Timeout
   else begin
+    beat ();
     Domain.DLS.set ambient (effective :: Domain.DLS.get ambient);
+    let saved_alloc = Domain.DLS.get alloc_ambient in
+    (match max_major_bytes with
+    | None -> ()
+    | Some bytes ->
+        Domain.DLS.set alloc_ambient
+          (Some
+             { base_words = major_words ();
+               budget_words = float_of_int bytes /. float_of_int (Sys.word_size / 8)
+             }));
     let result =
       (* the chaos probe fires inside the guarded extent, so an injected
          fault is classified exactly like a real one *)
@@ -88,6 +164,7 @@ let protect ?(deadline = no_deadline) ?max_output_bytes ?measure f =
       | v -> Ok v
       | exception e -> Error (classify_exn e)
     in
+    Domain.DLS.set alloc_ambient saved_alloc;
     Domain.DLS.set ambient
       (match Domain.DLS.get ambient with _ :: rest -> rest | [] -> []);
     match (result, max_output_bytes, measure) with

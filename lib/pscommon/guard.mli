@@ -23,6 +23,11 @@ type failure =
   | Interpreter_limit of string
       (** a cooperative evaluator limit fired (steps, string bytes,
           collection size, invoke depth) *)
+  | Wedged
+      (** the supervisor declared the worker handling this request wedged:
+          past its deadline plus the grace window with no cooperative
+          checkpoint reached — the cooperative machinery never got a chance
+          to raise, so the watchdog answered on the worker's behalf *)
   | Unexpected of string  (** any other exception, contained *)
 
 val failure_label : failure -> string
@@ -34,6 +39,17 @@ val failure_to_string : failure -> string
 exception Deadline_exceeded
 (** Raised cooperatively (e.g. by [Env.tick]) when past the ambient
     deadline; {!protect} maps it to {!Timeout}. *)
+
+exception Injected_oom
+(** The chaos memory fault ({!Chaos.set_oom_exn} registration).  Classified
+    as {!Oom}, so injected exhaustion produces the same structured failure
+    as the allocator really giving up — without raising the runtime's
+    preallocated [Out_of_memory] from library code. *)
+
+exception Allocation_budget_exceeded
+(** Raised cooperatively by {!check} when the ambient per-request
+    major-allocation budget (installed via {!protect}'s [max_major_bytes])
+    is exhausted; classified as {!Oom}. *)
 
 type deadline = float
 (** Absolute time in epoch seconds; [infinity] means no deadline. *)
@@ -61,7 +77,23 @@ val ambient_remaining_s : unit -> float
     budget, e.g. to report alongside a timeout response. *)
 
 val check : deadline -> unit
-(** @raise Deadline_exceeded when [deadline] has passed. *)
+(** The cooperative checkpoint: publishes a heartbeat ({!beat}), enforces
+    the ambient allocation budget, then the deadline.
+    @raise Deadline_exceeded when [deadline] has passed.
+    @raise Allocation_budget_exceeded when the ambient major-allocation
+    budget is exhausted. *)
+
+val set_progress_cell : int Atomic.t option -> unit
+(** Register this domain's heartbeat cell.  Every cooperative checkpoint
+    ({!check}, {!protect} entry) bumps it with one [Atomic.incr]; a
+    supervisor watching the cell from another domain can tell a worker
+    that is slow-but-polling (cell moving — the cooperative deadline will
+    fire at its next checkpoint) from one that is wedged in a non-raising
+    loop (cell frozen past the deadline).  Domain-local: parallel workers
+    never share a cell.  [None] (the initial state) makes {!beat} free. *)
+
+val beat : unit -> unit
+(** Bump this domain's registered heartbeat cell, if any. *)
 
 val register_classifier : (exn -> failure option) -> unit
 (** Let higher layers map their exceptions into the taxonomy without a
@@ -74,6 +106,7 @@ val protect :
   ?deadline:deadline ->
   ?max_output_bytes:int ->
   ?measure:('a -> int) ->
+  ?max_major_bytes:int ->
   (unit -> 'a) ->
   ('a, failure) result
 (** [protect f] runs [f ()] with every escape hatch closed: [Stack_overflow],
@@ -82,4 +115,11 @@ val protect :
     and the ambient one; it is installed as ambient for the duration of
     [f], and an already-expired deadline returns [Error Timeout] without
     running [f].  When both [max_output_bytes] and [measure] are given, a
-    result measuring larger returns [Error Output_too_large]. *)
+    result measuring larger returns [Error Output_too_large].
+
+    [max_major_bytes] installs a cooperative major-allocation budget for
+    the duration of [f]: {!check} compares the major-heap growth since
+    entry against it and raises (classified {!Oom}) when exhausted.  The
+    underlying [Gc.quick_stat] counters are runtime-wide, so with parallel
+    workers the meter over-counts — size it as a generous backstop against
+    allocation bombs, not an SLA. *)

@@ -20,6 +20,7 @@ let () =
       ("deobf", Test_deobf.suite);
       ("verify", Test_verify.suite);
       ("serve", Test_serve.suite);
+      ("selfheal", Test_selfheal.suite);
       ("baselines", Test_baselines.suite);
       ("corpus", Test_corpus.suite);
       ("experiments", Test_experiments.suite);

@@ -221,7 +221,9 @@ let fault_trace seed =
               | exception Chaos.Injected _ -> (i, "injected")
               | exception Guard.Deadline_exceeded -> (i, "deadline")
               | exception Stack_overflow -> (i, "stack")
-              | exception Out_of_memory -> (i, "oom"))))
+              (* the memory fault is Guard's dedicated injected-OOM
+                 exception, not the runtime's preallocated Out_of_memory *)
+              | exception Guard.Injected_oom -> (i, "oom"))))
 
 let test_chaos_deterministic_replay () =
   let a = fault_trace 11 in
