@@ -2,7 +2,7 @@
 
    One target per table/figure of the paper:
      table1 table2 fig5 fig6 table3 table4 table5 case ablate
-     throughput obs resilience verify serve selfheal micro
+     throughput obs resilience verify provenance serve selfheal micro
    No argument runs everything except throughput (the parallel-batch
    scaling run, writes BENCH_batch.json), serve (the live-daemon
    throughput/overload run, writes BENCH_serve.json) and micro (the
@@ -14,7 +14,11 @@
    disabled chaos probes cost, with the same 5% budget.  verify (in
    the default run, writes BENCH_verify.json) measures the semantic
    gate's batch overhead against a 25% budget and fails on any
-   unrepaired divergence.  selfheal (in the default run, writes
+   unrepaired divergence.  provenance (in the default run, writes
+   BENCH_provenance.json) drives the dynamic-only corpus through the
+   recover.dynamic stage — majority recovery, zero unrepaired
+   divergences, and a 1% budget on the disabled recorder hook.
+   selfheal (in the default run, writes
    BENCH_selfheal.json) drives the supervision plane — wedge-injection
    MTTR against a deadline + 2x grace budget, flood survival under
    memory chaos, quarantine convergence on a seeded bad-rule corpus —
@@ -819,6 +823,192 @@ let run_verify () =
     exit 1
   end
 
+(* ---------- dynamic value provenance (the recover.dynamic stage) ---------- *)
+
+(* Does the provenance-guided dynamic stage actually recover what static
+   tracing cannot, and what does carrying it cost?  The corpus is
+   dynamic-only: every sample hides its payload behind a loop-built
+   string, a [+=]/[-join] accumulator, or a conditional payload pick —
+   shapes Algorithm 1 refuses to trace.  Three gates, each fatal:
+   {ul
+   {- a majority of the rows must be folded by the dynamic stage
+      ([dynamic_recovered >= 1]);}
+   {- with the semantic gate on, no row may end [diverged] — every
+      dynamic substitution is either proven equivalent or rolled back;}
+   {- the disabled path — the per-write recorder hook every evaluation
+      pays when [use_dynamic] is off — must cost under 1% of the static
+      wall.  The hook is one option match; its per-call cost is bounded
+      here by a poisoned recorder's early return (same shape: branch and
+      exit, no allocation) and scaled by the corpus's measured write
+      volume.}} *)
+let run_provenance () =
+  line ();
+  let module Guard = Pscommon.Guard in
+  let count = 24 in
+  let seed = 23 in
+  let samples = Corpus.Generator.generate_dynamic ~seed ~count in
+  let dir = Filename.temp_dir "bench_provenance" "" in
+  let files =
+    List.map
+      (fun (s : Corpus.Generator.sample) ->
+        let path = Filename.concat dir (Printf.sprintf "sample_%04d.ps1" s.id) in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc s.obfuscated);
+        path)
+      samples
+  in
+  Printf.printf
+    "dynamic provenance: %d dynamic-only samples (seed %d), static vs \
+     dynamic\n"
+    count seed;
+  let static_options =
+    { Deobf.Engine.default_options with
+      recovery =
+        { Deobf.Engine.default_options.Deobf.Engine.recovery with
+          Deobf.Engine.use_dynamic = false } }
+  in
+  let run ~options ~verify tag =
+    let out_dir = Filename.concat dir ("out_" ^ tag) in
+    (* best of 3, as in the verify bench: these walls are small enough for
+       one GC slice to read as tens of percent *)
+    let best = ref infinity and last = ref None in
+    for rep = 1 to 3 do
+      let t0 = Guard.now () in
+      let summary =
+        Deobf.Batch.run_files ~options ~timeout_s:30.0
+          ~out_dir:(Printf.sprintf "%s_r%d" out_dir rep) ~jobs:1 ~verify files
+      in
+      let wall = Guard.now () -. t0 in
+      if wall < !best then best := wall;
+      last := Some summary
+    done;
+    (Option.get !last, !best)
+  in
+  let _s_static, wall_static =
+    run ~options:static_options ~verify:false "static"
+  in
+  let s_dyn, wall_dyn =
+    run ~options:Deobf.Engine.default_options ~verify:true "dynamic"
+  in
+  let sum_stat f =
+    List.fold_left
+      (fun acc (o : Deobf.Batch.outcome) -> acc + f o.Deobf.Batch.stats)
+      0 s_dyn.Deobf.Batch.outcomes
+  in
+  let attempted = sum_stat (fun st -> st.Deobf.Recover.dynamic_attempted) in
+  let unverifiable = sum_stat (fun st -> st.Deobf.Recover.dynamic_unverifiable) in
+  let recovered_rows =
+    List.length
+      (List.filter
+         (fun (o : Deobf.Batch.outcome) ->
+           o.Deobf.Batch.stats.Deobf.Recover.dynamic_recovered >= 1)
+         s_dyn.Deobf.Batch.outcomes)
+  in
+  let tally v =
+    List.length
+      (List.filter
+         (fun (o : Deobf.Batch.outcome) ->
+           match o.Deobf.Batch.verdict with
+           | Some verdict -> Deobf.Verify.verdict_name verdict = v
+           | None -> false)
+         s_dyn.Deobf.Batch.outcomes)
+  in
+  let equivalent = tally "equivalent" in
+  let rolled_back = tally "rolled_back" in
+  let diverged = tally "diverged" in
+  let unverifiable_verdicts = tally "unverifiable" in
+  (* write volume: one full sandbox execution per sample with a live
+     recorder counts exactly the writes the disabled hook would see *)
+  let writes_total =
+    List.fold_left
+      (fun acc (s : Corpus.Generator.sample) ->
+        let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox () in
+        let p = Pseval.Provenance.create () in
+        env.Pseval.Env.provenance <- Some p;
+        ignore (Pseval.Interp.run_script env s.obfuscated);
+        acc + Pseval.Provenance.count p)
+      0 samples
+  in
+  let writes_per_sample = float_of_int writes_total /. float_of_int count in
+  let percall_ns =
+    let p = Pseval.Provenance.create ~cap:0 () in
+    let extent = Pscommon.Extent.make ~start:0 ~stop:1 in
+    (* first note trips the cap and poisons; every later call is the
+       sticky early return we are timing *)
+    Pseval.Provenance.note p ~var:"x" ~extent ~step:0 ~reads:[];
+    let iters = 2_000_000 in
+    let t0 = Guard.now () in
+    for i = 1 to iters do
+      Pseval.Provenance.note p ~var:"x" ~extent ~step:i ~reads:[]
+    done;
+    (Guard.now () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let disabled_overhead_pct =
+    if wall_static > 0.0 then
+      100.0 *. (float_of_int writes_total *. percall_ns *. 1e-9) /. wall_static
+    else 0.0
+  in
+  let majority = 2 * recovered_rows > count in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        Printf.sprintf "  \"samples\": %d," count;
+        Printf.sprintf "  \"seed\": %d," seed;
+        Printf.sprintf "  \"wall_s_static\": %.3f," wall_static;
+        Printf.sprintf "  \"wall_s_dynamic_verified\": %.3f," wall_dyn;
+        Printf.sprintf
+          "  \"dynamic\": {\"attempted\": %d, \"recovered_rows\": %d, \
+           \"unverifiable\": %d},"
+          attempted recovered_rows unverifiable;
+        Printf.sprintf
+          "  \"verdicts\": {\"equivalent\": %d, \"rolled_back\": %d, \
+           \"diverged\": %d, \"unverifiable\": %d},"
+          equivalent rolled_back diverged unverifiable_verdicts;
+        Printf.sprintf "  \"recovered_majority\": %b," majority;
+        Printf.sprintf "  \"writes_per_sample\": %.1f," writes_per_sample;
+        Printf.sprintf "  \"disabled_percall_ns\": %.1f," percall_ns;
+        Printf.sprintf "  \"disabled_overhead_pct\": %.4f" disabled_overhead_pct;
+        "}";
+      ]
+  in
+  Out_channel.with_open_bin "BENCH_provenance.json" (fun oc ->
+      Out_channel.output_string oc (json ^ "\n"));
+  Printf.printf "  static (dynamic off): %.2fs; dynamic + verify: %.2fs\n"
+    wall_static wall_dyn;
+  Printf.printf
+    "  dynamic stage: %d regions attempted, %d/%d rows recovered, %d \
+     unverifiable\n"
+    attempted recovered_rows count unverifiable;
+  Printf.printf
+    "  verdicts: %d equivalent, %d rolled_back, %d diverged, %d \
+     unverifiable\n"
+    equivalent rolled_back diverged unverifiable_verdicts;
+  Printf.printf
+    "  disabled hook: %.1f writes/sample at %.1f ns/call, est. overhead \
+     %.4f%%\n"
+    writes_per_sample percall_ns disabled_overhead_pct;
+  print_endline "  wrote BENCH_provenance.json";
+  if not majority then begin
+    Printf.eprintf
+      "FAIL: dynamic stage recovered only %d of %d dynamic-only rows\n"
+      recovered_rows count;
+    exit 1
+  end;
+  if diverged > 0 then begin
+    Printf.eprintf
+      "FAIL: %d dynamic sample(s) diverged without a successful rollback\n"
+      diverged;
+    exit 1
+  end;
+  if disabled_overhead_pct > 1.0 then begin
+    Printf.eprintf
+      "FAIL: disabled provenance-hook overhead %.4f%% exceeds the 1%% \
+       budget\n"
+      disabled_overhead_pct;
+    exit 1
+  end
+
 (* ---------- service mode (daemon throughput, overload, drain) ---------- *)
 
 (* Is the daemon worth running?  The same fixed-seed corpus goes through
@@ -1232,11 +1422,19 @@ let run_selfheal () =
     | Some n -> n
     | None -> 0
   in
-  (* (c) quarantine convergence: in-process replay of a script whose
-     piece recovery the verify gate rolls back every time *)
+  (* (c) quarantine convergence: replay a script whose rewrites the verify
+     gate rolls back on every request.  The loop-carried fold that used to
+     diverge on its own is recovered correctly now (the dynamic stage
+     substitutes the true final value), so the rollback is forced the same
+     way the resilience suite does it: a seeded fault at the gate's
+     [verify.diff] comparison reads as divergence and walks every edit
+     back — including the [recover.dynamic.loop] edit, so the breaker is
+     exercised on the dynamic rule keys too *)
   let bad_src =
     "$x = 'a'\nforeach ($i in 1..3) { $x = $x + 'b' }\nWrite-Output $x"
   in
+  Chaos.set
+    (Some { Chaos.seed = 11; rate = 0.0; site_rates = [ ("verify.diff", 1.0) ] });
   Q.reset ();
   Q.set_enabled true;
   Q.configure ~k:3 ~window_s:300.0 ~cooldown_s:3600.0 ();
@@ -1259,6 +1457,7 @@ let run_selfheal () =
     | Some _ -> if rolled then incr rolled_post)
   done;
   let quarantined_rules = Q.snapshot () in
+  Chaos.set None;
   Q.set_enabled false;
   Q.reset ();
   let json =
@@ -1438,7 +1637,8 @@ let registry =
     ("amsi", run_amsi); ("unknown", run_unknown); ("limits", run_limits);
     ("funnel", run_funnel); ("throughput", run_throughput);
     ("obs", run_obs); ("resilience", run_resilience); ("verify", run_verify);
-    ("serve", run_serve); ("selfheal", run_selfheal); ("micro", run_micro) ]
+    ("provenance", run_provenance); ("serve", run_serve);
+    ("selfheal", run_selfheal); ("micro", run_micro) ]
 
 let () =
   match Array.to_list Sys.argv with

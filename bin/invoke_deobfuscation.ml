@@ -82,13 +82,16 @@ let print_file_summary src (guarded : Deobf.Engine.guarded) =
      score: %d -> %d\n\
      pieces: %d recovered, %d blocked, %d attempted (cache hit-rate %.1f%%)\n\
      variables substituted: %d, layers unwrapped: %d\n\
+     dynamic: %d recovered of %d attempted, %d unverifiable\n\
      iterations: %d, changed: %b, contained failures: %d\n\
      phase ms: %s\n"
     score_before score_after stats.Deobf.Recover.pieces_recovered
     stats.Deobf.Recover.pieces_blocked stats.Deobf.Recover.pieces_attempted
     (pct stats.Deobf.Recover.cache_hits stats.Deobf.Recover.pieces_attempted)
     stats.Deobf.Recover.variables_substituted
-    stats.Deobf.Recover.layers_unwrapped result.Deobf.Engine.iterations
+    stats.Deobf.Recover.layers_unwrapped
+    stats.Deobf.Recover.dynamic_recovered stats.Deobf.Recover.dynamic_attempted
+    stats.Deobf.Recover.dynamic_unverifiable result.Deobf.Engine.iterations
     result.Deobf.Engine.changed
     (List.length guarded.Deobf.Engine.failures)
     (phase_ms_line guarded.Deobf.Engine.timings);
@@ -106,6 +109,11 @@ let print_batch_summary (s : Deobf.Batch.summary) =
   let attempted = sum (fun st -> st.Deobf.Recover.pieces_attempted) in
   let hits = sum (fun st -> st.Deobf.Recover.cache_hits) in
   let unwrapped = sum (fun st -> st.Deobf.Recover.layers_unwrapped) in
+  let dyn_attempted = sum (fun st -> st.Deobf.Recover.dynamic_attempted) in
+  let dyn_recovered = sum (fun st -> st.Deobf.Recover.dynamic_recovered) in
+  let dyn_unverifiable =
+    sum (fun st -> st.Deobf.Recover.dynamic_unverifiable)
+  in
   let phase_totals =
     List.fold_left
       (fun acc (o : Deobf.Batch.outcome) ->
@@ -122,16 +130,18 @@ let print_batch_summary (s : Deobf.Batch.summary) =
      files: %d (%d clean, %d degraded) in %.1f ms\n\
      pieces: %d recovered, %d blocked, %d attempted (cache hit-rate %.1f%%)\n\
      layers unwrapped: %d\n\
+     dynamic: %d recovered of %d attempted, %d unverifiable\n\
      phase ms: %s\n"
     s.Deobf.Batch.total s.Deobf.Batch.clean s.Deobf.Batch.degraded
     s.Deobf.Batch.wall_ms recovered blocked attempted (pct hits attempted)
-    unwrapped
+    unwrapped dyn_recovered dyn_attempted dyn_unverifiable
     (phase_ms_line phase_totals);
   print_selfheal_summary ()
 
 let deobfuscate_cmd =
   let run input output no_tracing no_blocklist no_multilayer no_rename
-      no_reformat no_token_phase no_piece_cache no_partial chaos stats batch
+      no_reformat no_token_phase no_piece_cache no_partial no_dynamic chaos
+      stats batch
       jobs timeout trace log_level log_format summary_flag verify_flag
       no_verify resume serve queue_cap cache_cap piece_cache_dir trace_sample
       metrics_out metrics_addr flight_dir client no_quarantine grace
@@ -159,7 +169,8 @@ let deobfuscate_cmd =
             use_tracing = not no_tracing;
             use_blocklist = not no_blocklist;
             use_multilayer = not no_multilayer;
-            use_piece_cache = not no_piece_cache };
+            use_piece_cache = not no_piece_cache;
+            use_dynamic = not no_dynamic };
         rename = not no_rename;
         reformat = not no_reformat;
         max_iterations = Deobf.Engine.default_options.Deobf.Engine.max_iterations;
@@ -373,6 +384,10 @@ let deobfuscate_cmd =
       $ flag [ "no-partial" ]
           "Disable partial-parse recovery: unparseable files are returned \
            unchanged instead of being segmented into recoverable regions."
+      $ flag [ "no-dynamic" ]
+          "Disable provenance-guided dynamic recovery of loop/conditional \
+           regions (ablation): the output is exactly the static-only \
+           pipeline's."
       $ Arg.(
           value
           & opt (some string) None
@@ -765,8 +780,11 @@ let format_cmd =
 (* ---------- generate-corpus ---------- *)
 
 let corpus_cmd =
-  let run dir count seed =
-    let samples = Corpus.Generator.generate ~seed ~count in
+  let run dir count seed dynamic =
+    let samples =
+      if dynamic then Corpus.Generator.generate_dynamic ~seed ~count
+      else Corpus.Generator.generate ~seed ~count
+    in
     let written = Corpus.Dataset.write ~dir samples in
     Printf.printf "wrote %d samples (plus clean ground truth and manifest.json) to %s\n"
       written dir
@@ -778,7 +796,14 @@ let corpus_cmd =
       const run
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
       $ Arg.(value & opt int 100 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of samples.")
-      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed."))
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.")
+      $ Arg.(
+          value & flag
+          & info [ "dynamic" ]
+              ~doc:
+                "Dynamic-assembly samples only: loop-built strings, \
+                 +=/-join accumulators, conditional payload selection — \
+                 the shapes static tracing cannot fold."))
 
 (* ---------- compare ---------- *)
 

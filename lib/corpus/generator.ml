@@ -57,6 +57,28 @@ let generate_hard ~seed ~count =
       in
       { id; family = "hard-mix"; clean; obfuscated; techniques })
 
+(** Samples obfuscated with exactly one dynamic-assembly technique
+    (loop-carried build, accumulator fold, conditional payload selection) —
+    shapes only the provenance-guided dynamic recovery stage can undo.
+    Techniques cycle round-robin; a template with no eligible literal
+    assignment is re-drawn until the technique visibly fired, so every
+    sample really contains a dynamic region. *)
+let generate_dynamic ~seed ~count =
+  let rng = Rng.of_int seed in
+  let techniques = Obfuscator.Technique.dynamic in
+  List.init count (fun id ->
+      let sub = Rng.split rng in
+      let technique = List.nth techniques (id mod List.length techniques) in
+      let rec pick tries =
+        let family, clean = Templates.generate sub in
+        let obfuscated = Obfuscator.Obfuscate.apply sub technique clean in
+        if (not (String.equal obfuscated clean)) || tries = 0 then
+          (family, clean, obfuscated)
+        else pick (tries - 1)
+      in
+      let family, clean, obfuscated = pick 20 in
+      { id; family; clean; obfuscated; techniques = [ technique ] })
+
 (** Multi-layer samples: the clean script wrapped in [depth] stacked L3
     layers (Table III uses 12 such samples). *)
 let generate_multilayer ~seed ~count ~min_depth ~max_depth =

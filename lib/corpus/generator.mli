@@ -22,6 +22,13 @@ val generate_hard : seed:int -> count:int -> sample list
 (** Multi-template scripts with stacked layers, obfuscated launchers and
     embedded binary payloads — the Table V "most obfuscated" workload. *)
 
+val generate_dynamic : seed:int -> count:int -> sample list
+(** Samples obfuscated with exactly one dynamic-assembly technique
+    ({!Obfuscator.Technique.dynamic}, cycled round-robin) — loop-built
+    strings, [+=]/[-join] accumulators, conditional payload selection.
+    Static tracing alone cannot fold these; the dynamic-provenance bench
+    gates on recovering them. *)
+
 val generate_multilayer :
   seed:int -> count:int -> min_depth:int -> max_depth:int -> sample list
 (** Scripts wrapped in stacked L3 layers (Table III); every clean script

@@ -22,14 +22,23 @@ let weaker = function
   | Token_only -> Some Passthrough
   | Passthrough -> None
 
-(* each rung strips the pipeline further: Static drops the dynamic recovery
-   fixpoint (no piece execution), Token_only additionally drops renaming and
-   reformatting, Passthrough does not run the engine at all *)
+(* each rung strips the pipeline further: Static drops piece execution and
+   the provenance-guided dynamic phase (the latter runs outside the fixpoint,
+   so max_iterations = 0 alone would not strip it), Token_only additionally
+   drops renaming and reformatting, Passthrough does not run the engine at
+   all *)
 let mode_options base = function
   | Full | Passthrough -> base
-  | Static -> { base with Engine.max_iterations = 0 }
+  | Static ->
+      { base with
+        Engine.max_iterations = 0;
+        recovery = { base.Engine.recovery with Engine.use_dynamic = false } }
   | Token_only ->
-      { base with Engine.max_iterations = 0; rename = false; reformat = false }
+      { base with
+        Engine.max_iterations = 0;
+        recovery = { base.Engine.recovery with Engine.use_dynamic = false };
+        rename = false;
+        reformat = false }
 
 type outcome = {
   file : string;
@@ -71,10 +80,13 @@ let stats_to_json (s : Recover.stats) =
   Printf.sprintf
     "{\"pieces_recovered\": %d, \"variables_substituted\": %d, \
      \"layers_unwrapped\": %d, \"pieces_attempted\": %d, \
-     \"pieces_blocked\": %d, \"cache_hits\": %d}"
+     \"pieces_blocked\": %d, \"cache_hits\": %d, \
+     \"dynamic_attempted\": %d, \"dynamic_recovered\": %d, \
+     \"dynamic_unverifiable\": %d}"
     s.Recover.pieces_recovered s.Recover.variables_substituted
     s.Recover.layers_unwrapped s.Recover.pieces_attempted
-    s.Recover.pieces_blocked s.Recover.cache_hits
+    s.Recover.pieces_blocked s.Recover.cache_hits s.Recover.dynamic_attempted
+    s.Recover.dynamic_recovered s.Recover.dynamic_unverifiable
 
 let phase_ms_to_json phases =
   Printf.sprintf "{%s}"
@@ -817,6 +829,17 @@ let metrics_json s =
               (verdict_counts s.outcomes)));
       Printf.sprintf "  \"resumed\": %d,"
         (List.length (List.filter (fun o -> o.resumed) s.outcomes));
+      (* dynamic-recovery funnel: regions attempted, regions replaced by
+         provenance-mapped literals, regions the gate later rolled back
+         (from the run-local metrics registry), and regions degraded to
+         static-only *)
+      Printf.sprintf
+        "  \"dynamic\": {\"attempted\": %d, \"recovered\": %d, \
+         \"rolled_back\": %d, \"unverifiable\": %d},"
+        (sum_stats (fun st -> st.Recover.dynamic_attempted) s.outcomes)
+        (sum_stats (fun st -> st.Recover.dynamic_recovered) s.outcomes)
+        (T.Metrics.counter_value (T.Metrics.counter "verify.dynamic_rolled_back"))
+        (sum_stats (fun st -> st.Recover.dynamic_unverifiable) s.outcomes);
       Printf.sprintf
         "  \"regions\": {\"total\": %d, \"recovered\": %d},"
         (List.fold_left (fun acc o -> acc + o.regions_total) 0 s.outcomes)

@@ -24,6 +24,8 @@ and recovery_options = Recover.options = {
   max_depth : int;
   piece_step_budget : int;
   piece_timeout_s : float;
+  use_dynamic : bool;
+  dynamic_step_budget : int;
 }
 
 let default_options =
@@ -441,6 +443,38 @@ let run_guarded ?(options = default_options) ?(timeout_s = 60.0)
         | Error failure ->
             record "recovery" failure;
             (src, 0)
+      in
+      (* dynamic recovery: provenance-guided replacement of the loop/
+         conditional regions the static fixpoint cannot fold.  Runs under
+         its own guarded phase, so a fault (including one injected at the
+         recover.dynamic chaos site) degrades to the static result; a
+         successful substitution opens new static folds, so the fixpoint
+         runs once more over the patched text. *)
+      let recovered, iterations =
+        if (not options.recovery.use_dynamic) || Guard.expired deadline then
+          (recovered, iterations)
+        else
+          match
+            timed "dynamic" (fun () ->
+                Guard.protect ~deadline ~max_output_bytes
+                  ~measure:(fun (s, _) -> String.length s)
+                  (fun () ->
+                    match
+                      Recover.run_dynamic ~opts:options.recovery ~stats ~log
+                        ~pass:iterations ~suppress recovered
+                    with
+                    | None -> (recovered, iterations)
+                    | Some (patched, _) ->
+                        let out, extra =
+                          fixpoint_from ~opts:options ~stats ~cache ~depth:0
+                            ~log ~suppress patched
+                        in
+                        (out, iterations + extra)))
+          with
+          | Ok r -> r
+          | Error failure ->
+              record "dynamic" failure;
+              (recovered, iterations)
       in
       if Guard.expired deadline then begin
         (* the fixpoint loop stopped itself on the deadline: partial

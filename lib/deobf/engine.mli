@@ -34,6 +34,11 @@ and recovery_options = Recover.options = {
   max_depth : int;
   piece_step_budget : int;
   piece_timeout_s : float;
+  use_dynamic : bool;
+      (** provenance-guided dynamic recovery of loop/conditional regions
+          ({!Recover.run_dynamic}), run as its own guarded phase after the
+          static fixpoint *)
+  dynamic_step_budget : int;
 }
 
 val default_options : options
@@ -54,7 +59,7 @@ val run : ?options:options -> string -> result
 type failure_site = { phase : string; failure : Pscommon.Guard.failure }
 (** One contained degradation: which pipeline phase gave up and why.
     Phases, in degradation order: ["parse"], ["segment"], ["region"],
-    ["recovery"], ["rename"], ["reformat"]. *)
+    ["recovery"], ["dynamic"], ["rename"], ["reformat"]. *)
 
 type guarded = {
   result : result;

@@ -31,6 +31,9 @@ let m_cache_hits = T.Metrics.counter "recover.cache_hits"
 let m_substituted = T.Metrics.counter "recover.variables_substituted"
 let m_unwrapped = T.Metrics.counter "recover.layers_unwrapped"
 let m_piece_ms = T.Metrics.histogram "recover.piece_ms"
+let m_dyn_attempted = T.Metrics.counter "recover.dynamic.attempted"
+let m_dyn_recovered = T.Metrics.counter "recover.dynamic.recovered"
+let m_dyn_unverifiable = T.Metrics.counter "recover.dynamic.unverifiable"
 
 type options = {
   use_tracing : bool;  (** ablation: Algorithm 1 on/off *)
@@ -40,12 +43,16 @@ type options = {
   max_depth : int;  (** multi-layer recursion bound *)
   piece_step_budget : int;  (** interpreter budget per invoked piece *)
   piece_timeout_s : float;  (** wall-clock budget per invoked piece *)
+  use_dynamic : bool;
+      (** provenance-guided dynamic recovery of loop/conditional regions
+          the static tracer skips; every edit still faces the verify gate *)
+  dynamic_step_budget : int;  (** interpreter budget for one dynamic run *)
 }
 
 let default_options =
   { use_tracing = true; use_blocklist = true; use_multilayer = true;
     use_piece_cache = true; max_depth = 16; piece_step_budget = 400_000;
-    piece_timeout_s = 5.0 }
+    piece_timeout_s = 5.0; use_dynamic = true; dynamic_step_budget = 1_000_000 }
 
 type stats = {
   mutable pieces_recovered : int;
@@ -57,12 +64,18 @@ type stats = {
   mutable edits_recorded : int;
       (** extent edits actually applied (post-normalization), summed over
           passes — the size of the journal the semantic gate bisects *)
+  mutable dynamic_attempted : int;  (** loop/conditional regions targeted *)
+  mutable dynamic_recovered : int;  (** regions replaced by traced values *)
+  mutable dynamic_unverifiable : int;
+      (** regions degraded to static-only output: effects observed, values
+          unrenderable, provenance missing or poisoned, or execution halted *)
 }
 
 let new_stats () =
   { pieces_recovered = 0; variables_substituted = 0; layers_unwrapped = 0;
     pieces_attempted = 0; pieces_blocked = 0; cache_hits = 0;
-    edits_recorded = 0 }
+    edits_recorded = 0; dynamic_attempted = 0; dynamic_recovered = 0;
+    dynamic_unverifiable = 0 }
 
 (* Memoizes piece invocation: obfuscators emit the same decode piece
    hundreds of times per script, wild corpora repeat the same decode
@@ -874,17 +887,29 @@ let rec process_statement st ~in_guard (stmt : A.t) =
       | Some body -> process_block st ~in_guard:true body
       | None -> ());
       Tracer.evict_assigned st.table stmt
+  (* loop bodies run many times: a variable assigned anywhere in the loop
+     must be evicted {e before} the body is scanned, or its pre-loop value
+     would be substituted into the body and fold a loop-carried update
+     wrongly ($x = $x + 'b' with $x traced as 'a' becomes $x = 'ab').
+     Branch bodies (if/switch) run at most once from the entry state, so
+     substituting entry values there stays sound — they evict after. *)
   | A.While_stmt (cond, body) | A.Do_while_stmt (body, cond) | A.Do_until_stmt (body, cond) ->
+      Tracer.evict_assigned st.table stmt;
       recover_in_node st cond;
       process_block st ~in_guard:true body;
+      (* scanning the body re-records the loop's own assignments at their
+         single-iteration values; evict again so code after the loop never
+         sees them as traceable *)
       Tracer.evict_assigned st.table stmt
   | A.For_stmt (init, cond, step, body) ->
+      Tracer.evict_assigned st.table stmt;
       (match init with Some s -> process_statement st ~in_guard:true s | None -> ());
       (match cond with Some c -> recover_in_node st c | None -> ());
       (match step with Some s -> process_statement st ~in_guard:true s | None -> ());
       process_block st ~in_guard:true body;
       Tracer.evict_assigned st.table stmt
   | A.Foreach_stmt (_, coll, body) ->
+      Tracer.evict_assigned st.table stmt;
       recover_in_node st coll;
       process_block st ~in_guard:true body;
       Tracer.evict_assigned st.table stmt
@@ -950,3 +975,199 @@ let run_pass ~opts ~stats ~cache ~deobfuscate ~depth ?log ?(pass = 0)
         | Error _ -> None)
     | _ -> None
     | exception Invalid_argument _ -> None
+
+(* ---------- dynamic recovery (PowerPeeler-style value provenance) ---------- *)
+
+(* The static tracer deliberately skips loop- and conditional-carried
+   assignments (Algorithm 1 guards them out), so loop-built strings,
+   += / -join accumulators and conditional payload assembly stay
+   obfuscated.  Dynamic recovery executes the script's top level in the
+   sandbox with a provenance recorder installed, and replaces each such
+   region with literal assignments of the bindings it actually changed —
+   but only when the execution of the region was pure (no events, no
+   unresolved commands, no pipeline or host output), every changed value
+   has a faithful source rendering, and the provenance map proves each
+   final value was defined inside the region.  Anything else degrades to
+   the static result.  Every replacement is journaled like any other
+   recovery edit, so the verify gate bisects and rolls back dynamic edits
+   individually and Quarantine can circuit-break the rule keys
+   (recover.dynamic.loop / recover.dynamic.conditional). *)
+
+let dynamic_kind (stmt : A.t) =
+  match stmt.A.node with
+  | A.While_stmt _ | A.Do_while_stmt _ | A.Do_until_stmt _ | A.For_stmt _
+  | A.Foreach_stmt _ ->
+      Some "dynamic.loop"
+  | A.If_stmt _ | A.Switch_stmt _ -> Some "dynamic.conditional"
+  | _ -> None
+
+let contains_function_def node =
+  A.fold_pre_order
+    (fun acc n -> acc || match n.A.node with A.Function_def _ -> true | _ -> false)
+    false node
+
+(* the rendered view of the global bindings: comparing rendered strings
+   (not values) makes in-place array mutation visible across a snapshot,
+   because re-rendering observes the mutation where a shared reference
+   would not *)
+let rendered_bindings env =
+  List.map
+    (fun (name, v) -> (name, Value.to_source_opt v))
+    (Pseval.Env.global_bindings env)
+
+let run_dynamic ~opts ~stats ?log ?(pass = 0) ?(suppress = []) src =
+  if not opts.use_dynamic then None
+  else
+    match Psparse.Parser.parse src with
+    | Error _ -> None
+    | Ok ast ->
+        let statements =
+          match ast.A.node with
+          | A.Script_block sb -> sb.A.sb_statements
+          | _ -> [ ast ]
+        in
+        let is_candidate stmt =
+          match dynamic_kind stmt with
+          | None -> None
+          | Some kind ->
+              if
+                Tracer.assigned_names stmt = []
+                || contains_function_def stmt
+                || (opts.use_blocklist
+                   && Blocklist.mentions_blocked_command (A.text src stmt))
+              then None
+              else Some kind
+        in
+        if not (List.exists (fun s -> is_candidate s <> None) statements) then None
+        else begin
+          let limits =
+            { Pseval.Env.default_limits with
+              Pseval.Env.max_steps = opts.dynamic_step_budget }
+          in
+          let env = Pseval.Env.create ~mode:Pseval.Env.Sandbox ~limits () in
+          let prov = Pseval.Provenance.create () in
+          env.Pseval.Env.provenance <- Some prov;
+          let ctx = { Pseval.Interp.env; src } in
+          let edits = ref [] in
+          let halted = ref false in
+          let unverifiable () =
+            stats.dynamic_unverifiable <- stats.dynamic_unverifiable + 1;
+            T.Metrics.incr m_dyn_unverifiable
+          in
+          let attempt stmt kind =
+            stats.dynamic_attempted <- stats.dynamic_attempted + 1;
+            T.Metrics.incr m_dyn_attempted;
+            Chaos.probe "recover.dynamic";
+            let before = rendered_bindings env in
+            let events0 = List.length env.Pseval.Env.events in
+            let cmds0 = List.length env.Pseval.Env.command_log in
+            let sunk0 = List.length env.Pseval.Env.output_sink in
+            let out = Pseval.Interp.eval_statement ctx stmt in
+            let pure =
+              out = []
+              && List.length env.Pseval.Env.events = events0
+              && List.length env.Pseval.Env.command_log = cmds0
+              && List.length env.Pseval.Env.output_sink = sunk0
+            in
+            if not pure then unverifiable ()
+            else begin
+              let after = rendered_bindings env in
+              let changed =
+                List.filter
+                  (fun (name, rendered) ->
+                    match List.assoc_opt name before with
+                    | Some prior -> prior <> rendered
+                    | None -> true)
+                  after
+              in
+              if changed = [] then ()
+              else if List.exists (fun (_, r) -> r = None) changed then
+                unverifiable ()
+              else begin
+                (* provenance is load-bearing: each changed binding must be
+                   proven to have been last defined inside this region *)
+                let proven =
+                  Pseval.Provenance.poisoned prov = None
+                  && List.for_all
+                       (fun (name, _) ->
+                         match Pseval.Provenance.last_write prov name with
+                         | Some r -> Extent.contains stmt.A.extent r.Pseval.Provenance.extent
+                         | None -> false)
+                       changed
+                in
+                if not proven then unverifiable ()
+                else begin
+                  let ordered =
+                    List.map
+                      (fun (name, rendered) ->
+                        let r = Option.get (Pseval.Provenance.last_write prov name) in
+                        (r.Pseval.Provenance.step, r.Pseval.Provenance.spelled,
+                         Option.get rendered))
+                      changed
+                    |> List.sort compare
+                  in
+                  let replacement =
+                    String.concat "\n"
+                      (List.map
+                         (fun (_, spelled, rendered) ->
+                           Printf.sprintf "$%s = %s" spelled rendered)
+                         ordered)
+                  in
+                  let keep =
+                    Quarantine.admits ~phase:"recover" ~kind
+                    && not
+                         (Editlog.suppressed suppress ~phase:"recover"
+                            ~before:(Extent.text src stmt.A.extent)
+                            ~after:replacement)
+                  in
+                  if keep then begin
+                    edits := (Patch.edit stmt.A.extent replacement, kind) :: !edits;
+                    stats.dynamic_recovered <- stats.dynamic_recovered + 1;
+                    T.Metrics.incr m_dyn_recovered;
+                    if T.active () then
+                      T.event "recover.dynamic"
+                        ~attrs:
+                          [ ("kind", T.S kind);
+                            ("bindings", T.I (List.length ordered)) ]
+                  end
+                end
+              end
+            end
+          in
+          List.iter
+            (fun stmt ->
+              if not !halted then
+                match is_candidate stmt with
+                | Some kind -> (
+                    try attempt stmt kind
+                    with e when Pseval.Interp.describe_exception e <> None ->
+                      (* region execution failed: state past this point is
+                         untrusted, so the rest degrades to static-only *)
+                      halted := true;
+                      unverifiable ())
+                | None -> (
+                    try ignore (Pseval.Interp.eval_statement ctx stmt) with
+                    | Pseval.Interp.Return_exc _ | Pseval.Interp.Exit_exc ->
+                        halted := true
+                    | e when Pseval.Interp.describe_exception e <> None ->
+                        halted := true))
+            statements;
+          if !edits = [] then None
+          else
+            let pairs = List.rev !edits in
+            match Patch.apply src (List.map fst pairs) with
+            | patched when not (String.equal patched src) -> (
+                match Psparse.Parser.parse patched with
+                | Ok patched_ast ->
+                    stats.edits_recorded <-
+                      stats.edits_recorded
+                      + List.length (Patch.normalize (List.map fst pairs));
+                    Option.iter
+                      (fun l ->
+                        Editlog.record_stage l ~phase:"recover" ~pass ~src pairs)
+                      log;
+                    Some (patched, patched_ast)
+                | Error _ -> None)
+            | _ -> None
+            | exception Invalid_argument _ -> None
+        end

@@ -17,6 +17,12 @@ type options = {
       (** wall-clock budget per invoked piece; each piece runs under a
           {!Pscommon.Guard.protect}, so a crashing or hanging piece degrades
           to "kept obfuscated" instead of aborting the pass *)
+  use_dynamic : bool;
+      (** provenance-guided dynamic recovery ({!run_dynamic}) of the
+          loop/conditional regions Algorithm 1 skips; every edit it makes
+          still faces the verify gate individually *)
+  dynamic_step_budget : int;
+      (** interpreter budget for one whole dynamic-recovery execution *)
 }
 
 val default_options : options
@@ -33,6 +39,14 @@ type stats = {
   mutable edits_recorded : int;
       (** extent edits actually applied (post-normalization), summed over
           passes — the size of the journal the semantic gate bisects *)
+  mutable dynamic_attempted : int;
+      (** loop/conditional regions targeted by dynamic recovery *)
+  mutable dynamic_recovered : int;
+      (** regions replaced by provenance-mapped literal assignments *)
+  mutable dynamic_unverifiable : int;
+      (** regions degraded to static-only output: effects observed, values
+          unrenderable, provenance missing or poisoned, or execution
+          halted *)
 }
 
 val new_stats : unit -> stats
@@ -126,3 +140,26 @@ val run_pass :
     re-parses.  [log] journals the applied edits (phase ["recover"], pass
     [pass]) once the patch is validated; [suppress] skips edits the
     semantic gate rolled back, matched by content. *)
+
+val run_dynamic :
+  opts:options ->
+  stats:stats ->
+  ?log:Editlog.t ->
+  ?pass:int ->
+  ?suppress:Editlog.suppression list ->
+  string ->
+  (string * Psast.Ast.t) option
+(** Provenance-guided dynamic recovery of the regions the static tracer
+    skips (PowerPeeler-style; runs after the static fixpoint).  Executes
+    the script's top level in the sandbox with a {!Pseval.Provenance}
+    recorder installed and replaces each loop/conditional region whose
+    execution was pure with literal assignments of the bindings it
+    changed, in provenance (last-write) order — but only when every final
+    value renders faithfully and its last write is proven to lie inside
+    the region.  Regions with effects, unrenderable values, or missing/
+    poisoned provenance degrade to static-only ([dynamic_unverifiable]).
+    Edits are journaled under kinds [dynamic.loop] / [dynamic.conditional]
+    (rule keys [recover.dynamic.*]), so the verify gate bisects and rolls
+    them back individually and {!Quarantine} can circuit-break them.
+    [None] when dynamic recovery is disabled, found no candidates, or
+    changed nothing. *)

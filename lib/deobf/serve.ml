@@ -428,14 +428,23 @@ let metrics_json ~id ~cache =
       float_of_int cs.Recover.Cache.hits
       /. float_of_int cs.Recover.Cache.lookups
   in
+  (* the dynamic-recovery funnel over the daemon's lifetime, from the
+     process-wide metrics registry (workers share it) *)
+  let dyn name = T.Metrics.counter_value (T.Metrics.counter name) in
   Printf.sprintf
     "{\"id\": %s, \"status\": \"ok\", \"op\": \"metrics\", \
      \"cache\": {\"entries\": %d, \"lookups\": %d, \"hits\": %d, \
      \"hit_rate\": %.3f, \"evictions\": %d, \"persistent_loads\": %d}, \
+     \"dynamic\": {\"attempted\": %d, \"recovered\": %d, \
+     \"rolled_back\": %d, \"unverifiable\": %d}, \
      \"selfheal\": %s, \"metrics\": %s}"
     id cs.Recover.Cache.entries cs.Recover.Cache.lookups
     cs.Recover.Cache.hits hit_rate cs.Recover.Cache.evictions
     cs.Recover.Cache.persistent_loads
+    (dyn "recover.dynamic.attempted")
+    (dyn "recover.dynamic.recovered")
+    (dyn "verify.dynamic_rolled_back")
+    (dyn "recover.dynamic.unverifiable")
     (selfheal_json ())
     (Jsonl.oneline (T.Metrics.snapshot_to_json (T.Metrics.snapshot ())))
 

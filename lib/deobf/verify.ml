@@ -38,8 +38,15 @@ type outcome = {
   sandbox_runs : int;
   suppressed : Editlog.suppression list;
   rolled_rules : string list;
+  dynamic_rolled_back : int;
   verify_ms : float;
 }
+
+(* dynamic-recovery edits carry rule keys recover.dynamic.* — counted
+   separately so the telemetry plane can tell an aggressive dynamic rule
+   from a static one *)
+let is_dynamic_rule rule =
+  String.length rule >= 16 && String.sub rule 0 16 = "recover.dynamic."
 
 let run_log ~opts ~runs text =
   incr runs;
@@ -145,8 +152,13 @@ let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
   let runs = ref 0 in
   let finish guarded verdict suppressed rolled_rules =
     let verify_ms = (Guard.now () -. started) *. 1000.0 in
+    let dynamic_rolled_back =
+      List.length (List.filter is_dynamic_rule rolled_rules)
+    in
     T.Metrics.incr (T.Metrics.counter ("verify." ^ verdict_name verdict));
     T.Metrics.incr ~by:!runs (T.Metrics.counter "verify.sandbox_runs");
+    T.Metrics.incr ~by:dynamic_rolled_back
+      (T.Metrics.counter "verify.dynamic_rolled_back");
     T.Metrics.observe (T.Metrics.histogram "verify.ms") verify_ms;
     if T.active () then
       T.event "verify.verdict"
@@ -154,7 +166,9 @@ let gate ?(opts = default_opts) ~rerun ~src (guarded : Engine.guarded) =
           [ ("verdict", T.S (verdict_name verdict));
             ("sandbox_runs", T.I !runs);
             ("rolled_back", T.I (List.length suppressed)) ];
-    (guarded, { verdict; sandbox_runs = !runs; suppressed; rolled_rules; verify_ms })
+    (guarded,
+     { verdict; sandbox_runs = !runs; suppressed; rolled_rules;
+       dynamic_rolled_back; verify_ms })
   in
   if String.equal guarded.Engine.result.Engine.output src then
     (* unchanged output is trivially equivalent; skip the sandbox *)

@@ -60,6 +60,10 @@ type outcome = {
           ["recover.substitute"]), ["engine.finalize"] for the
           finalization pseudo-suppression.  This is what {!Quarantine}
           keys its per-rule circuit breakers on. *)
+  dynamic_rolled_back : int;
+      (** how many of [rolled_rules] are dynamic-recovery rules
+          ([recover.dynamic.*]) — the gate catching a provenance-mapped
+          substitution that changed behaviour *)
   verify_ms : float;  (** wall time spent in the gate *)
 }
 

@@ -1,0 +1,116 @@
+(** Dynamic-assembly obfuscation: rewrite literal string assignments into
+    run-time constructions — loop-carried builds, accumulator folds and
+    conditional payload selection — that the static tracer (paper Alg. 1)
+    deliberately skips.  These are exactly the shapes the provenance-guided
+    dynamic recovery stage exists to undo, so the generators double as its
+    ground-truth corpus: each construction is pure and rebuilds the
+    original string exactly.
+
+    [statements] renders the construction for one (variable, string) pair;
+    [apply] rewrites eligible top-level assignments of a whole script. *)
+
+open Pscommon
+module A = Psast.Ast
+
+(* a short variable name not already used in the script (nor equal to the
+   assembled variable), so the construction cannot capture an existing
+   binding *)
+let fresh_name rng ~avoid src =
+  let rec go tries =
+    let n =
+      String.init (Rng.int_in rng 3 5) (fun _ -> Rng.lowercase_letter rng)
+    in
+    if tries = 0 then n
+    else if
+      Strcase.contains ~needle:("$" ^ n) src || String.equal n avoid
+    then go (tries - 1)
+    else n
+  in
+  go 8
+
+(* $v = ''; foreach ($p in @(pieces)) { $v = $v + $p } *)
+let loop_build rng ~src ~var s =
+  let pieces = L2.split_pieces rng s (Rng.int_in rng 2 5) in
+  let p = fresh_name rng ~avoid:var src in
+  Printf.sprintf "$%s = ''\nforeach ($%s in @(%s)) { $%s = $%s + $%s }" var p
+    (String.concat ", " (List.map L2.quote pieces))
+    var var p
+
+(* $v = @(); foreach ($p in @(pieces)) { $v += $p }; $v = $v -join '' *)
+let accum_join rng ~src ~var s =
+  let pieces = L2.split_pieces rng s (Rng.int_in rng 2 5) in
+  let p = fresh_name rng ~avoid:var src in
+  Printf.sprintf
+    "$%s = @()\nforeach ($%s in @(%s)) { $%s += $%s }\n$%s = $%s -join ''"
+    var p
+    (String.concat ", " (List.map L2.quote pieces))
+    var p var var
+
+(* $k = key; if ($k -lt gate) { $v = decoy } else { $v = payload } — the
+   key is chosen so the else branch always selects the payload; the decoy
+   (the payload reversed) never runs *)
+let cond_payload rng ~src ~var s =
+  let k = fresh_name rng ~avoid:var src in
+  let gate = Rng.int_in rng 3 9 in
+  let key = gate + Rng.int_in rng 1 5 in
+  let n = String.length s in
+  let decoy = String.init n (fun i -> s.[n - 1 - i]) in
+  Printf.sprintf "$%s = %d\nif ($%s -lt %d) { $%s = %s } else { $%s = %s }" k
+    key k gate var (L2.quote decoy) var (L2.quote s)
+
+let statements rng technique ~src ~var s =
+  match technique with
+  | Technique.Loop_build -> loop_build rng ~src ~var s
+  | Technique.Accum_join -> accum_join rng ~src ~var s
+  | Technique.Cond_payload -> cond_payload rng ~src ~var s
+  | t ->
+      invalid_arg ("Dyn.statements: not a dynamic technique: " ^ Technique.name t)
+
+(* an assignment target the generators can re-spell as [$name] verbatim *)
+let plain_name n =
+  n <> ""
+  && String.for_all
+       (fun c ->
+         c = '_'
+         || (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9'))
+       n
+
+let rec unwrap e =
+  match e.A.node with
+  | A.Pipeline [ x ] | A.Command_expression x | A.Paren_expr x -> unwrap x
+  | _ -> e
+
+(* Rewrite eligible top-level [$name = 'literal'] statements.  The
+   replacement spans several statements, so each edit is validated by
+   re-parsing the whole patched script; a splice that would break the
+   syntax (a statement sharing a line with another, say) backs out to the
+   original text. *)
+let apply rng technique src =
+  match Psparse.Parser.parse src with
+  | Error _ -> src
+  | Ok { A.node = A.Script_block sb; _ } ->
+      let edits =
+        List.filter_map
+          (fun stmt ->
+            match stmt.A.node with
+            | A.Assignment (A.Assign, { A.node = A.Variable_expr v; _ }, rhs)
+              when (not v.A.var_splat) && plain_name v.A.var_name -> (
+                match (unwrap rhs).A.node with
+                | A.String_const (s, A.Single_quoted)
+                  when String.length s >= 2
+                       && (not (String.contains s '\n'))
+                       && Rng.chance rng 0.9 ->
+                    Some
+                      (Patch.edit stmt.A.extent
+                         (statements rng technique ~src ~var:v.A.var_name s))
+                | _ -> None)
+            | _ -> None)
+          sb.A.sb_statements
+      in
+      if edits = [] then src
+      else
+        let out = Patch.apply src edits in
+        if Psparse.Parser.is_valid_syntax out then out else src
+  | Ok _ -> src

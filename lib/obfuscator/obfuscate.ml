@@ -6,6 +6,8 @@ open Pscommon
 (** Apply one technique to a whole script.  Always returns a syntactically
     valid script when the input is valid (L1/L2 are patch-based; L3 wraps). *)
 let apply rng technique script =
+  if List.mem technique Technique.dynamic then Dyn.apply rng technique script
+  else
   match Technique.level technique with
   | 1 -> (
       match technique with
@@ -23,6 +25,12 @@ let apply rng technique script =
     application retries until the technique visibly fired; L3 wrappers use
     obfuscated launcher spellings, as Invoke-Obfuscation's launchers do. *)
 let piece rng technique base_command =
+  if List.mem technique Technique.dynamic then
+    (* the assembly runs as a preamble; the final bare [$v] is the piece
+       proper, so the caller can place it in assignment or pipe position *)
+    Dyn.statements rng technique ~src:base_command ~var:"v" base_command
+    ^ "\n$v"
+  else
   match Technique.level technique with
   | 1 ->
       let rec go tries =

@@ -27,16 +27,25 @@ type t =
   | Enc_bxor
   | Secure_string_enc
   | Deflate_compress
+  (* dynamic — the value is assembled at run time (loop-carried builds,
+     accumulator folds, conditional selection), putting it beyond the
+     static tracer's reach; level 2 by the paper's taxonomy (AST shape
+     changes, character-level information preserved) *)
+  | Loop_build
+  | Accum_join
+  | Cond_payload
 
 let all =
   [ Ticking; Whitespacing; Random_case; Random_name; Alias_sub; Str_concat;
     Str_reorder; Str_replace; Str_reverse; Enc_binary; Enc_octal; Enc_ascii;
     Enc_hex; Enc_base64; Enc_whitespace; Enc_specialchar; Enc_bxor;
-    Secure_string_enc; Deflate_compress ]
+    Secure_string_enc; Deflate_compress; Loop_build; Accum_join; Cond_payload ]
 
 let level = function
   | Ticking | Whitespacing | Random_case | Random_name | Alias_sub -> 1
-  | Str_concat | Str_reorder | Str_replace | Str_reverse -> 2
+  | Str_concat | Str_reorder | Str_replace | Str_reverse | Loop_build
+  | Accum_join | Cond_payload ->
+      2
   | Enc_binary | Enc_octal | Enc_ascii | Enc_hex | Enc_base64 | Enc_whitespace
   | Enc_specialchar | Enc_bxor | Secure_string_enc | Deflate_compress ->
       3
@@ -61,10 +70,18 @@ let name = function
   | Enc_bxor -> "encode-bxor"
   | Secure_string_enc -> "securestring"
   | Deflate_compress -> "compress-deflate"
+  | Loop_build -> "loop-build"
+  | Accum_join -> "accumulate-join"
+  | Cond_payload -> "conditional-payload"
 
 let of_name s =
   List.find_opt (fun t -> String.equal (name t) s) all
 
-let l1 = List.filter (fun t -> level t = 1) all
-let l2 = List.filter (fun t -> level t = 2) all
-let l3 = List.filter (fun t -> level t = 3) all
+(* the dynamic-assembly techniques stay out of the per-level pools so the
+   wild-mix draw sequence — and thus every seeded corpus — is unchanged by
+   their addition; corpus generation targets them explicitly instead *)
+let dynamic = [ Loop_build; Accum_join; Cond_payload ]
+let pooled t = not (List.mem t dynamic)
+let l1 = List.filter (fun t -> level t = 1 && pooled t) all
+let l2 = List.filter (fun t -> level t = 2 && pooled t) all
+let l3 = List.filter (fun t -> level t = 3 && pooled t) all

@@ -27,6 +27,11 @@ type t =
   | Enc_bxor
   | Secure_string_enc
   | Deflate_compress
+  (* dynamic — run-time value assembly (loops / accumulators / conditional
+     selection), beyond the reach of static tracing *)
+  | Loop_build
+  | Accum_join
+  | Cond_payload
 
 val all : t list
 (** In the paper's Table II row order. *)
@@ -42,3 +47,9 @@ val of_name : string -> t option
 val l1 : t list
 val l2 : t list
 val l3 : t list
+(** Per-level pools for wild-mix sampling.  The {!dynamic} techniques are
+    excluded, so adding them did not shift any seeded corpus. *)
+
+val dynamic : t list
+(** [Loop_build; Accum_join; Cond_payload] — the run-time value-assembly
+    techniques the dynamic-provenance recovery stage exists to undo. *)

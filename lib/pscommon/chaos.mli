@@ -7,7 +7,12 @@
     supervision plane: [serve.wedge] — a worker enters a bounded busy-loop
     past its deadline without hitting a cooperative checkpoint — and
     [serve.respawn] — replacing a wedged or retired worker fails once,
-    exercising the respawn backoff).  When
+    exercising the respawn backoff; and the dynamic-provenance plane:
+    [interp.provenance] — a fault in the per-write recorder hook, which
+    must poison the provenance map rather than escape into evaluation —
+    and [recover.dynamic] — a fault in the dynamic recovery stage itself,
+    contained by the engine's phase guard so the run degrades to the
+    static output).  When
     chaos is disabled — the default —
     a probe is one atomic load and a comparison: nothing allocates and
     nothing can fire, so probes stay in place on hot paths.  When enabled

@@ -92,6 +92,10 @@ type t = {
           out (an override installed by text replacement only fires then).
           Returning [true] consumes the payload — execution is skipped, as
           an override that prints instead of executing would. *)
+  mutable provenance : Provenance.t option;
+      (** when installed, the interpreter stamps each variable write with
+          its defining extent / step / dependency set — the dynamic
+          recovery plane.  [None] (the default) costs one load per write. *)
 }
 
 let new_scope () = { table = Hashtbl.create 16 }
@@ -159,6 +163,7 @@ let create ?(mode = Recovery) ?(limits = default_limits) () =
     output_sink = [];
     downloads_fail = false;
     iex_hook = None;
+    provenance = None;
   }
 
 let tick env =

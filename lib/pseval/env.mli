@@ -66,6 +66,10 @@ type t = {
           command was spelled out.  Returning [true] consumes the payload
           (skips execution), like an override that prints instead of
           executing. *)
+  mutable provenance : Provenance.t option;
+      (** when installed, the interpreter stamps each variable write with
+          its defining extent / step / dependency set — the dynamic
+          recovery plane.  [None] (the default) costs one load per write. *)
 }
 
 and scope = { table : (string, Psvalue.Value.t) Hashtbl.t }

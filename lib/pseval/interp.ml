@@ -22,6 +22,20 @@ let eval_fail fmt = Printf.ksprintf (fun s -> raise (Env.Eval_error s)) fmt
 
 let node_text ctx (t : A.t) = A.text ctx.src t
 
+(* provenance stamping: one option load per variable write when no recorder
+   is installed, so the plane is free on production recovery paths.  [rhs]
+   (when given) contributes its variable reads to the dependency set;
+   [also_reads] adds names the node shape implies (compound assignment and
+   ++/-- read their own target). *)
+let note_write ctx ?rhs ?(also_reads = []) ~extent name =
+  match ctx.env.Env.provenance with
+  | None -> ()
+  | Some p ->
+      let reads =
+        also_reads @ (match rhs with Some r -> Provenance.read_vars r | None -> [])
+      in
+      Provenance.note p ~var:name ~extent ~step:ctx.env.Env.steps ~reads
+
 (* pipeline-boundary enumeration: arrays stream element-wise *)
 let enumerate v = Value.to_list v
 
@@ -195,6 +209,8 @@ and eval_unary ctx op operand =
       | A.Variable_expr v ->
           let old = try Value.to_int (read_variable ctx v.A.var_name) with _ -> 0 in
           Env.set_var ctx.env v.A.var_name (Value.Int (old + delta));
+          note_write ctx ~also_reads:[ v.A.var_name ] ~extent:operand.A.extent
+            v.A.var_name;
           Value.Int (old + delta)
       | _ -> eval_fail "++/-- requires a variable")
 
@@ -204,6 +220,8 @@ and eval_postfix ctx op operand =
   | A.Variable_expr v ->
       let old = try Value.to_int (read_variable ctx v.A.var_name) with _ -> 0 in
       Env.set_var ctx.env v.A.var_name (Value.Int (old + delta));
+      note_write ctx ~also_reads:[ v.A.var_name ] ~extent:operand.A.extent
+        v.A.var_name;
       Value.Int old
   | _ -> eval_fail "++/-- requires a variable"
 
@@ -429,6 +447,7 @@ and eval_statement ctx (t : A.t) : Value.t list =
            (fun item ->
              Env.tick ctx.env;
              Env.set_var ctx.env var_name item;
+             note_write ctx ~rhs:coll ~extent:var.A.extent var_name;
              try out := !out @ eval_statement ctx body with Continue_exc -> ())
            items
        with Break_exc -> ());
@@ -535,9 +554,16 @@ and eval_assignment ctx op lhs rhs =
         if op = A.Assign then Value.Null
         else match Env.get_var ctx.env v.A.var_name with Some x -> x | None -> Value.Null
       in
-      Env.set_var ctx.env v.A.var_name (combined current)
+      Env.set_var ctx.env v.A.var_name (combined current);
+      note_write ctx ~rhs
+        ~also_reads:(if op = A.Assign then [] else [ v.A.var_name ])
+        ~extent:(Pscommon.Extent.union lhs.A.extent rhs.A.extent)
+        v.A.var_name
   | A.Convert_expr (type_name, { A.node = A.Variable_expr v; _ }) ->
-      Env.set_var ctx.env v.A.var_name (Casts.cast type_name rhs_value)
+      Env.set_var ctx.env v.A.var_name (Casts.cast type_name rhs_value);
+      note_write ctx ~rhs
+        ~extent:(Pscommon.Extent.union lhs.A.extent rhs.A.extent)
+        v.A.var_name
   | A.Index_expr (obj, idx) -> (
       let container = eval_expr ctx obj in
       let index = eval_expr ctx idx in
@@ -545,8 +571,15 @@ and eval_assignment ctx op lhs rhs =
       | Value.Arr a ->
           let i = Value.to_int index in
           let i = if i < 0 then Array.length a + i else i in
-          if i >= 0 && i < Array.length a then
-            a.(i) <- combined (if op = A.Assign then Value.Null else a.(i))
+          if i >= 0 && i < Array.length a then begin
+            a.(i) <- combined (if op = A.Assign then Value.Null else a.(i));
+            match obj.A.node with
+            | A.Variable_expr v ->
+                note_write ctx ~rhs ~also_reads:[ v.A.var_name ]
+                  ~extent:(Pscommon.Extent.union lhs.A.extent rhs.A.extent)
+                  v.A.var_name
+            | _ -> ()
+          end
           else eval_fail "index %d out of range in assignment" i
       | Value.Hash _ -> (
           (* immutable hash representation: rebuild and store when the
@@ -555,7 +588,10 @@ and eval_assignment ctx op lhs rhs =
           | A.Variable_expr v ->
               let pairs = match container with Value.Hash p -> p | _ -> [] in
               let filtered = List.filter (fun (k, _) -> not (Value.equal_loose k index)) pairs in
-              Env.set_var ctx.env v.A.var_name (Value.Hash (filtered @ [ (index, rhs_value) ]))
+              Env.set_var ctx.env v.A.var_name (Value.Hash (filtered @ [ (index, rhs_value) ]));
+              note_write ctx ~rhs ~also_reads:[ v.A.var_name ]
+                ~extent:(Pscommon.Extent.union lhs.A.extent rhs.A.extent)
+                v.A.var_name
           | _ -> eval_fail "cannot assign into this hashtable expression")
       | _ -> eval_fail "cannot index-assign into %s" (Value.type_name container))
   | A.Array_literal vars ->
@@ -568,7 +604,10 @@ and eval_assignment ctx op lhs rhs =
               let value =
                 if i < List.length values then List.nth values i else Value.Null
               in
-              Env.set_var ctx.env v.A.var_name value
+              Env.set_var ctx.env v.A.var_name value;
+              note_write ctx ~rhs
+                ~extent:(Pscommon.Extent.union lhs_item.A.extent rhs.A.extent)
+                v.A.var_name
           | _ -> eval_fail "unsupported multiple-assignment target")
         vars
   | A.Member_access (_, _, _) -> ()  (* property assignment: ignored *)

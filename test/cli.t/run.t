@@ -79,14 +79,25 @@ prints the verdict on stderr:
   Write-Host hi
   verify: equivalent
 
-A loop-carried fold that would change behaviour is caught, bisected and
-rolled back — the output returns to the original text:
+A loop-carried string build is beyond static tracing; the provenance-guided
+dynamic stage recovers the final value and the gate verifies it — no
+rollbacks:
 
   $ printf '$x = %s\nforeach ($i in 1..3) { $x = $x + %s }\nWrite-Output $x\n' "'a'" "'b'" | invoke_deobfuscation deobfuscate --verify -
   $x = 'a'
+  $i = 3
+  $x = 'abbb'
+  'abbb'
+  verify: equivalent
+
+With --no-dynamic the loop is left in place (and still verifies — the
+static pipeline no longer mis-folds loop-carried bindings):
+
+  $ printf '$x = %s\nforeach ($i in 1..3) { $x = $x + %s }\nWrite-Output $x\n' "'a'" "'b'" | invoke_deobfuscation deobfuscate --verify --no-dynamic -
+  $x = 'a'
   foreach ($i in 1..3) { $x = $x + 'b' }
   Write-Output $x
-  verify: rolled_back (2 edit(s) rolled back)
+  verify: equivalent
 
 The report carries the verdict as JSON:
 

@@ -19,6 +19,7 @@ let () =
       ("obfuscator", Test_obfuscator.suite);
       ("deobf", Test_deobf.suite);
       ("verify", Test_verify.suite);
+      ("provenance", Test_provenance.suite);
       ("serve", Test_serve.suite);
       ("selfheal", Test_selfheal.suite);
       ("baselines", Test_baselines.suite);

@@ -33,7 +33,19 @@ let test_levels () =
   check_i "l1 count" 5 (List.length Obfuscator.Technique.l1);
   check_i "l2 count" 4 (List.length Obfuscator.Technique.l2);
   check_i "l3 count" 10 (List.length Obfuscator.Technique.l3);
-  check_i "all" 19 (List.length Obfuscator.Technique.all)
+  check_i "dynamic count" 3 (List.length Obfuscator.Technique.dynamic);
+  (* the dynamic techniques are excluded from every wild-mix pool, so
+     seeded corpora did not shift when they were added *)
+  List.iter
+    (fun t ->
+      check_b
+        (Obfuscator.Technique.name t ^ " not pooled")
+        false
+        (List.mem t Obfuscator.Technique.l1
+        || List.mem t Obfuscator.Technique.l2
+        || List.mem t Obfuscator.Technique.l3))
+    Obfuscator.Technique.dynamic;
+  check_i "all" 22 (List.length Obfuscator.Technique.all)
 
 let test_technique_names_roundtrip () =
   List.iter
@@ -124,7 +136,7 @@ let prop_wild_mix_preserves_behavior =
 let prop_single_technique_valid =
   QCheck.Test.make ~name:"obfuscator: every technique yields valid syntax"
     ~count:100
-    QCheck.(pair small_nat (int_bound 18))
+    QCheck.(pair small_nat (int_bound 21))
     (fun (seed, ti) ->
       let rng = Rng.of_int (seed + 17) in
       let technique = List.nth Obfuscator.Technique.all ti in
